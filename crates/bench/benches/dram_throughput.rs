@@ -1,0 +1,31 @@
+//! Criterion microbenchmarks: DDR3 timing-model throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grdram::{DramSim, Request, TimingParams};
+
+fn requests(n: u64, stride: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            block: i.wrapping_mul(stride),
+            write: i % 4 == 0,
+            arrival_ns: i as f64 * 2.0,
+        })
+        .collect()
+}
+
+fn dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    let reqs_seq = requests(100_000, 1); // row-hit friendly
+    let reqs_rand = requests(100_000, 977); // row-conflict heavy
+    group.throughput(Throughput::Elements(100_000));
+    for (label, reqs) in [("sequential", &reqs_seq), ("strided", &reqs_rand)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), reqs, |b, reqs| {
+            b.iter(|| DramSim::new(TimingParams::ddr3_1600()).run(reqs).makespan_ns)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dram);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks: LLC simulation throughput per policy.
+//!
+//! Replays one synthesized frame through each evaluated policy; the
+//! measured quantity is the full simulator throughput (accesses per
+//! second), which bounds how fast the experiment harness can sweep
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grcache::{annotate_next_use, Llc, LlcConfig};
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+
+fn llc_cfg() -> LlcConfig {
+    LlcConfig { size_bytes: 128 * 1024, ways: 16, banks: 4, sample_period: 64 }
+}
+
+fn policy_throughput(c: &mut Criterion) {
+    let app = AppProfile::by_abbrev("BioShock").expect("known app");
+    let trace = grsynth::generate_frame(&app, 0, Scale::Tiny);
+    let annotations = annotate_next_use(trace.accesses());
+    let cfg = llc_cfg();
+
+    let mut group = c.benchmark_group("llc_policy");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for name in ["DRRIP", "NRU", "LRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPC", "OPT"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+                let ann = registry::needs_next_use(name).then_some(annotations.as_slice());
+                llc.run_trace(&trace, ann);
+                llc.stats().total_misses()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_throughput);
+criterion_main!(benches);

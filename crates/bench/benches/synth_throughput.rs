@@ -1,0 +1,32 @@
+//! Criterion microbenchmarks: workload synthesis throughput.
+//!
+//! Measures frame-trace generation (pipeline modeling plus render-cache
+//! filtering) and the offline next-use annotation pass that enables
+//! Belady's OPT.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use grcache::annotate_next_use;
+use grsynth::{AppProfile, Scale};
+
+fn synth(c: &mut Criterion) {
+    let app = AppProfile::by_abbrev("AssnCreed").expect("known app");
+
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+    group.bench_function("generate_frame_tiny", |b| {
+        b.iter(|| grsynth::generate_frame(&app, 0, Scale::Tiny).len())
+    });
+    group.finish();
+
+    let trace = grsynth::generate_frame(&app, 0, Scale::Tiny);
+    let mut group = c.benchmark_group("optgen");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("annotate_next_use", |b| {
+        b.iter(|| annotate_next_use(trace.accesses()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, synth);
+criterion_main!(benches);

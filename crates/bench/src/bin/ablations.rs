@@ -1,0 +1,5 @@
+//! Reproduces design-choice ablations (beyond the paper) of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::ablations(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces every figure and table of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::all(&cfg);
+}

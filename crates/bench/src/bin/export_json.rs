@@ -1,0 +1,51 @@
+//! Exports the Figure 12 policy sweep as JSON for external plotting.
+//!
+//! ```text
+//! cargo run -p grbench --release --bin export_json > results.json
+//! ```
+
+use serde_json::{json, Map, Value};
+
+use grbench::{experiments::FIG12_POLICIES, run_workload, ExperimentConfig, RunOptions};
+use grtrace::{PolicyClass, StreamId};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
+    policies.push("DRRIP".into());
+    policies.push("OPT".into());
+    let opts = RunOptions {
+        policies,
+        characterize: true,
+        timing: None,
+        llc_paper_mb: 8,
+    };
+    let r = run_workload(&opts, &cfg);
+
+    let mut out = Map::new();
+    out.insert("scale".into(), json!(format!("{:?}", cfg.scale)));
+    out.insert("llc_bytes".into(), json!(cfg.llc(8).size_bytes));
+    let mut per_policy = Map::new();
+    for policy in &r.policies {
+        let mut apps = Map::new();
+        for app in &r.apps {
+            let agg = r.get(policy, app);
+            apps.insert(
+                app.clone(),
+                json!({
+                    "misses": agg.stats.total_misses(),
+                    "hits": agg.stats.total_hits(),
+                    "normalized_misses": r.normalized_misses(policy, app, "DRRIP"),
+                    "tex_hit_rate": agg.stats.class_hit_rate(PolicyClass::Tex),
+                    "rt_hit_rate": agg.stats.hit_rate(StreamId::RenderTarget),
+                    "z_hit_rate": agg.stats.hit_rate(StreamId::Z),
+                    "rt_consumption": agg.chars.rt_consumption_rate(),
+                    "writebacks": agg.stats.writebacks,
+                }),
+            );
+        }
+        per_policy.insert(policy.clone(), Value::Object(apps));
+    }
+    out.insert("policies".into(), Value::Object(per_policy));
+    println!("{}", serde_json::to_string_pretty(&Value::Object(out)).expect("serialize"));
+}

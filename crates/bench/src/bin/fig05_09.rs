@@ -1,0 +1,5 @@
+//! Reproduces Figures 5-9 (characterization) of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::characterization(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces Figures 12 and 13 of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::fig12_fig13(&cfg);
+}

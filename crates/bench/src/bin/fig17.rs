@@ -1,0 +1,5 @@
+//! Reproduces Figure 17 of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::fig17(&cfg);
+}

@@ -1,0 +1,205 @@
+//! `grsim` — the unified command-line front end to the simulator.
+//!
+//! ```text
+//! grsim apps                         # list application profiles
+//! grsim policies                     # list LLC policies
+//! grsim characterize BioShock        # Section-2-style reuse profile
+//! grsim compare GSPC+UCD GS-DRRIP    # misses vs DRRIP over the workload
+//! grsim sweep GSPC 2 4 8 16          # miss curve vs LLC capacity (MB)
+//! ```
+//!
+//! All subcommands honour `GR_SCALE` and `GR_FRAMES` (see the grbench
+//! crate docs).
+
+use grbench::{run_workload, table, ExperimentConfig, RunOptions};
+use grcache::{annotate_next_use, Llc};
+use grsynth::AppProfile;
+use grtrace::StreamId;
+use gspc::registry;
+
+fn usage() -> ! {
+    eprintln!("usage: grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_env();
+    match args.first().map(String::as_str) {
+        Some("apps") => {
+            let rows: Vec<Vec<String>> = AppProfile::all()
+                .iter()
+                .map(|a| {
+                    vec![
+                        a.abbrev.to_string(),
+                        a.name.to_string(),
+                        format!("DX{}", a.dx_version),
+                        format!("{}x{}", a.width, a.height),
+                        format!("{}", a.frames),
+                    ]
+                })
+                .collect();
+            table::print(&["abbrev", "name", "api", "resolution", "frames"], &rows);
+        }
+        Some("policies") => {
+            let rows: Vec<Vec<String>> = registry::ALL_POLICIES
+                .iter()
+                .map(|e| vec![e.name.to_string(), e.description.to_string()])
+                .collect();
+            table::print(&["policy", "description"], &rows);
+        }
+        Some("characterize") => {
+            let app_name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            characterize(&cfg, app_name);
+        }
+        Some("compare") => {
+            if args.len() < 2 {
+                usage();
+            }
+            compare(&cfg, &args[1..]);
+        }
+        Some("sweep") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let policy = &args[1];
+            let sizes: Vec<u64> =
+                args[2..].iter().map(|s| s.parse().unwrap_or_else(|_| usage())).collect();
+            sweep(&cfg, policy, &sizes);
+        }
+        _ => usage(),
+    }
+}
+
+/// Section-2-style reuse characterization of one application.
+fn characterize(cfg: &ExperimentConfig, app_name: &str) {
+    let app = AppProfile::by_abbrev(app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name}; try `grsim apps`");
+        std::process::exit(1);
+    });
+    let llc_cfg = cfg.llc(8);
+    let mut stats = grcache::LlcStats::new();
+    let mut chars = grcache::CharReport::default();
+    let mut mix = grtrace::StreamStats::new();
+    for frame in 0..cfg.frames_for(app.frames) {
+        let trace = grsynth::generate_frame(&app, frame, cfg.scale);
+        mix.merge(trace.stats());
+        let nu = annotate_next_use(trace.accesses());
+        let mut llc = Llc::new(llc_cfg, registry::create("OPT", &llc_cfg).unwrap())
+            .with_characterization();
+        llc.run_trace(&trace, Some(&nu));
+        stats.merge(llc.stats());
+        chars.merge(llc.characterization().expect("characterization enabled"));
+    }
+    println!("{} — reuse profile under Belady's OPT", app.name);
+    println!();
+    let mut rows = Vec::new();
+    for s in StreamId::ALL {
+        if mix.accesses(s) > 0 {
+            rows.push(vec![
+                s.label().to_string(),
+                format!("{}", mix.accesses(s)),
+                table::pct(mix.fraction(s)),
+                table::pct(stats.hit_rate(s)),
+            ]);
+        }
+    }
+    table::print(&["stream", "LLC accesses", "share", "OPT hit rate"], &rows);
+    println!();
+    table::print(
+        &["metric", "value"],
+        &[
+            vec!["RT->TEX consumption".into(), table::pct(chars.rt_consumption_rate())],
+            vec!["inter-stream TEX hit share".into(), table::pct(chars.tex_inter_fraction())],
+            vec![
+                "TEX death ratios E0/E1/E2".into(),
+                format!(
+                    "{:.2} / {:.2} / {:.2}",
+                    chars.tex_death_ratio(0),
+                    chars.tex_death_ratio(1),
+                    chars.tex_death_ratio(2)
+                ),
+            ],
+            vec![
+                "Z death ratios E0/E1/E2".into(),
+                format!(
+                    "{:.2} / {:.2} / {:.2}",
+                    chars.z_death_ratio(0),
+                    chars.z_death_ratio(1),
+                    chars.z_death_ratio(2)
+                ),
+            ],
+        ],
+    );
+}
+
+/// Workload-wide comparison of policies against DRRIP.
+fn compare(cfg: &ExperimentConfig, policies: &[String]) {
+    for p in policies {
+        if registry::create(p, &cfg.llc(8)).is_none() {
+            eprintln!("unknown policy {p}; try `grsim policies`");
+            std::process::exit(1);
+        }
+    }
+    let mut all: Vec<String> = policies.to_vec();
+    if !all.iter().any(|p| p == "DRRIP") {
+        all.push("DRRIP".into());
+    }
+    let opts = RunOptions {
+        policies: all,
+        characterize: false,
+        timing: None,
+        llc_paper_mb: 8,
+    };
+    let r = run_workload(&opts, cfg);
+    let mut head = vec!["app"];
+    for p in policies {
+        head.push(p);
+    }
+    let mut rows = Vec::new();
+    for app in &r.apps {
+        let mut row = vec![app.clone()];
+        for p in policies {
+            row.push(table::ratio(r.normalized_misses(p, app, "DRRIP")));
+        }
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL".to_string()];
+    for p in policies {
+        overall.push(table::ratio(r.overall_normalized_misses(p, "DRRIP")));
+    }
+    rows.push(overall);
+    println!("LLC misses normalized to DRRIP (8 MB-equivalent LLC)");
+    table::print(&head, &rows);
+}
+
+/// Miss-rate curve of one policy over LLC capacities.
+fn sweep(cfg: &ExperimentConfig, policy: &str, sizes_mb: &[u64]) {
+    if registry::create(policy, &cfg.llc(8)).is_none() {
+        eprintln!("unknown policy {policy}; try `grsim policies`");
+        std::process::exit(1);
+    }
+    let mut rows = Vec::new();
+    for &mb in sizes_mb {
+        let llc_cfg = cfg.llc(mb);
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for app in AppProfile::all() {
+            for frame in 0..cfg.frames_for(app.frames).min(2) {
+                let trace = grsynth::generate_frame(&app, frame, cfg.scale);
+                let mut llc =
+                    Llc::new(llc_cfg, registry::create(policy, &llc_cfg).unwrap());
+                llc.run_trace(&trace, None);
+                hits += llc.stats().total_hits();
+                total += llc.stats().total_accesses();
+            }
+        }
+        rows.push(vec![
+            format!("{mb} MB"),
+            format!("{}", total - hits),
+            table::pct(hits as f64 / total.max(1) as f64),
+        ]);
+    }
+    println!("{policy} across LLC capacities (paper-equivalent MB)");
+    table::print(&["LLC", "misses", "hit rate"], &rows);
+}

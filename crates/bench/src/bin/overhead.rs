@@ -1,0 +1,5 @@
+//! Reproduces the Section 4 overhead analysis of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::overhead_report(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces Table 1 of the paper. See the grbench crate docs for scaling.
+fn main() {
+    let cfg = grbench::ExperimentConfig::from_env();
+    grbench::experiments::table1(&cfg);
+}

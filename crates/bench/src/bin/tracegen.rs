@@ -1,0 +1,93 @@
+//! Trace utility: dump synthesized LLC traces to disk and replay them.
+//!
+//! ```text
+//! cargo run -p grbench --release --bin tracegen -- dump AssnCreed 0 quarter /tmp/ac0.grtr
+//! cargo run -p grbench --release --bin tracegen -- replay /tmp/ac0.grtr GSPC+UCD
+//! cargo run -p grbench --release --bin tracegen -- info /tmp/ac0.grtr
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use grcache::{annotate_next_use, Llc, LlcConfig};
+use grsynth::{AppProfile, Scale};
+use grtrace::io as trace_io;
+use gspc::registry;
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  tracegen dump <app> <frame> <full|half|quarter|tiny> <file>");
+    eprintln!("  tracegen replay <file> <policy> [llc-kb]");
+    eprintln!("  tracegen info <file>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("dump") => {
+            let [_, app, frame, scale, path] = &args[..] else { usage() };
+            let app = AppProfile::by_abbrev(app).unwrap_or_else(|| {
+                eprintln!("unknown app {app}");
+                std::process::exit(1);
+            });
+            let frame: u32 = frame.parse().unwrap_or_else(|_| usage());
+            let scale = Scale::from_name(scale).unwrap_or_else(|| usage());
+            let trace = grsynth::generate_frame(&app, frame, scale);
+            let file = File::create(path).expect("create output file");
+            trace_io::write(BufWriter::new(file), &trace).expect("write trace");
+            println!("wrote {} accesses to {path}", trace.len());
+        }
+        Some("replay") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let trace = trace_io::read(BufReader::new(
+                File::open(&args[1]).expect("open trace file"),
+            ))
+            .expect("parse trace");
+            let kb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(512);
+            let cfg = LlcConfig {
+                size_bytes: kb * 1024,
+                ways: 16,
+                banks: 4,
+                sample_period: 64,
+            };
+            let policy = registry::create(&args[2], &cfg).unwrap_or_else(|| {
+                eprintln!("unknown policy {}", args[2]);
+                std::process::exit(1);
+            });
+            let annotations = registry::needs_next_use(&args[2])
+                .then(|| annotate_next_use(trace.accesses()));
+            let mut llc = Llc::new(cfg, policy);
+            llc.run_trace(&trace, annotations.as_deref());
+            println!(
+                "{}#{} through {} on {kb} KB LLC: {} accesses, {} misses ({:.1}% hit rate)",
+                trace.app(),
+                trace.frame(),
+                args[2],
+                trace.len(),
+                llc.stats().total_misses(),
+                100.0 * llc.stats().overall_hit_rate(),
+            );
+        }
+        Some("info") => {
+            if args.len() < 2 {
+                usage();
+            }
+            let trace = trace_io::read(BufReader::new(
+                File::open(&args[1]).expect("open trace file"),
+            ))
+            .expect("parse trace");
+            println!("app={} frame={} accesses={}", trace.app(), trace.frame(), trace.len());
+            for s in grtrace::StreamId::ALL {
+                let n = trace.stats().accesses(s);
+                if n > 0 {
+                    println!("  {:<6} {:>9} ({:.1}%)", s.label(), n,
+                             100.0 * trace.stats().fraction(s));
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

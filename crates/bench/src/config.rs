@@ -1,0 +1,75 @@
+//! Experiment scaling configuration.
+
+use grcache::LlcConfig;
+use grsynth::Scale;
+
+/// Scale-aware experiment configuration (see the crate docs for the
+/// scaling rule).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Rendering scale for the synthesized frames.
+    pub scale: Scale,
+    /// Optional limit on frames per application.
+    pub frames_per_app: Option<u32>,
+}
+
+impl ExperimentConfig {
+    /// Reads `GR_SCALE` and `GR_FRAMES` from the environment; defaults to
+    /// half scale, all 52 frames.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("GR_SCALE")
+            .ok()
+            .and_then(|s| Scale::from_name(&s))
+            .unwrap_or(Scale::Half);
+        let frames_per_app =
+            std::env::var("GR_FRAMES").ok().and_then(|s| s.parse().ok());
+        ExperimentConfig { scale, frames_per_app }
+    }
+
+    /// The LLC configuration equivalent to `paper_mb` megabytes at native
+    /// scale: capacity divided by the square of the scale divisor, with the
+    /// paper's 16 ways, four banks, and 16-samples-per-1024-sets.
+    pub fn llc(&self, paper_mb: u64) -> LlcConfig {
+        let d2 = u64::from(self.scale.divisor()) * u64::from(self.scale.divisor());
+        LlcConfig {
+            size_bytes: (paper_mb * 1024 * 1024 / d2).max(64 * 1024),
+            ways: 16,
+            banks: 4,
+            sample_period: 64,
+        }
+    }
+
+    /// Number of frames to render for an app that captured `frames` frames.
+    pub fn frames_for(&self, frames: u32) -> u32 {
+        match self.frames_per_app {
+            Some(n) => frames.min(n),
+            None => frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llc_scaling_preserves_geometry() {
+        let cfg = ExperimentConfig { scale: Scale::Half, frames_per_app: None };
+        let llc = cfg.llc(8);
+        assert_eq!(llc.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(llc.ways, 16);
+        assert_eq!(llc.banks, 4);
+        let cfg = ExperimentConfig { scale: Scale::Full, frames_per_app: None };
+        assert_eq!(cfg.llc(8).size_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.llc(16).size_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn frame_limit() {
+        let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(2) };
+        assert_eq!(cfg.frames_for(5), 2);
+        assert_eq!(cfg.frames_for(1), 1);
+        let unlimited = ExperimentConfig { scale: Scale::Tiny, frames_per_app: None };
+        assert_eq!(unlimited.frames_for(5), 5);
+    }
+}

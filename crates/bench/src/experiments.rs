@@ -1,0 +1,476 @@
+//! One function per paper figure/table; each prints the rows/series the
+//! paper reports. `all_experiments` runs everything.
+
+use grcache::LlcConfig;
+use grdram::TimingParams;
+use grgpu::GpuConfig;
+use grsynth::AppProfile;
+use grtrace::{PolicyClass, StreamId, StreamStats};
+use gspc::registry::ALL_POLICIES;
+use gspc::{overhead, Gspc};
+
+use crate::table::{pct, print, ratio};
+use crate::{run_workload, ExperimentConfig, RunOptions, WorkloadResults};
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one normalized-miss row per app plus the overall row.
+fn print_normalized(results: &WorkloadResults, policies: &[&str], baseline: &str) {
+    let mut head = vec!["app"];
+    head.extend(policies);
+    let mut rows = Vec::new();
+    for app in &results.apps {
+        let mut row = vec![app.clone()];
+        for p in policies {
+            row.push(ratio(results.normalized_misses(p, app, baseline)));
+        }
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL".to_string()];
+    for p in policies {
+        overall.push(ratio(results.overall_normalized_misses(p, baseline)));
+    }
+    rows.push(overall);
+    print(&head, &rows);
+    println!();
+    let bars: Vec<(&str, f64)> = policies
+        .iter()
+        .map(|p| (*p, results.overall_normalized_misses(p, baseline)))
+        .collect();
+    crate::table::bar_chart(&bars, "workload-average misses vs baseline");
+}
+
+/// Table 1: the DirectX applications.
+pub fn table1(_cfg: &ExperimentConfig) {
+    header("Table 1: Details of the DirectX applications");
+    let rows: Vec<Vec<String>> = AppProfile::all()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.to_string(),
+                format!("{}", a.dx_version),
+                format!("{}x{}", a.width, a.height),
+                format!("{}", a.frames),
+            ]
+        })
+        .collect();
+    print(&["application", "DirectX", "resolution", "frames"], &rows);
+}
+
+/// Figure 1: LLC misses for NRU and Belady's OPT normalized to DRRIP.
+pub fn fig01(cfg: &ExperimentConfig) {
+    header("Figure 1: LLC misses normalized to two-bit DRRIP (8 MB 16-way)");
+    let r = run_workload(&RunOptions::misses(&["NRU", "OPT", "DRRIP"]), cfg);
+    print_normalized(&r, &["NRU", "OPT"], "DRRIP");
+}
+
+/// Figure 4: stream-wise distribution of the LLC accesses.
+pub fn fig04(cfg: &ExperimentConfig) {
+    header("Figure 4: stream-wise distribution of LLC accesses");
+    let mut head = vec!["app"];
+    let streams = [
+        StreamId::Vertex,
+        StreamId::VertexIndex,
+        StreamId::HiZ,
+        StreamId::Z,
+        StreamId::Stencil,
+        StreamId::RenderTarget,
+        StreamId::Texture,
+        StreamId::Display,
+        StreamId::Other,
+    ];
+    let labels: Vec<&str> = streams.iter().map(|s| s.label()).collect();
+    head.extend(&labels);
+    let mut rows = Vec::new();
+    let mut total = StreamStats::new();
+    for app in AppProfile::all() {
+        let mut agg = StreamStats::new();
+        for frame in 0..cfg.frames_for(app.frames) {
+            let t = grsynth::generate_frame(&app, frame, cfg.scale);
+            agg.merge(t.stats());
+        }
+        let mut row = vec![app.abbrev.to_string()];
+        row.extend(streams.iter().map(|s| pct(agg.fraction(*s))));
+        rows.push(row);
+        total.merge(&agg);
+    }
+    let mut row = vec!["ALL".to_string()];
+    row.extend(streams.iter().map(|s| pct(total.fraction(*s))));
+    rows.push(row);
+    print(&head, &rows);
+}
+
+/// Figures 5–9: the characterization suite (hit rates, inter-stream reuse,
+/// epochs) under OPT, DRRIP, and NRU, plus DRRIP's distant-fill fractions.
+pub fn characterization(cfg: &ExperimentConfig) {
+    let opts = RunOptions {
+        policies: vec!["OPT".into(), "DRRIP".into(), "NRU".into()],
+        characterize: true,
+        timing: None,
+        llc_paper_mb: 8,
+    };
+    let r = run_workload(&opts, cfg);
+
+    header("Figure 5: TEX / RT / Z hit rates (per policy, averaged over frames)");
+    let mut rows = Vec::new();
+    for p in ["OPT", "DRRIP", "NRU"] {
+        let mut stats = grcache::LlcStats::new();
+        for app in &r.apps {
+            stats.merge(&r.get(p, app).stats);
+        }
+        rows.push(vec![
+            p.to_string(),
+            pct(stats.class_hit_rate(PolicyClass::Tex)),
+            pct(stats.hit_rate(StreamId::RenderTarget)),
+            pct(stats.hit_rate(StreamId::Z)),
+        ]);
+    }
+    print(&["policy", "TEX hit", "RT hit", "Z hit"], &rows);
+
+    header("Figure 6: texture reuse classification and RT->TEX consumption");
+    let mut rows = Vec::new();
+    for p in ["OPT", "DRRIP", "NRU"] {
+        let mut c = grcache::CharReport::default();
+        for app in &r.apps {
+            c.merge(&r.get(p, app).chars);
+        }
+        rows.push(vec![
+            p.to_string(),
+            format!("{}", c.tex_inter_hits),
+            format!("{}", c.tex_intra_hits),
+            pct(c.tex_inter_fraction()),
+            pct(c.rt_consumption_rate()),
+        ]);
+    }
+    print(
+        &["policy", "inter hits", "intra hits", "inter frac", "RT consumed"],
+        &rows,
+    );
+
+    header("Figure 7: texture epochs under Belady's OPT");
+    let mut c = grcache::CharReport::default();
+    for app in &r.apps {
+        c.merge(&r.get("OPT", app).chars);
+    }
+    let d = c.tex_epoch_hit_distribution();
+    print(
+        &["metric", "E0", "E1", "E2", "E>=3"],
+        &[
+            vec![
+                "intra-hit share".into(),
+                pct(d[0]),
+                pct(d[1]),
+                pct(d[2]),
+                pct(d[3]),
+            ],
+            vec![
+                "death ratio".into(),
+                ratio(c.tex_death_ratio(0)),
+                ratio(c.tex_death_ratio(1)),
+                ratio(c.tex_death_ratio(2)),
+                "-".into(),
+            ],
+        ],
+    );
+
+    header("Figure 8: fills at the distant RRPV under two-bit DRRIP");
+    let mut stats = grcache::LlcStats::new();
+    for app in &r.apps {
+        stats.merge(&r.get("DRRIP", app).stats);
+    }
+    print(
+        &["class", "distant fills"],
+        &[
+            vec!["RT".into(), pct(stats.distant_fill_fraction(PolicyClass::Rt))],
+            vec!["TEX".into(), pct(stats.distant_fill_fraction(PolicyClass::Tex))],
+        ],
+    );
+
+    header("Figure 9: Z-stream epoch death ratios under Belady's OPT");
+    print(
+        &["metric", "E0", "E1", "E2"],
+        &[vec![
+            "death ratio".into(),
+            ratio(c.z_death_ratio(0)),
+            ratio(c.z_death_ratio(1)),
+            ratio(c.z_death_ratio(2)),
+        ]],
+    );
+}
+
+/// Figure 11: sensitivity of GSPZTC to the threshold parameter t.
+pub fn fig11(cfg: &ExperimentConfig) {
+    header("Figure 11: GSPZTC miss change vs t=16 (positive = more misses)");
+    let policies =
+        ["GSPZTC(t=2)", "GSPZTC(t=4)", "GSPZTC(t=8)", "GSPZTC(t=16)"];
+    let r = run_workload(&RunOptions::misses(&policies), cfg);
+    let display = ["t=2", "t=4", "t=8"];
+    let mut rows = Vec::new();
+    for app in &r.apps {
+        let base = r.misses("GSPZTC(t=16)", app) as f64;
+        let mut row = vec![app.clone()];
+        for p in &policies[..3] {
+            let delta = 100.0 * (r.misses(p, app) as f64 - base) / base;
+            row.push(format!("{delta:+.2}%"));
+        }
+        rows.push(row);
+    }
+    let mut head = vec!["app"];
+    head.extend(&display);
+    print(&head, &rows);
+}
+
+/// The Figure 12 policy set.
+pub const FIG12_POLICIES: [&str; 8] = [
+    "NRU",
+    "SHiP-mem",
+    "GS-DRRIP",
+    "GSPZTC",
+    "GSPZTC+TSE",
+    "GSPC",
+    "GSPC+UCD",
+    "DRRIP+UCD",
+];
+
+/// Figures 12 and 13: LLC misses for all proposed policies, and the hit
+/// rate / consumption analysis.
+pub fn fig12_fig13(cfg: &ExperimentConfig) {
+    let mut policies: Vec<String> =
+        FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
+    policies.push("DRRIP".into());
+    let opts = RunOptions {
+        policies,
+        characterize: true,
+        timing: None,
+        llc_paper_mb: 8,
+    };
+    let r = run_workload(&opts, cfg);
+
+    header("Figure 12: LLC misses normalized to two-bit DRRIP");
+    print_normalized(&r, &FIG12_POLICIES, "DRRIP");
+
+    header("Figure 13: hit-rate analysis (averaged over 52 frames)");
+    let mut rows = Vec::new();
+    for p in ["DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD"] {
+        let mut stats = grcache::LlcStats::new();
+        let mut chars = grcache::CharReport::default();
+        for app in &r.apps {
+            stats.merge(&r.get(p, app).stats);
+            chars.merge(&r.get(p, app).chars);
+        }
+        rows.push(vec![
+            p.to_string(),
+            pct(stats.class_hit_rate(PolicyClass::Tex)),
+            pct(chars.rt_consumption_rate()),
+            pct(stats.hit_rate(StreamId::RenderTarget)),
+            pct(stats.hit_rate(StreamId::Z)),
+        ]);
+    }
+    print(&["policy", "TEX hit", "RT->TEX cons", "RT hit", "Z hit"], &rows);
+}
+
+/// Figure 14: iso-overhead comparison (four replacement state bits each).
+pub fn fig14(cfg: &ExperimentConfig) {
+    header("Figure 14: iso-overhead policies, misses normalized to DRRIP");
+    let r = run_workload(
+        &RunOptions::misses(&["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC", "DRRIP"]),
+        cfg,
+    );
+    print_normalized(&r, &["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC"], "DRRIP");
+}
+
+fn perf_table(cfg: &ExperimentConfig, gpu: GpuConfig, dram: TimingParams, llc_mb: u64) {
+    // Per Section 5.2, the perf studies use the +UCD variants throughout.
+    let opts = RunOptions {
+        policies: vec![
+            "NRU+UCD".into(),
+            "GS-DRRIP+UCD".into(),
+            "GSPC+UCD".into(),
+            "DRRIP+UCD".into(),
+        ],
+        characterize: false,
+        timing: Some((gpu, dram)),
+        llc_paper_mb: llc_mb,
+    };
+    let r = run_workload(&opts, cfg);
+    let mut rows = Vec::new();
+    for app in &r.apps {
+        let base = r.fps("DRRIP+UCD", app);
+        rows.push(vec![
+            app.clone(),
+            ratio(r.fps("NRU+UCD", app) / base),
+            ratio(r.fps("GS-DRRIP+UCD", app) / base),
+            ratio(r.fps("GSPC+UCD", app) / base),
+        ]);
+    }
+    let base = r.overall_fps("DRRIP+UCD");
+    rows.push(vec![
+        "ALL".into(),
+        ratio(r.overall_fps("NRU+UCD") / base),
+        ratio(r.overall_fps("GS-DRRIP+UCD") / base),
+        ratio(r.overall_fps("GSPC+UCD") / base),
+    ]);
+    rows.push(vec![
+        "avg FPS (GSPC)".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.1}", r.overall_fps("GSPC+UCD")),
+    ]);
+    print(&["app", "NRU", "GS-DRRIP", "GSPC"], &rows);
+    println!();
+    crate::table::bar_chart(
+        &[
+            ("NRU", r.overall_fps("NRU+UCD") / base),
+            ("GS-DRRIP", r.overall_fps("GS-DRRIP+UCD") / base),
+            ("GSPC", r.overall_fps("GSPC+UCD") / base),
+        ],
+        "workload-average speedup vs DRRIP",
+    );
+}
+
+/// Figure 15: performance on the 8 MB LLC, normalized to DRRIP.
+pub fn fig15(cfg: &ExperimentConfig) {
+    header("Figure 15: performance (FPS) normalized to DRRIP, 8 MB LLC");
+    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1600(), 8);
+}
+
+/// Figure 16: performance on a 16 MB LLC.
+pub fn fig16(cfg: &ExperimentConfig) {
+    header("Figure 16: performance (FPS) normalized to DRRIP, 16 MB LLC");
+    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1600(), 16);
+}
+
+/// Figure 17: sensitivity to a faster DRAM and a narrower GPU.
+pub fn fig17(cfg: &ExperimentConfig) {
+    header("Figure 17 (upper): DDR3-1867 10-10-10, 8 MB LLC");
+    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1867(), 8);
+    header("Figure 17 (lower): 512-thread GPU, eight samplers, 8 MB LLC");
+    perf_table(cfg, GpuConfig::less_aggressive(), TimingParams::ddr3_1600(), 8);
+}
+
+/// Table 6: the evaluated policies.
+pub fn table6(_cfg: &ExperimentConfig) {
+    header("Table 6: evaluated policies");
+    let rows: Vec<Vec<String>> = ALL_POLICIES
+        .iter()
+        .map(|e| vec![e.name.to_string(), e.description.to_string()])
+        .collect();
+    print(&["policy", "description"], &rows);
+}
+
+/// Section 4's hardware-overhead accounting.
+pub fn overhead_report(cfg: &ExperimentConfig) {
+    header("Hardware overhead (native-scale 8 MB LLC)");
+    let _ = cfg;
+    let llc = LlcConfig::mb(8);
+    let gspc = Gspc::new(&llc);
+    let o = overhead::measure(&gspc, &llc, overhead::gspc_counter_bits(&llc));
+    print(
+        &["metric", "value"],
+        &[
+            vec!["extra state bits/block".into(), format!("{}", o.extra_state_bits_per_block)],
+            vec!["extra block state".into(), format!("{} KB", o.extra_block_bits / 8192)],
+            vec!["counter bits".into(), format!("{}", o.counter_bits)],
+            vec![
+                "fraction of data array".into(),
+                format!("{:.3}%", 100.0 * o.fraction_of_data_array),
+            ],
+        ],
+    );
+}
+
+/// Ablations beyond the paper: partitioning comparison and sample-set
+/// density.
+pub fn ablations(cfg: &ExperimentConfig) {
+    header("Ablation: way partitioning vs stream-aware probabilistic caching");
+    // Section 1.1.1 of the paper argues partitioning schemes cannot exploit
+    // the inter-stream sharing of graphics data; measure it.
+    let r = run_workload(
+        &RunOptions::misses(&["WayPart", "UCP-lite", "GSPC", "DRRIP"]),
+        cfg,
+    );
+    print_normalized(&r, &["WayPart", "UCP-lite", "GSPC"], "DRRIP");
+
+    header("Ablation: inter-frame reuse (one LLC across a frame sequence)");
+    // The paper simulates each frame with a cold LLC. Consecutive frames
+    // share static textures and persistent surfaces, so a warm LLC saves
+    // misses — and a stream-aware policy should preserve more of that
+    // cross-frame reuse.
+    {
+        let llc_cfg = cfg.llc(8);
+        let mut rows = Vec::new();
+        for policy in ["DRRIP", "GSPC+UCD"] {
+            let mut cold = 0u64;
+            let mut warm = 0u64;
+            for app in AppProfile::all().iter().take(4) {
+                let mut persistent = grcache::Llc::new(
+                    llc_cfg,
+                    gspc::registry::create(policy, &llc_cfg).expect("known policy"),
+                );
+                for frame in 0..cfg.frames_for(app.frames).min(3) {
+                    let t = grsynth::generate_frame(app, frame, cfg.scale);
+                    let mut fresh = grcache::Llc::new(
+                        llc_cfg,
+                        gspc::registry::create(policy, &llc_cfg).expect("known policy"),
+                    );
+                    fresh.run_trace(&t, None);
+                    cold += fresh.stats().total_misses();
+                    let before = persistent.stats().total_misses();
+                    persistent.run_trace(&t, None);
+                    warm += persistent.stats().total_misses() - before;
+                }
+            }
+            rows.push(vec![
+                policy.to_string(),
+                format!("{cold}"),
+                format!("{warm}"),
+                pct(1.0 - warm as f64 / cold as f64),
+            ]);
+        }
+        print(&["policy", "cold-LLC misses", "warm-LLC misses", "saved"], &rows);
+    }
+
+    header("Ablation: GSPC sample-set density (sets per 1024)");
+    let base_llc = cfg.llc(8);
+    let mut rows = Vec::new();
+    for (label, period) in [("8/1024", 128usize), ("16/1024", 64), ("32/1024", 32)] {
+        let llc = LlcConfig { sample_period: period, ..base_llc };
+        let mut misses = 0u64;
+        let mut drrip = 0u64;
+        for app in AppProfile::all() {
+            for frame in 0..cfg.frames_for(app.frames).min(1) {
+                let t = grsynth::generate_frame(&app, frame, cfg.scale);
+                let mut llc_sim =
+                    grcache::Llc::new(llc, gspc::Gspc::new(&llc));
+                llc_sim.run_trace(&t, None);
+                misses += llc_sim.stats().total_misses();
+                let mut base =
+                    grcache::Llc::new(llc, gspc::Drrip::new(2));
+                base.run_trace(&t, None);
+                drrip += base.stats().total_misses();
+            }
+        }
+        rows.push(vec![label.to_string(), ratio(misses as f64 / drrip as f64)]);
+    }
+    print(&["sample density", "GSPC misses vs DRRIP"], &rows);
+}
+
+/// Runs every experiment in paper order.
+pub fn all(cfg: &ExperimentConfig) {
+    table1(cfg);
+    fig01(cfg);
+    fig04(cfg);
+    characterization(cfg);
+    fig11(cfg);
+    fig12_fig13(cfg);
+    fig14(cfg);
+    fig15(cfg);
+    fig16(cfg);
+    fig17(cfg);
+    table6(cfg);
+    overhead_report(cfg);
+    ablations(cfg);
+}

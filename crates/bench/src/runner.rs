@@ -1,0 +1,244 @@
+//! The shared experiment runner: synthesize each frame once, replay it
+//! through every requested policy, aggregate per application.
+
+use std::collections::BTreeMap;
+
+use grcache::{annotate_next_use, CharReport, Llc, LlcStats};
+use grdram::TimingParams;
+use grgpu::{GpuConfig, Workload};
+use grsynth::{AppProfile, FrameRenderer};
+use gspc::registry;
+
+use crate::ExperimentConfig;
+
+/// What to run and what to collect.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Registry names of the policies to evaluate (see
+    /// [`gspc::registry::ALL_POLICIES`]).
+    pub policies: Vec<String>,
+    /// Collect the characterization report (epochs, inter-stream reuse).
+    pub characterize: bool,
+    /// Run the GPU timing model with this machine and memory system.
+    pub timing: Option<(GpuConfig, TimingParams)>,
+    /// LLC capacity at native scale, in megabytes (8 or 16 in the paper).
+    pub llc_paper_mb: u64,
+}
+
+impl RunOptions {
+    /// Convenience constructor for a misses-only run on the 8 MB LLC.
+    pub fn misses(policies: &[&str]) -> Self {
+        RunOptions {
+            policies: policies.iter().map(|s| s.to_string()).collect(),
+            characterize: false,
+            timing: None,
+            llc_paper_mb: 8,
+        }
+    }
+}
+
+/// Per-(policy, application) aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct AppAgg {
+    /// Summed LLC statistics over the application's frames.
+    pub stats: LlcStats,
+    /// Summed characterization report (when requested).
+    pub chars: CharReport,
+    /// Sum of per-frame times in nanoseconds (when timing was requested).
+    pub frame_ns_total: f64,
+    /// Frames aggregated.
+    pub frames: u32,
+}
+
+impl AppAgg {
+    /// Average frames per second across the aggregated frames.
+    pub fn fps(&self) -> f64 {
+        if self.frame_ns_total == 0.0 {
+            0.0
+        } else {
+            f64::from(self.frames) * 1e9 / self.frame_ns_total
+        }
+    }
+}
+
+/// Results of a workload run, indexed by policy then application.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadResults {
+    /// Application abbreviations, in Table 1 order.
+    pub apps: Vec<String>,
+    /// Policy names, in the order requested.
+    pub policies: Vec<String>,
+    /// `(policy, app)` aggregates.
+    pub data: BTreeMap<(String, String), AppAgg>,
+}
+
+impl WorkloadResults {
+    /// The aggregate for `(policy, app)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the run.
+    pub fn get(&self, policy: &str, app: &str) -> &AppAgg {
+        self.data
+            .get(&(policy.to_string(), app.to_string()))
+            .unwrap_or_else(|| panic!("no results for ({policy}, {app})"))
+    }
+
+    /// Total LLC misses of `policy` on `app`.
+    pub fn misses(&self, policy: &str, app: &str) -> u64 {
+        self.get(policy, app).stats.total_misses()
+    }
+
+    /// Misses of `policy` on `app`, normalized to `baseline`.
+    pub fn normalized_misses(&self, policy: &str, app: &str, baseline: &str) -> f64 {
+        self.misses(policy, app) as f64 / self.misses(baseline, app).max(1) as f64
+    }
+
+    /// Workload-wide miss ratio of `policy` relative to `baseline`
+    /// (total misses over all apps).
+    pub fn overall_normalized_misses(&self, policy: &str, baseline: &str) -> f64 {
+        let total = |p: &str| -> u64 { self.apps.iter().map(|a| self.misses(p, a)).sum() };
+        total(policy) as f64 / total(baseline).max(1) as f64
+    }
+
+    /// Average FPS of `policy` on `app` (timing runs only).
+    pub fn fps(&self, policy: &str, app: &str) -> f64 {
+        self.get(policy, app).fps()
+    }
+
+    /// Workload-average FPS of `policy` (harmonic aggregation via total
+    /// frame time, as the paper's "averaged over all frames").
+    pub fn overall_fps(&self, policy: &str) -> f64 {
+        let (mut ns, mut frames) = (0.0, 0u32);
+        for a in &self.apps {
+            let agg = self.get(policy, a);
+            ns += agg.frame_ns_total;
+            frames += agg.frames;
+        }
+        if ns == 0.0 {
+            0.0
+        } else {
+            f64::from(frames) * 1e9 / ns
+        }
+    }
+}
+
+/// Runs the 52-frame workload (or the `GR_FRAMES`-limited subset) through
+/// every requested policy.
+///
+/// Frames are synthesized once and replayed per policy; next-use
+/// annotations are computed only when Belady's OPT is among the policies.
+pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResults {
+    let llc_cfg = cfg.llc(opts.llc_paper_mb);
+    let needs_opt = opts.policies.iter().any(|p| registry::needs_next_use(p));
+    let mut results = WorkloadResults {
+        apps: Vec::new(),
+        policies: opts.policies.clone(),
+        data: BTreeMap::new(),
+    };
+    for app in AppProfile::all() {
+        results.apps.push(app.abbrev.to_string());
+        for frame in 0..cfg.frames_for(app.frames) {
+            let (trace, work) =
+                FrameRenderer::new(&app, frame, cfg.scale).render_with_work();
+            let annotations = needs_opt.then(|| annotate_next_use(trace.accesses()));
+            for policy_name in &opts.policies {
+                let policy = registry::create(policy_name, &llc_cfg)
+                    .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+                let mut llc = Llc::new(llc_cfg, policy);
+                if opts.characterize {
+                    llc = llc.with_characterization();
+                }
+                if opts.timing.is_some() {
+                    llc = llc.with_memory_log();
+                }
+                let ann = if registry::needs_next_use(policy_name) {
+                    annotations.as_deref()
+                } else {
+                    None
+                };
+                llc.run_trace(&trace, ann);
+
+                let agg = results
+                    .data
+                    .entry((policy_name.clone(), app.abbrev.to_string()))
+                    .or_default();
+                agg.frames += 1;
+                if let Some(chars) = llc.characterization() {
+                    agg.chars.merge(chars);
+                }
+                if let Some((gpu, dram)) = &opts.timing {
+                    let workload = Workload {
+                        shaded_pixels: work.shaded_pixels,
+                        texel_samples: work.texel_samples,
+                        vertices: work.vertices,
+                        llc_accesses: trace.len() as u64,
+                    };
+                    let log = llc.memory_log().unwrap_or(&[]).to_vec();
+                    let timing = grgpu::time_frame(gpu, *dram, &workload, &log);
+                    agg.frame_ns_total += timing.frame_ns;
+                }
+                agg.stats.merge(llc.stats());
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grsynth::Scale;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(1) }
+    }
+
+    #[test]
+    fn runs_all_apps_one_frame() {
+        let opts = RunOptions::misses(&["DRRIP", "NRU"]);
+        let r = run_workload(&opts, &tiny_cfg());
+        assert_eq!(r.apps.len(), 12);
+        for app in &r.apps {
+            assert!(r.misses("DRRIP", app) > 0);
+            assert!(r.misses("NRU", app) > 0);
+        }
+    }
+
+    #[test]
+    fn opt_never_loses_to_drrip() {
+        let opts = RunOptions::misses(&["OPT", "DRRIP"]);
+        let r = run_workload(&opts, &tiny_cfg());
+        for app in &r.apps {
+            assert!(
+                r.misses("OPT", app) <= r.misses("DRRIP", app),
+                "OPT worse than DRRIP on {app}"
+            );
+        }
+    }
+
+    #[test]
+    fn timing_runs_produce_fps() {
+        let opts = RunOptions {
+            policies: vec!["DRRIP".into()],
+            characterize: false,
+            timing: Some((GpuConfig::baseline(), TimingParams::ddr3_1600())),
+            llc_paper_mb: 8,
+        };
+        let r = run_workload(&opts, &tiny_cfg());
+        assert!(r.overall_fps("DRRIP") > 0.0);
+    }
+
+    #[test]
+    fn characterization_collects_reports() {
+        let opts = RunOptions {
+            policies: vec!["DRRIP".into()],
+            characterize: true,
+            timing: None,
+            llc_paper_mb: 8,
+        };
+        let r = run_workload(&opts, &tiny_cfg());
+        let agg = r.get("DRRIP", "BioShock");
+        assert!(agg.chars.rt_produced > 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! A plain write-back, write-allocate, true-LRU set-associative cache.
+//!
+//! This is the building block for the small per-stream render caches. It is
+//! deliberately simple: the interesting replacement behaviour in this
+//! reproduction lives in the LLC ([`crate::llc`]), not here.
+
+use crate::CacheConfig;
+
+/// Outcome of a [`LruCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block was present.
+    Hit,
+    /// The block was absent and has been filled. If filling displaced a
+    /// dirty block, `writeback` carries its block address.
+    Miss {
+        /// Block address of a displaced dirty block, if any.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Lower is more recently used.
+    age: u8,
+}
+
+/// Write-back, write-allocate, true-LRU set-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use grcache::{CacheConfig, Lookup, LruCache};
+///
+/// let mut c = LruCache::new(CacheConfig::kb(1, 16));
+/// assert_eq!(c.access(7, true), Lookup::Miss { writeback: None });
+/// assert_eq!(c.access(7, false), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    cfg: CacheConfig,
+    set_mask: u64,
+    lines: Vec<Line>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        LruCache {
+            cfg,
+            set_mask: sets as u64 - 1,
+            lines: vec![Line::default(); sets * cfg.ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `block`; on a miss the block is filled (write-allocate).
+    /// Stores mark the block dirty; displacing a dirty block reports a
+    /// writeback.
+    pub fn access(&mut self, block: u64, write: bool) -> Lookup {
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let ways = self.cfg.ways;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        // Probe.
+        if let Some(hit_way) = set_lines.iter().position(|l| l.valid && l.tag == tag) {
+            let old_age = set_lines[hit_way].age;
+            for l in set_lines.iter_mut() {
+                if l.valid && l.age < old_age {
+                    l.age += 1;
+                }
+            }
+            set_lines[hit_way].age = 0;
+            set_lines[hit_way].dirty |= write;
+            self.hits += 1;
+            return Lookup::Hit;
+        }
+
+        // Miss: pick an invalid way, else the LRU (max age) way.
+        self.misses += 1;
+        let victim = set_lines
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set_lines
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, l)| l.age)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set")
+            });
+        let writeback = if set_lines[victim].valid && set_lines[victim].dirty {
+            let victim_tag = set_lines[victim].tag;
+            Some((victim_tag << self.set_mask.count_ones()) | set as u64)
+        } else {
+            None
+        };
+        for l in set_lines.iter_mut() {
+            if l.valid {
+                l.age = l.age.saturating_add(1);
+            }
+        }
+        set_lines[victim] = Line { valid: true, dirty: write, tag, age: 0 };
+        Lookup::Miss { writeback }
+    }
+
+    /// Drains every dirty block, returning their block addresses. Used at
+    /// end-of-frame to flush pending writebacks into the LLC trace.
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let set_bits = self.set_mask.count_ones();
+        let ways = self.cfg.ways;
+        let mut out = Vec::new();
+        for set in 0..self.cfg.sets() {
+            for l in &mut self.lines[set * ways..(set + 1) * ways] {
+                if l.valid && l.dirty {
+                    out.push((l.tag << set_bits) | set as u64);
+                    l.dirty = false;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LruCache {
+        // 2 sets x 2 ways.
+        LruCache::new(CacheConfig { size_bytes: 4 * 64, ways: 2 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0, false), Lookup::Miss { .. }));
+        assert_eq!(c.access(0, false), Lookup::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (even block addresses).
+        c.access(0, false);
+        c.access(2, false);
+        c.access(0, false); // 0 is now MRU; 2 is LRU
+        c.access(4, false); // evicts 2
+        assert_eq!(c.access(0, false), Lookup::Hit);
+        assert!(matches!(c.access(2, false), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(2, false);
+        // Filling block 4 evicts block 0, which is dirty.
+        match c.access(4, false) {
+            Lookup::Miss { writeback: Some(addr) } => assert_eq!(addr, 0),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_reports_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(2, false);
+        assert_eq!(c.access(4, false), Lookup::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // hit, makes dirty
+        c.access(2, false);
+        match c.access(4, false) {
+            Lookup::Miss { writeback: Some(0) } => {}
+            other => panic!("expected writeback of block 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_dirty_returns_and_clears() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(1, true);
+        c.access(2, false);
+        let mut dirty = c.flush_dirty();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0, 1]);
+        assert!(c.flush_dirty().is_empty());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0, false); // set 0
+        c.access(1, false); // set 1
+        assert_eq!(c.access(0, false), Lookup::Hit);
+        assert_eq!(c.access(1, false), Lookup::Hit);
+    }
+}

@@ -1,0 +1,377 @@
+//! Characterization instrumentation for inter-/intra-stream reuse analysis.
+//!
+//! This module implements the bookkeeping of Section 2.3 of the paper,
+//! independently of the replacement policy in force:
+//!
+//! * every render-target block carries a conceptual *RT bit*; a texture
+//!   sampler hit to such a block is an **inter-stream** reuse (dynamic
+//!   texturing) and *consumes* the render target,
+//! * texture and Z blocks move through **epochs** `E0, E1, E2, E≥3`
+//!   demarcated by the LLC hits they enjoy; the *death ratio* of `Ek` is the
+//!   fraction of blocks that entered `Ek` but never reached `Ek+1`.
+//!
+//! The resulting [`CharReport`] backs Figures 6, 7, and 9.
+
+use serde::{Deserialize, Serialize};
+
+use grtrace::PolicyClass;
+
+use crate::LlcConfig;
+
+/// Stream-kind a resident block is currently attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Kind {
+    #[default]
+    None,
+    /// A render target whose RT bit is set (potential dynamic texture).
+    Rt,
+    /// A texture block (static, or a consumed render target).
+    Tex,
+    /// A depth-buffer block.
+    Z,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CharBlock {
+    kind: Kind,
+    /// Epoch index, saturating at 3 (`E≥3`).
+    epoch: u8,
+}
+
+/// Aggregated characterization counts for one LLC run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CharReport {
+    /// Texture sampler hits that consumed a render-target block.
+    pub tex_inter_hits: u64,
+    /// Texture sampler hits to blocks already attributed to the texture
+    /// stream.
+    pub tex_intra_hits: u64,
+    /// Intra-stream texture hits enjoyed by blocks in epoch `Ek`
+    /// (`k = 0..=3`, with index 3 collecting `E≥3`).
+    pub tex_hits_from_epoch: [u64; 4],
+    /// Number of texture blocks that entered epoch `Ek`.
+    pub tex_epoch_entries: [u64; 4],
+    /// Z hits enjoyed by blocks in epoch `Ek`.
+    pub z_hits_from_epoch: [u64; 4],
+    /// Number of Z blocks that entered epoch `Ek`.
+    pub z_epoch_entries: [u64; 4],
+    /// Render-target blocks produced (RT bit set by a fill or an RT access).
+    pub rt_produced: u64,
+    /// Render-target blocks consumed by the texture sampler from the LLC.
+    pub rt_consumed: u64,
+    /// Render-target blocks evicted with the RT bit still set.
+    pub rt_evicted_unconsumed: u64,
+}
+
+impl CharReport {
+    /// Death ratio of texture epoch `k` (`k = 0..=2`): the fraction of
+    /// blocks entering `Ek` that never reached `Ek+1`. Returns 0 when no
+    /// block entered `Ek`.
+    pub fn tex_death_ratio(&self, k: usize) -> f64 {
+        death_ratio(&self.tex_epoch_entries, k)
+    }
+
+    /// Death ratio of Z epoch `k` (`k = 0..=2`).
+    pub fn z_death_ratio(&self, k: usize) -> f64 {
+        death_ratio(&self.z_epoch_entries, k)
+    }
+
+    /// Fraction of all texture sampler hits that were inter-stream reuses.
+    pub fn tex_inter_fraction(&self) -> f64 {
+        let total = self.tex_inter_hits + self.tex_intra_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.tex_inter_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of produced render-target blocks consumed by the texture
+    /// sampler through the LLC (lower panel of Figure 6).
+    pub fn rt_consumption_rate(&self) -> f64 {
+        if self.rt_produced == 0 {
+            0.0
+        } else {
+            self.rt_consumed as f64 / self.rt_produced as f64
+        }
+    }
+
+    /// Distribution of intra-stream texture hits across epochs (upper panel
+    /// of Figure 7); sums to 1 when any intra-stream hit occurred.
+    pub fn tex_epoch_hit_distribution(&self) -> [f64; 4] {
+        distribution(&self.tex_hits_from_epoch)
+    }
+
+    /// Merges another run's counts into this one.
+    pub fn merge(&mut self, other: &CharReport) {
+        self.tex_inter_hits += other.tex_inter_hits;
+        self.tex_intra_hits += other.tex_intra_hits;
+        self.rt_produced += other.rt_produced;
+        self.rt_consumed += other.rt_consumed;
+        self.rt_evicted_unconsumed += other.rt_evicted_unconsumed;
+        for i in 0..4 {
+            self.tex_hits_from_epoch[i] += other.tex_hits_from_epoch[i];
+            self.tex_epoch_entries[i] += other.tex_epoch_entries[i];
+            self.z_hits_from_epoch[i] += other.z_hits_from_epoch[i];
+            self.z_epoch_entries[i] += other.z_epoch_entries[i];
+        }
+    }
+}
+
+fn death_ratio(entries: &[u64; 4], k: usize) -> f64 {
+    assert!(k <= 2, "death ratio tracked for E0..E2 only");
+    if entries[k] == 0 {
+        0.0
+    } else {
+        (entries[k] - entries[k + 1]) as f64 / entries[k] as f64
+    }
+}
+
+fn distribution(counts: &[u64; 4]) -> [f64; 4] {
+    let total: u64 = counts.iter().sum();
+    let mut out = [0.0; 4];
+    if total > 0 {
+        for i in 0..4 {
+            out[i] = counts[i] as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Per-block characterization state for a whole LLC.
+#[derive(Debug, Clone)]
+pub struct CharTracker {
+    ways: usize,
+    sets_per_bank: usize,
+    blocks: Vec<CharBlock>,
+    report: CharReport,
+}
+
+impl CharTracker {
+    /// Creates a tracker sized for `cfg`.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        CharTracker {
+            ways: cfg.ways,
+            sets_per_bank: cfg.sets_per_bank(),
+            blocks: vec![CharBlock::default(); cfg.total_blocks()],
+            report: CharReport::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, bank: usize, set: usize, way: usize) -> usize {
+        (bank * self.sets_per_bank + set) * self.ways + way
+    }
+
+    /// Records a fill of `class` into `(bank, set, way)`.
+    pub fn on_fill(&mut self, class: PolicyClass, bank: usize, set: usize, way: usize) {
+        let i = self.index(bank, set, way);
+        self.blocks[i] = match class {
+            PolicyClass::Rt => {
+                self.report.rt_produced += 1;
+                CharBlock { kind: Kind::Rt, epoch: 0 }
+            }
+            PolicyClass::Tex => {
+                self.report.tex_epoch_entries[0] += 1;
+                CharBlock { kind: Kind::Tex, epoch: 0 }
+            }
+            PolicyClass::Z => {
+                self.report.z_epoch_entries[0] += 1;
+                CharBlock { kind: Kind::Z, epoch: 0 }
+            }
+            PolicyClass::Other => CharBlock::default(),
+        };
+    }
+
+    /// Records a hit of `class` on `(bank, set, way)`. `write` marks store
+    /// hits (including render-cache writebacks), which update a block
+    /// without *reusing* it — epochs advance on read hits only, matching
+    /// the paper's definition of a reuse.
+    pub fn on_hit(
+        &mut self,
+        class: PolicyClass,
+        write: bool,
+        bank: usize,
+        set: usize,
+        way: usize,
+    ) {
+        let i = self.index(bank, set, way);
+        let b = &mut self.blocks[i];
+        match class {
+            PolicyClass::Tex => match b.kind {
+                Kind::Rt => {
+                    // Inter-stream reuse: render target consumed as texture.
+                    self.report.tex_inter_hits += 1;
+                    self.report.rt_consumed += 1;
+                    self.report.tex_epoch_entries[0] += 1;
+                    *b = CharBlock { kind: Kind::Tex, epoch: 0 };
+                }
+                Kind::Tex => {
+                    self.report.tex_intra_hits += 1;
+                    self.report.tex_hits_from_epoch[b.epoch as usize] += 1;
+                    if !write && b.epoch < 3 {
+                        b.epoch += 1;
+                        self.report.tex_epoch_entries[b.epoch as usize] += 1;
+                    }
+                }
+                Kind::Z | Kind::None => {
+                    // A non-texture surface re-read through the samplers;
+                    // treat the block as entering the texture stream.
+                    self.report.tex_epoch_entries[0] += 1;
+                    *b = CharBlock { kind: Kind::Tex, epoch: 0 };
+                }
+            },
+            PolicyClass::Rt => {
+                // Render-target access: (re)sets the RT bit. A fresh
+                // transition counts as a new production.
+                if b.kind != Kind::Rt {
+                    self.report.rt_produced += 1;
+                }
+                *b = CharBlock { kind: Kind::Rt, epoch: 0 };
+            }
+            PolicyClass::Z => match b.kind {
+                Kind::Z => {
+                    if !write {
+                        self.report.z_hits_from_epoch[b.epoch as usize] += 1;
+                        if b.epoch < 3 {
+                            b.epoch += 1;
+                            self.report.z_epoch_entries[b.epoch as usize] += 1;
+                        }
+                    }
+                }
+                _ => {
+                    self.report.z_epoch_entries[0] += 1;
+                    *b = CharBlock { kind: Kind::Z, epoch: 0 };
+                }
+            },
+            PolicyClass::Other => {}
+        }
+    }
+
+    /// Records the eviction of `(bank, set, way)`.
+    pub fn on_evict(&mut self, bank: usize, set: usize, way: usize) {
+        let i = self.index(bank, set, way);
+        if self.blocks[i].kind == Kind::Rt {
+            self.report.rt_evicted_unconsumed += 1;
+        }
+        self.blocks[i] = CharBlock::default();
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &CharReport {
+        &self.report
+    }
+
+    /// Consumes the tracker, returning the report.
+    pub fn into_report(self) -> CharReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> CharTracker {
+        CharTracker::new(&LlcConfig::mb(8))
+    }
+
+    #[test]
+    fn rt_to_tex_hit_is_inter_stream() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Rt, 0, 0, 0);
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0);
+        assert_eq!(t.report().tex_inter_hits, 1);
+        assert_eq!(t.report().rt_consumed, 1);
+        assert_eq!(t.report().rt_produced, 1);
+        assert!((t.report().rt_consumption_rate() - 1.0).abs() < 1e-12);
+        // The consumed block re-enters the texture stream at E0.
+        assert_eq!(t.report().tex_epoch_entries[0], 1);
+    }
+
+    #[test]
+    fn tex_epochs_advance_on_hits() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Tex, 0, 0, 0);
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0); // E0 -> E1
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0); // E1 -> E2
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0); // E2 -> E3
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0); // stays E>=3
+        let r = t.report();
+        assert_eq!(r.tex_hits_from_epoch, [1, 1, 1, 1]);
+        assert_eq!(r.tex_epoch_entries, [1, 1, 1, 1]);
+        assert_eq!(r.tex_intra_hits, 4);
+    }
+
+    #[test]
+    fn death_ratio_counts_unadvanced_blocks() {
+        let mut t = tracker();
+        // Two blocks enter E0; one advances to E1.
+        t.on_fill(PolicyClass::Tex, 0, 0, 0);
+        t.on_fill(PolicyClass::Tex, 0, 0, 1);
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0);
+        t.on_evict(0, 0, 1);
+        assert!((t.report().tex_death_ratio(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rt_eviction_with_bit_counts_unconsumed() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Rt, 0, 0, 0);
+        t.on_evict(0, 0, 0);
+        assert_eq!(t.report().rt_evicted_unconsumed, 1);
+        assert_eq!(t.report().rt_consumed, 0);
+    }
+
+    #[test]
+    fn rt_rebind_counts_new_production() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Rt, 0, 0, 0);
+        t.on_hit(PolicyClass::Tex, false, 0, 0, 0); // consumed -> Tex
+        t.on_hit(PolicyClass::Rt, false, 0, 0, 0); // DirectX reuses the RT object
+        assert_eq!(t.report().rt_produced, 2);
+    }
+
+    #[test]
+    fn blending_hit_keeps_single_production() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Rt, 0, 0, 0);
+        t.on_hit(PolicyClass::Rt, false, 0, 0, 0);
+        t.on_hit(PolicyClass::Rt, false, 0, 0, 0);
+        assert_eq!(t.report().rt_produced, 1);
+    }
+
+    #[test]
+    fn z_epochs_tracked_separately() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Z, 0, 0, 0);
+        t.on_hit(PolicyClass::Z, false, 0, 0, 0);
+        assert_eq!(t.report().z_hits_from_epoch[0], 1);
+        assert_eq!(t.report().z_epoch_entries[1], 1);
+        assert_eq!(t.report().tex_epoch_entries[0], 0);
+    }
+
+    #[test]
+    fn epoch_hit_distribution_sums_to_one() {
+        let mut t = tracker();
+        t.on_fill(PolicyClass::Tex, 0, 0, 0);
+        for _ in 0..5 {
+            t.on_hit(PolicyClass::Tex, false, 0, 0, 0);
+        }
+        let d = t.report().tex_epoch_hit_distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = tracker();
+        a.on_fill(PolicyClass::Rt, 0, 0, 0);
+        let mut report = a.report().clone();
+        let mut b = tracker();
+        b.on_fill(PolicyClass::Rt, 0, 0, 0);
+        b.on_hit(PolicyClass::Tex, false, 0, 0, 0);
+        report.merge(b.report());
+        assert_eq!(report.rt_produced, 2);
+        assert_eq!(report.rt_consumed, 1);
+    }
+}

@@ -1,0 +1,231 @@
+use serde::{Deserialize, Serialize};
+
+use grtrace::BLOCK_BYTES;
+
+/// Geometry of a simple set-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use grcache::CacheConfig;
+///
+/// let cfg = CacheConfig::kb(32, 32); // the paper's Z cache: 32 KB, 32-way
+/// assert_eq!(cfg.sets(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration from a capacity in kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is zero or not a power of two.
+    pub fn kb(kilobytes: u64, ways: usize) -> Self {
+        let cfg = CacheConfig { size_bytes: kilobytes * 1024, ways };
+        assert!(cfg.sets() > 0, "cache must have at least one set");
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        cfg
+    }
+
+    /// Number of sets implied by the capacity, associativity, and 64 B blocks.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (BLOCK_BYTES * self.ways as u64)) as usize
+    }
+
+    /// Number of blocks the cache holds.
+    pub fn blocks(&self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+/// Geometry of the banked last-level cache.
+///
+/// The paper's baseline is an 8 MB 16-way non-inclusive/non-exclusive LLC
+/// with 64 B blocks, organized as four 2 MB banks; all GSPC bookkeeping
+/// counters are per-bank. Sixteen sets in every 1024 are dedicated *sample
+/// sets* that always run SRRIP and feed the reuse-probability counters
+/// (Section 3). Samples are identified by a simple Boolean function on the
+/// index bits: here, the low [`LlcConfig::sample_period`] bits being zero
+/// (one sample per 64 sets = 16 per 1024).
+///
+/// # Example
+///
+/// ```
+/// use grcache::LlcConfig;
+///
+/// let llc = LlcConfig::mb(8);
+/// assert_eq!(llc.sets_per_bank(), 2048);
+/// assert_eq!(llc.total_sets(), 8192);
+/// assert!(llc.is_sample_set(0));
+/// assert!(!llc.is_sample_set(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Number of banks (power of two).
+    pub banks: usize,
+    /// A set whose index is a multiple of this period is a sample set.
+    pub sample_period: usize,
+}
+
+impl LlcConfig {
+    /// The paper's LLC geometry for a capacity in megabytes: 16-way, four
+    /// banks, 16 sample sets per 1024 sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly into power-of-two sets.
+    pub fn mb(megabytes: u64) -> Self {
+        let cfg = LlcConfig {
+            size_bytes: megabytes * 1024 * 1024,
+            ways: 16,
+            banks: 4,
+            sample_period: 64,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(self.sets_per_bank() > 0, "LLC must have at least one set per bank");
+        assert!(
+            self.sets_per_bank().is_power_of_two(),
+            "sets per bank must be a power of two"
+        );
+        assert!(self.sample_period.is_power_of_two(), "sample period must be a power of two");
+    }
+
+    /// Number of sets in each bank.
+    pub fn sets_per_bank(&self) -> usize {
+        (self.size_bytes / (BLOCK_BYTES * (self.ways * self.banks) as u64)) as usize
+    }
+
+    /// Number of sets across all banks.
+    pub fn total_sets(&self) -> usize {
+        self.sets_per_bank() * self.banks
+    }
+
+    /// Number of blocks the LLC holds.
+    pub fn total_blocks(&self) -> usize {
+        self.total_sets() * self.ways
+    }
+
+    /// `true` if `set_in_bank` is one of the SRRIP-managed sample sets.
+    #[inline]
+    pub fn is_sample_set(&self, set_in_bank: usize) -> bool {
+        set_in_bank & (self.sample_period - 1) == 0
+    }
+
+    /// Decomposes a block address into `(bank, set_in_bank, tag)`.
+    ///
+    /// The set index XOR-folds the tag bits into the low index bits
+    /// (XOR-based index hashing, as commercial LLCs use) so that the
+    /// page-aligned, strided layouts of graphics surfaces do not alias a
+    /// few hot set residues — which would starve the set-sampling
+    /// machinery (dueling leaders, GSPC sample sets) of representative
+    /// traffic. The mapping stays invertible: `(bank, set, tag)` uniquely
+    /// identifies the block.
+    #[inline]
+    pub fn map(&self, block: u64) -> (usize, usize, u64) {
+        let bank_bits = self.banks.trailing_zeros();
+        let set_bits = self.sets_per_bank().trailing_zeros();
+        let bank = (block & (self.banks as u64 - 1)) as usize;
+        let tag = block >> (bank_bits + set_bits);
+        let mask = self.sets_per_bank() as u64 - 1;
+        let mut set = (block >> bank_bits) & mask;
+        let mut fold = tag;
+        while fold != 0 {
+            set ^= fold & mask;
+            fold >>= set_bits;
+        }
+        (bank, set as usize, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_render_cache_geometries() {
+        assert_eq!(CacheConfig::kb(1, 16).sets(), 1); // vertex index
+        assert_eq!(CacheConfig::kb(16, 128).sets(), 2); // vertex
+        assert_eq!(CacheConfig::kb(12, 24).sets(), 8); // HiZ
+        assert_eq!(CacheConfig::kb(16, 16).sets(), 16); // stencil
+        assert_eq!(CacheConfig::kb(24, 24).sets(), 16); // render target
+        assert_eq!(CacheConfig::kb(32, 32).sets(), 16); // Z
+        assert_eq!(CacheConfig::kb(384, 48).sets(), 128); // texture L3
+    }
+
+    #[test]
+    fn llc_8mb_geometry() {
+        let llc = LlcConfig::mb(8);
+        assert_eq!(llc.total_blocks() as u64 * 64, 8 * 1024 * 1024);
+        assert_eq!(llc.sets_per_bank(), 2048);
+    }
+
+    #[test]
+    fn llc_16mb_geometry() {
+        let llc = LlcConfig::mb(16);
+        assert_eq!(llc.sets_per_bank(), 4096);
+        assert_eq!(llc.total_sets(), 16384);
+    }
+
+    #[test]
+    fn sample_sets_are_16_per_1024() {
+        let llc = LlcConfig::mb(8);
+        let samples = (0..1024).filter(|&s| llc.is_sample_set(s)).count();
+        assert_eq!(samples, 16);
+    }
+
+    #[test]
+    fn map_roundtrip_is_unique() {
+        let llc = LlcConfig::mb(8);
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for block in 0..100_000u64 {
+            let key = llc.map(block);
+            assert!(seen.insert(key), "collision for block {block}");
+        }
+    }
+
+    #[test]
+    fn conflicting_blocks_have_distinct_tags() {
+        let llc = LlcConfig::mb(8);
+        let (b0, s0, t0) = llc.map(0);
+        // Find another block hashing to the same (bank, set).
+        let other = (1..1_000_000u64)
+            .find(|&b| {
+                let (bank, set, _) = llc.map(b);
+                (bank, set) == (b0, s0)
+            })
+            .expect("a conflicting block exists");
+        let (_, _, t1) = llc.map(other);
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn set_hash_spreads_aligned_strides() {
+        // Page-aligned strided traffic (the pattern graphics surfaces
+        // produce) must not concentrate on a few set residues.
+        let llc = LlcConfig::mb(8);
+        let mut counts = vec![0u32; 64];
+        for i in 0..(64 * 256u64) {
+            let (_, set, _) = llc.map(i * 256); // 16 KB stride
+            counts[set % 64] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 3 * min.max(1), "residue imbalance: min={min} max={max}");
+    }
+}

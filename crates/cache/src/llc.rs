@@ -1,0 +1,377 @@
+//! The banked, non-inclusive/non-exclusive LLC simulator.
+//!
+//! This is the offline LLC model of the paper: it digests the LLC load/store
+//! access trace produced by the render-cache hierarchy and executes a
+//! pluggable replacement [`Policy`]. A miss always fills the requested block
+//! (unless the policy bypasses the access, as with uncached displayable
+//! color); an eviction never invalidates the internal render caches.
+
+use grtrace::{Access, Trace};
+
+use crate::{AccessInfo, Block, CharTracker, LlcConfig, LlcStats, Policy};
+
+/// Outcome of one LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was resident.
+    Hit,
+    /// The block was filled; `dirty_eviction` is `true` when a dirty block
+    /// was displaced to memory.
+    Miss {
+        /// Whether the fill displaced a dirty block.
+        dirty_eviction: bool,
+    },
+    /// The access went around the LLC (straight to memory).
+    Bypass,
+}
+
+/// A banked last-level cache executing a replacement policy `P`.
+///
+/// # Example
+///
+/// ```
+/// use grcache::{Llc, LlcConfig, AccessInfo, Block, FillInfo, Policy};
+/// use grtrace::{Access, StreamId};
+///
+/// /// Evict way 0 always — a deliberately bad policy for the example.
+/// struct Way0;
+/// impl Policy for Way0 {
+///     fn name(&self) -> String { "WAY0".into() }
+///     fn state_bits_per_block(&self) -> u32 { 0 }
+///     fn on_hit(&mut self, _: &AccessInfo, _: &mut [Block], _: usize) {}
+///     fn choose_victim(&mut self, _: &AccessInfo, _: &mut [Block]) -> usize { 0 }
+///     fn on_fill(&mut self, _: &AccessInfo, _: &mut [Block], _: usize) -> FillInfo {
+///         FillInfo::default()
+///     }
+/// }
+///
+/// let mut llc = Llc::new(LlcConfig::mb(8), Way0);
+/// llc.access(&Access::load(0, StreamId::Texture));
+/// llc.access(&Access::load(0, StreamId::Texture));
+/// assert_eq!(llc.stats().total_hits(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Llc<P> {
+    cfg: LlcConfig,
+    policy: P,
+    blocks: Vec<Block>,
+    stats: LlcStats,
+    chars: Option<CharTracker>,
+    /// When enabled, every memory-bound transfer: demand-miss fills
+    /// (`write = false`) and dirty-eviction writebacks (`write = true`).
+    memory_log: Option<Vec<(u64, bool)>>,
+    seq: u64,
+}
+
+impl<P: Policy> Llc<P> {
+    /// Creates an empty LLC running `policy`.
+    pub fn new(cfg: LlcConfig, policy: P) -> Self {
+        Llc {
+            cfg,
+            policy,
+            blocks: vec![Block::default(); cfg.total_blocks()],
+            stats: LlcStats::new(),
+            chars: None,
+            memory_log: None,
+            seq: 0,
+        }
+    }
+
+    /// Enables the characterization tracker (Figures 6, 7, 9 bookkeeping).
+    pub fn with_characterization(mut self) -> Self {
+        self.chars = Some(CharTracker::new(&self.cfg));
+        self
+    }
+
+    /// Records every DRAM-bound transfer (miss fills and writebacks) so a
+    /// memory timing model can replay them.
+    pub fn with_memory_log(mut self) -> Self {
+        self.memory_log = Some(Vec::new());
+        self
+    }
+
+    /// The recorded DRAM-bound transfers, if enabled via
+    /// [`Llc::with_memory_log`]: `(block, is_write)` in issue order.
+    pub fn memory_log(&self) -> Option<&[(u64, bool)]> {
+        self.memory_log.as_deref()
+    }
+
+    /// The LLC geometry.
+    pub fn config(&self) -> LlcConfig {
+        self.cfg
+    }
+
+    /// The policy, for inspection.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    /// Characterization report, if enabled via
+    /// [`Llc::with_characterization`].
+    pub fn characterization(&self) -> Option<&crate::CharReport> {
+        self.chars.as_ref().map(|c| c.report())
+    }
+
+    /// Services one access with no next-use annotation.
+    pub fn access(&mut self, access: &Access) -> AccessResult {
+        self.access_annotated(access, u64::MAX)
+    }
+
+    /// Services one access carrying the trace position of the *next* access
+    /// to the same block (`u64::MAX` if never; only Belady's policy uses it).
+    pub fn access_annotated(&mut self, access: &Access, next_use: u64) -> AccessResult {
+        let block = access.block();
+        let (bank, set, tag) = self.cfg.map(block);
+        let info = AccessInfo {
+            seq: self.seq,
+            block,
+            bank,
+            set_in_bank: set,
+            stream: access.stream,
+            class: access.stream.policy_class(),
+            write: access.write,
+            is_sample: self.cfg.is_sample_set(set),
+            next_use,
+        };
+        self.seq += 1;
+
+        let ways = self.cfg.ways;
+        let base = (bank * self.cfg.sets_per_bank() + set) * ways;
+        let set_blocks = &mut self.blocks[base..base + ways];
+
+        // Probe for a hit.
+        if let Some(way) = set_blocks.iter().position(|b| b.valid && b.tag == tag) {
+            self.stats.record_hit(info.stream);
+            set_blocks[way].dirty |= info.write;
+            set_blocks[way].next_use = next_use;
+            if let Some(chars) = self.chars.as_mut() {
+                chars.on_hit(info.class, info.write, bank, set, way);
+            }
+            self.policy.on_hit(&info, set_blocks, way);
+            return AccessResult::Hit;
+        }
+
+        self.stats.record_miss(info.stream);
+
+        if self.policy.should_bypass(&info) {
+            if info.write {
+                self.stats.bypassed_writes += 1;
+            } else {
+                self.stats.bypassed_reads += 1;
+            }
+            if let Some(log) = self.memory_log.as_mut() {
+                log.push((block, info.write));
+            }
+            return AccessResult::Bypass;
+        }
+
+        // Pick an invalid way, else ask the policy for a victim.
+        let mut dirty_eviction = false;
+        let way = match set_blocks.iter().position(|b| !b.valid) {
+            Some(w) => w,
+            None => {
+                let victim = self.policy.choose_victim(&info, set_blocks);
+                debug_assert!(victim < ways, "victim out of range");
+                self.policy.on_evict(&info, set_blocks, victim);
+                self.stats.evictions += 1;
+                if set_blocks[victim].dirty {
+                    self.stats.writebacks += 1;
+                    dirty_eviction = true;
+                }
+                if set_blocks[victim].dirty {
+                    if let Some(log) = self.memory_log.as_mut() {
+                        // Reconstruct the victim's block address from its
+                        // tag; bank/set are those of the incoming access.
+                        log.push((block, true));
+                    }
+                }
+                if let Some(chars) = self.chars.as_mut() {
+                    chars.on_evict(bank, set, victim);
+                }
+                victim
+            }
+        };
+
+        if let Some(log) = self.memory_log.as_mut() {
+            log.push((block, false));
+        }
+        set_blocks[way] =
+            Block { valid: true, tag, dirty: info.write, meta: 0, next_use };
+        let fill = self.policy.on_fill(&info, set_blocks, way);
+        self.stats.record_fill(info.class, fill.distant);
+        if let Some(chars) = self.chars.as_mut() {
+            chars.on_fill(info.class, bank, set, way);
+        }
+        AccessResult::Miss { dirty_eviction }
+    }
+
+    /// Replays a whole trace. When `next_uses` is provided it must have one
+    /// entry per access (see [`crate::annotate_next_use`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_uses` is provided with a length different from the
+    /// trace.
+    pub fn run_trace(&mut self, trace: &Trace, next_uses: Option<&[u64]>) {
+        if let Some(nu) = next_uses {
+            assert_eq!(nu.len(), trace.len(), "annotation length mismatch");
+            for (a, &n) in trace.iter().zip(nu) {
+                self.access_annotated(a, n);
+            }
+        } else {
+            for a in trace.iter() {
+                self.access(a);
+            }
+        }
+    }
+
+    /// Consumes the LLC, returning `(stats, policy)`.
+    pub fn into_parts(self) -> (LlcStats, P) {
+        (self.stats, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FillInfo;
+    use grtrace::StreamId;
+
+    /// LRU-by-sequence policy for testing the simulator plumbing.
+    struct TestLru {
+        tick: u32,
+    }
+
+    impl Policy for TestLru {
+        fn name(&self) -> String {
+            "TEST-LRU".into()
+        }
+        fn state_bits_per_block(&self) -> u32 {
+            32
+        }
+        fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+            set[way].meta = self.tick;
+            self.tick += 1;
+        }
+        fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+            set.iter().enumerate().min_by_key(|(_, b)| b.meta).map(|(i, _)| i).unwrap()
+        }
+        fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+            set[way].meta = self.tick;
+            self.tick += 1;
+            FillInfo::rrip(2, 3)
+        }
+    }
+
+    fn small_llc() -> Llc<TestLru> {
+        // 4 banks x 2 sets x 2 ways = 16 blocks = 1 KB.
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        Llc::new(cfg, TestLru { tick: 0 })
+    }
+
+    /// Block addresses that land in bank 0, set 0 of `small_llc`.
+    fn conflicting_blocks(n: u64) -> Vec<u64> {
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        (0..10_000u64)
+            .filter(|&b| {
+                let (bank, set, _) = cfg.map(b);
+                (bank, set) == (0, 0)
+            })
+            .take(n as usize)
+            .collect()
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut llc = small_llc();
+        let a = Access::load(0, StreamId::Texture);
+        assert!(matches!(llc.access(&a), AccessResult::Miss { .. }));
+        assert_eq!(llc.access(&a), AccessResult::Hit);
+        assert_eq!(llc.stats().hits(StreamId::Texture), 1);
+        assert_eq!(llc.stats().misses(StreamId::Texture), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_uses_policy() {
+        let mut llc = small_llc();
+        for b in conflicting_blocks(3) {
+            llc.access(&Access::load(b * 64, StreamId::Z));
+        }
+        // Block 0 was LRU and must be gone; block 8 and 16 resident.
+        assert!(matches!(
+            llc.access(&Access::load(0, StreamId::Z)),
+            AccessResult::Miss { .. }
+        ));
+        assert_eq!(llc.stats().evictions, 2); // block 0 evicted, then block 8
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut llc = small_llc();
+        let blocks = conflicting_blocks(3);
+        llc.access(&Access::store(blocks[0] * 64, StreamId::RenderTarget));
+        llc.access(&Access::load(blocks[1] * 64, StreamId::RenderTarget));
+        match llc.access(&Access::load(blocks[2] * 64, StreamId::RenderTarget)) {
+            AccessResult::Miss { dirty_eviction } => assert!(dirty_eviction),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(llc.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut llc = small_llc();
+        let blocks = conflicting_blocks(3);
+        llc.access(&Access::load(blocks[0] * 64, StreamId::Z));
+        llc.access(&Access::store(blocks[0] * 64, StreamId::Z)); // hit, dirties
+        llc.access(&Access::load(blocks[1] * 64, StreamId::Z));
+        llc.access(&Access::load(blocks[2] * 64, StreamId::Z)); // evicts block 0
+        assert_eq!(llc.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn characterization_hooks_fire() {
+        let mut llc = small_llc().with_characterization();
+        llc.access(&Access::store(0, StreamId::RenderTarget));
+        llc.access(&Access::load(0, StreamId::Texture));
+        let report = llc.characterization().unwrap();
+        assert_eq!(report.rt_produced, 1);
+        assert_eq!(report.rt_consumed, 1);
+    }
+
+    #[test]
+    fn run_trace_matches_manual_replay() {
+        let mut t = Trace::new("t", 0);
+        for i in 0..100u64 {
+            t.push(Access::load((i % 7) * 64, StreamId::Texture));
+        }
+        let mut a = small_llc();
+        a.run_trace(&t, None);
+        let mut b = small_llc();
+        for acc in t.iter() {
+            b.access(acc);
+        }
+        assert_eq!(a.stats().total_hits(), b.stats().total_hits());
+        assert_eq!(a.stats().total_misses(), b.stats().total_misses());
+    }
+
+    #[test]
+    #[should_panic(expected = "annotation length mismatch")]
+    fn run_trace_rejects_bad_annotations() {
+        let mut t = Trace::new("t", 0);
+        t.push(Access::load(0, StreamId::Z));
+        small_llc().run_trace(&t, Some(&[]));
+    }
+
+    #[test]
+    fn sample_set_flag_follows_config() {
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        assert!(cfg.is_sample_set(0));
+        assert!(!cfg.is_sample_set(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline next-use annotation enabling Belady's optimal policy.
+
+use std::collections::HashMap;
+
+use grtrace::Access;
+
+/// For each access, computes the trace position of the *next* access to the
+/// same cache block, or `u64::MAX` if the block is never touched again.
+///
+/// Belady's optimal replacement victimizes the resident block whose next use
+/// lies farthest in the future; feeding these annotations to the LLC via
+/// [`crate::Llc::run_trace`] lets the `Belady` policy in the `gspc` crate
+/// make that decision online.
+///
+/// # Example
+///
+/// ```
+/// use grcache::annotate_next_use;
+/// use grtrace::{Access, StreamId};
+///
+/// let trace = vec![
+///     Access::load(0, StreamId::Z),   // next use at index 2
+///     Access::load(64, StreamId::Z),  // never again
+///     Access::load(0, StreamId::Z),   // never again
+/// ];
+/// assert_eq!(annotate_next_use(&trace), vec![2, u64::MAX, u64::MAX]);
+/// ```
+pub fn annotate_next_use(accesses: &[Access]) -> Vec<u64> {
+    let mut next = vec![u64::MAX; accesses.len()];
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for (i, a) in accesses.iter().enumerate().rev() {
+        let block = a.block();
+        if let Some(&later) = last_seen.get(&block) {
+            next[i] = later;
+        }
+        last_seen.insert(block, i as u64);
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::StreamId;
+
+    fn la(addr: u64) -> Access {
+        Access::load(addr, StreamId::Texture)
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(annotate_next_use(&[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_block_chains_forward() {
+        let t = vec![la(0), la(0), la(0)];
+        assert_eq!(annotate_next_use(&t), vec![1, 2, u64::MAX]);
+    }
+
+    #[test]
+    fn different_offsets_same_block() {
+        // 0 and 63 share block 0.
+        let t = vec![la(0), la(63)];
+        assert_eq!(annotate_next_use(&t), vec![1, u64::MAX]);
+    }
+
+    #[test]
+    fn interleaved_blocks() {
+        let t = vec![la(0), la(64), la(0), la(64)];
+        assert_eq!(annotate_next_use(&t), vec![2, 3, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn annotations_point_to_same_block() {
+        let t: Vec<Access> =
+            (0..200).map(|i| la(((i * 37) % 11) * 64)).collect();
+        let nu = annotate_next_use(&t);
+        for (i, &n) in nu.iter().enumerate() {
+            if n != u64::MAX {
+                assert!(n > i as u64);
+                assert_eq!(t[n as usize].block(), t[i].block());
+                // No access to the same block strictly between i and n.
+                for j in i + 1..n as usize {
+                    assert_ne!(t[j].block(), t[i].block());
+                }
+            }
+        }
+    }
+}

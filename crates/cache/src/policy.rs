@@ -1,0 +1,188 @@
+//! The replacement-policy interface the LLC simulator delegates to.
+//!
+//! Policies own a per-block metadata word ([`Block::meta`]) — the model of
+//! the replacement state bits a hardware implementation would keep — plus
+//! whatever per-bank counters they need internally. The LLC drives the
+//! policy through fill / hit / victim / evict callbacks and tells it whether
+//! the target set is one of the GSPC sample sets.
+
+use grtrace::{PolicyClass, StreamId};
+
+/// Everything a policy may inspect about the access being serviced.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessInfo {
+    /// Position of the access in the trace (0-based).
+    pub seq: u64,
+    /// Block address.
+    pub block: u64,
+    /// Bank index.
+    pub bank: usize,
+    /// Set index within the bank.
+    pub set_in_bank: usize,
+    /// Graphics stream of the access.
+    pub stream: StreamId,
+    /// Four-way policy class of the stream.
+    pub class: PolicyClass,
+    /// `true` for a store.
+    pub write: bool,
+    /// `true` when the target set is an SRRIP-managed sample set.
+    pub is_sample: bool,
+    /// Trace position of the *next* access to this block, or `u64::MAX` if
+    /// it is never accessed again. Populated by
+    /// [`crate::optgen::annotate_next_use`]; `u64::MAX` when no annotation
+    /// pass ran. Only Belady's optimal policy consults this.
+    pub next_use: u64,
+}
+
+/// One way of an LLC set, as seen by a policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Block {
+    /// `true` once the way holds a block.
+    pub valid: bool,
+    /// Tag of the resident block.
+    pub tag: u64,
+    /// `true` if the block has been written since the fill.
+    pub dirty: bool,
+    /// Policy-owned replacement state bits.
+    pub meta: u32,
+    /// Next-use annotation of the most recent access to this block
+    /// (`u64::MAX` = never reused). Maintained by the LLC.
+    pub next_use: u64,
+}
+
+/// What a policy reports about a fill, for instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillInfo {
+    /// The re-reference prediction value the block was inserted with, for
+    /// policies that have one (Figure 8 instrumentation).
+    pub rrpv: Option<u8>,
+    /// `true` when the block was inserted at the policy's *distant* RRPV
+    /// (predicted to have no near-future reuse).
+    pub distant: bool,
+}
+
+impl FillInfo {
+    /// Reports an insertion at RRPV `rrpv` out of a maximum of `max`.
+    pub fn rrip(rrpv: u8, max: u8) -> Self {
+        FillInfo { rrpv: Some(rrpv), distant: rrpv == max }
+    }
+}
+
+/// An LLC replacement policy.
+///
+/// The LLC calls, in order, per access:
+///
+/// 1. [`Policy::should_bypass`] on a miss — if `true` the access goes
+///    around the LLC (e.g. uncached displayable color),
+/// 2. on a hit: [`Policy::on_hit`],
+/// 3. on a non-bypassed miss with a full set: [`Policy::choose_victim`]
+///    then [`Policy::on_evict`],
+/// 4. on every non-bypassed miss: [`Policy::on_fill`] after the block and
+///    tag have been installed.
+///
+/// Implementations must keep all their state in [`Block::meta`] and their
+/// own fields; the LLC never interprets `meta`.
+pub trait Policy {
+    /// Human-readable policy name, e.g. `"GSPC"` or `"DRRIP-2"`.
+    fn name(&self) -> String;
+
+    /// Replacement state bits this policy stores per LLC block (used by the
+    /// hardware-overhead accounting of Section 4).
+    fn state_bits_per_block(&self) -> u32;
+
+    /// `true` if this access should bypass the LLC on a miss.
+    fn should_bypass(&mut self, _a: &AccessInfo) -> bool {
+        false
+    }
+
+    /// The access hit `set[way]`.
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize);
+
+    /// Every way of `set` is valid; choose one to evict. Implementations may
+    /// mutate `meta` across the set (e.g. RRIP aging).
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize;
+
+    /// `set[way]` is about to be overwritten (called only for valid ways).
+    fn on_evict(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) {}
+
+    /// The missing block has been installed in `set[way]`; initialize its
+    /// replacement state and report the insertion RRPV if the policy has one.
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo;
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn state_bits_per_block(&self) -> u32 {
+        (**self).state_bits_per_block()
+    }
+    fn should_bypass(&mut self, a: &AccessInfo) -> bool {
+        (**self).should_bypass(a)
+    }
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        (**self).on_hit(a, set, way)
+    }
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        (**self).choose_victim(a, set)
+    }
+    fn on_evict(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        (**self).on_evict(a, set, way)
+    }
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        (**self).on_fill(a, set, way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal FIFO-ish policy used to exercise the trait object path.
+    struct Fifo {
+        counter: u32,
+    }
+
+    impl Policy for Fifo {
+        fn name(&self) -> String {
+            "FIFO".to_string()
+        }
+        fn state_bits_per_block(&self) -> u32 {
+            32
+        }
+        fn on_hit(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) {}
+        fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+            set.iter().enumerate().min_by_key(|(_, b)| b.meta).map(|(i, _)| i).unwrap()
+        }
+        fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+            set[way].meta = self.counter;
+            self.counter += 1;
+            FillInfo::default()
+        }
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let mut p: Box<dyn Policy> = Box::new(Fifo { counter: 0 });
+        assert_eq!(p.name(), "FIFO");
+        assert_eq!(p.state_bits_per_block(), 32);
+        let a = AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Z,
+            class: PolicyClass::Z,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        };
+        let mut set = vec![Block::default(); 2];
+        p.on_fill(&a, &mut set, 0);
+        p.on_fill(&a, &mut set, 1);
+        set[0].valid = true;
+        set[1].valid = true;
+        assert_eq!(p.choose_victim(&a, &mut set), 0);
+        assert!(!p.should_bypass(&a));
+    }
+}

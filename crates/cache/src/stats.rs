@@ -1,0 +1,190 @@
+//! Per-stream LLC hit/miss statistics.
+
+use serde::{Deserialize, Serialize};
+
+use grtrace::{PolicyClass, StreamId};
+
+/// Counters the LLC simulator maintains for every run.
+///
+/// These back Figures 1, 5, 8, 12, 13, and 14 of the paper: per-stream hits
+/// and misses, per-class fill counts at the distant RRPV, bypasses, and
+/// dirty-eviction writebacks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LlcStats {
+    hits: [u64; 9],
+    misses: [u64; 9],
+    /// Fills per policy class.
+    fills: [u64; 4],
+    /// Fills whose reported insertion RRPV was the distant (maximum) value.
+    distant_fills: [u64; 4],
+    /// Read accesses that bypassed the LLC.
+    pub bypassed_reads: u64,
+    /// Write accesses that bypassed the LLC.
+    pub bypassed_writes: u64,
+    /// Dirty blocks evicted to memory.
+    pub writebacks: u64,
+    /// Valid blocks displaced (dirty or clean).
+    pub evictions: u64,
+}
+
+impl LlcStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_hit(&mut self, stream: StreamId) {
+        self.hits[stream.index()] += 1;
+    }
+
+    pub(crate) fn record_miss(&mut self, stream: StreamId) {
+        self.misses[stream.index()] += 1;
+    }
+
+    pub(crate) fn record_fill(&mut self, class: PolicyClass, distant: bool) {
+        self.fills[class.index()] += 1;
+        if distant {
+            self.distant_fills[class.index()] += 1;
+        }
+    }
+
+    /// Hits for one stream.
+    pub fn hits(&self, stream: StreamId) -> u64 {
+        self.hits[stream.index()]
+    }
+
+    /// Misses for one stream.
+    pub fn misses(&self, stream: StreamId) -> u64 {
+        self.misses[stream.index()]
+    }
+
+    /// Total hits across all streams.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Total misses across all streams (bypassed accesses count as misses).
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Total accesses serviced.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_hits() + self.total_misses()
+    }
+
+    /// Hit rate for one stream (0 when the stream had no accesses).
+    pub fn hit_rate(&self, stream: StreamId) -> f64 {
+        let h = self.hits(stream);
+        let m = self.misses(stream);
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Overall hit rate.
+    pub fn overall_hit_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+
+    /// Hit rate aggregated over every stream in a policy class.
+    pub fn class_hit_rate(&self, class: PolicyClass) -> f64 {
+        let (mut h, mut m) = (0u64, 0u64);
+        for s in StreamId::ALL {
+            if s.policy_class() == class {
+                h += self.hits(s);
+                m += self.misses(s);
+            }
+        }
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Fraction of fills of `class` inserted at the distant RRPV
+    /// (Figure 8).
+    pub fn distant_fill_fraction(&self, class: PolicyClass) -> f64 {
+        let f = self.fills[class.index()];
+        if f == 0 {
+            0.0
+        } else {
+            self.distant_fills[class.index()] as f64 / f as f64
+        }
+    }
+
+    /// Fills recorded for `class`.
+    pub fn fills(&self, class: PolicyClass) -> u64 {
+        self.fills[class.index()]
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: &LlcStats) {
+        for i in 0..9 {
+            self.hits[i] += other.hits[i];
+            self.misses[i] += other.misses[i];
+        }
+        for i in 0..4 {
+            self.fills[i] += other.fills[i];
+            self.distant_fills[i] += other.distant_fills[i];
+        }
+        self.bypassed_reads += other.bypassed_reads;
+        self.bypassed_writes += other.bypassed_writes;
+        self.writebacks += other.writebacks;
+        self.evictions += other.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = LlcStats::new();
+        s.record_hit(StreamId::Texture);
+        s.record_miss(StreamId::Texture);
+        s.record_miss(StreamId::Texture);
+        assert!((s.hit_rate(StreamId::Texture) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.hit_rate(StreamId::Z), 0.0);
+    }
+
+    #[test]
+    fn distant_fill_fraction() {
+        let mut s = LlcStats::new();
+        s.record_fill(PolicyClass::Tex, true);
+        s.record_fill(PolicyClass::Tex, false);
+        s.record_fill(PolicyClass::Tex, false);
+        assert!((s.distant_fill_fraction(PolicyClass::Tex) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_hit_rate_includes_display_in_rt() {
+        let mut s = LlcStats::new();
+        s.record_hit(StreamId::RenderTarget);
+        s.record_miss(StreamId::Display);
+        assert!((s.class_hit_rate(PolicyClass::Rt) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = LlcStats::new();
+        a.record_hit(StreamId::Z);
+        a.writebacks = 2;
+        let mut b = LlcStats::new();
+        b.record_miss(StreamId::Z);
+        b.writebacks = 3;
+        a.merge(&b);
+        assert_eq!(a.hits(StreamId::Z), 1);
+        assert_eq!(a.misses(StreamId::Z), 1);
+        assert_eq!(a.writebacks, 5);
+    }
+}

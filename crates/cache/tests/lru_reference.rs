@@ -1,0 +1,75 @@
+//! Property test: `LruCache` agrees with a simple reference model.
+
+use proptest::prelude::*;
+
+use grcache::{CacheConfig, Lookup, LruCache};
+
+/// An obviously-correct LRU cache: per set, a most-recent-first vector of
+/// `(block, dirty)`.
+struct Reference {
+    sets: Vec<Vec<(u64, bool)>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl Reference {
+    fn new(cfg: CacheConfig) -> Self {
+        Reference {
+            sets: vec![Vec::new(); cfg.sets()],
+            ways: cfg.ways,
+            set_mask: cfg.sets() as u64 - 1,
+        }
+    }
+
+    /// Returns `(hit, writeback)` like [`LruCache::access`].
+    fn access(&mut self, block: u64, write: bool) -> (bool, Option<u64>) {
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            let (b, dirty) = set.remove(pos);
+            set.insert(0, (b, dirty || write));
+            return (true, None);
+        }
+        let mut writeback = None;
+        if set.len() == self.ways {
+            let (victim, dirty) = set.pop().expect("full set");
+            if dirty {
+                writeback = Some(victim);
+            }
+        }
+        set.insert(0, (block, write));
+        (false, writeback)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lru_cache_matches_reference(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..600)
+    ) {
+        // 4 sets x 4 ways.
+        let cfg = CacheConfig { size_bytes: 16 * 64, ways: 4 };
+        let mut dut = LruCache::new(cfg);
+        let mut reference = Reference::new(cfg);
+        for (i, &(block, write)) in accesses.iter().enumerate() {
+            let expected = reference.access(block, write);
+            let got = dut.access(block, write);
+            match (expected, got) {
+                ((true, _), Lookup::Hit) => {}
+                ((false, wb_e), Lookup::Miss { writeback: wb_g }) => {
+                    prop_assert_eq!(wb_e, wb_g, "writeback mismatch at access {}", i);
+                }
+                (e, g) => {
+                    return Err(TestCaseError::fail(format!(
+                        "access {i} ({block}, write={write}): expected {e:?}, got {g:?}"
+                    )));
+                }
+            }
+        }
+        prop_assert_eq!(
+            dut.hits() + dut.misses(),
+            accesses.len() as u64
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Belady's optimal replacement (offline oracle).
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+/// Belady's optimal policy: victimize the resident block whose next use
+/// lies farthest in the future.
+///
+/// Requires the trace to be annotated with next-use positions via
+/// [`grcache::annotate_next_use`] and replayed through
+/// [`grcache::Llc::run_trace`]; the LLC stores each block's most recent
+/// annotation in [`Block::next_use`]. Blocks never referenced again carry
+/// `u64::MAX` and are always preferred as victims.
+///
+/// This is the upper bound of Figure 1 of the paper (36.6 % fewer misses
+/// than two-bit DRRIP on average across the 52 frames).
+#[derive(Debug, Clone, Default)]
+pub struct Belady;
+
+impl Belady {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Belady
+    }
+}
+
+impl Policy for Belady {
+    fn name(&self) -> String {
+        "OPT".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        0 // an oracle, not implementable in hardware
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) {
+        // The LLC updates `next_use` on every touch; nothing else to do.
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        set.iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.next_use)
+            .map(|(i, _)| i)
+            .expect("victim selection on an empty set")
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) -> FillInfo {
+        FillInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grcache::{annotate_next_use, Llc, LlcConfig};
+    use grtrace::{Access, StreamId, Trace};
+
+    #[test]
+    fn victim_is_farthest_next_use() {
+        let mut p = Belady::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 3];
+        set[0].next_use = 10;
+        set[1].next_use = 100;
+        set[2].next_use = 50;
+        let a = AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Z,
+            class: grtrace::PolicyClass::Z,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        };
+        assert_eq!(p.choose_victim(&a, &mut set), 1);
+        set[2].next_use = u64::MAX;
+        assert_eq!(p.choose_victim(&a, &mut set), 2);
+    }
+
+    #[test]
+    fn opt_beats_pathological_reuse_pattern() {
+        // A cyclic pattern over W+1 blocks in one set thrashes LRU-like
+        // policies but OPT keeps W-1 of them resident.
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        // Blocks i*8 (i=0..3) all map to bank 0, set 0.
+        let mut t = Trace::new("cyclic", 0);
+        for round in 0..50u64 {
+            let _ = round;
+            for i in 0..3u64 {
+                t.push(Access::load(i * 8 * 64, StreamId::Texture));
+            }
+        }
+        let nu = annotate_next_use(t.accesses());
+        let mut opt = Llc::new(cfg, Belady::new());
+        opt.run_trace(&t, Some(&nu));
+        // OPT on 3 blocks / 2 ways cyclic: hit rate approaches 1/2.
+        // Anything recency-based gets zero hits.
+        assert!(opt.stats().total_hits() >= 70, "OPT hits = {}", opt.stats().total_hits());
+    }
+}

@@ -1,0 +1,245 @@
+//! Saturating counters and the GSPC per-bank counter file.
+
+use serde::{Deserialize, Serialize};
+
+/// An `n`-bit saturating up-counter with halving support.
+///
+/// # Example
+///
+/// ```
+/// use gspc::SatCounter;
+///
+/// let mut c = SatCounter::new(3);
+/// for _ in 0..100 { c.inc(); }
+/// assert_eq!(c.get(), 7);
+/// c.halve();
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SatCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SatCounter {
+    /// Creates a zeroed counter of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits < 32, "counter width must be 1..=31 bits");
+        SatCounter { value: 0, max: (1 << bits) - 1 }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u32 {
+        self.value
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    #[inline]
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// `true` when the counter sits at its maximum.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Halves the value (round toward zero).
+    #[inline]
+    pub fn halve(&mut self) {
+        self.value >>= 1;
+    }
+
+    /// Resets to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Maximum representable value.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+}
+
+/// The per-LLC-bank counter file of the full GSPC policy (Section 3).
+///
+/// Eight 8-bit saturating counters — `FILL(Z)`, `HIT(Z)`, `FILL(0,TEX)`,
+/// `HIT(0,TEX)`, `FILL(1,TEX)`, `HIT(1,TEX)`, `PROD`, `CONS` — plus the
+/// 7-bit `ACC(ALL)` access counter. When `ACC(ALL)` saturates, every other
+/// counter is halved and `ACC(ALL)` resets, keeping the reuse-probability
+/// estimates fresh across rendering phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GspcCounters {
+    /// Z-stream fills observed in the sample sets.
+    pub fill_z: SatCounter,
+    /// Z-stream hits observed in the sample sets.
+    pub hit_z: SatCounter,
+    /// Texture fills entering epoch `E` (index 0 or 1) in the sample sets.
+    pub fill_tex: [SatCounter; 2],
+    /// Texture hits enjoyed by epoch-`E` blocks in the sample sets.
+    pub hit_tex: [SatCounter; 2],
+    /// Render-target blocks filled into sample sets.
+    pub prod: SatCounter,
+    /// Render-target blocks consumed by the texture sampler in sample sets.
+    pub cons: SatCounter,
+    /// All accesses to the sample sets (7-bit).
+    pub acc: SatCounter,
+}
+
+impl GspcCounters {
+    /// Creates a zeroed counter file.
+    pub fn new() -> Self {
+        let c8 = || SatCounter::new(8);
+        GspcCounters {
+            fill_z: c8(),
+            hit_z: c8(),
+            fill_tex: [c8(), c8()],
+            hit_tex: [c8(), c8()],
+            prod: c8(),
+            cons: c8(),
+            acc: SatCounter::new(7),
+        }
+    }
+
+    /// Bumps `ACC(ALL)` and, on saturation, halves every estimate counter
+    /// and resets `ACC(ALL)`.
+    pub fn tick_access(&mut self) {
+        self.acc.inc();
+        if self.acc.is_saturated() {
+            self.fill_z.halve();
+            self.hit_z.halve();
+            for c in &mut self.fill_tex {
+                c.halve();
+            }
+            for c in &mut self.hit_tex {
+                c.halve();
+            }
+            self.prod.halve();
+            self.cons.halve();
+            self.acc.reset();
+        }
+    }
+
+    /// `true` when the Z-stream reuse probability in the samples is below
+    /// `1/(t+1)`, i.e. `FILL(Z) > t·HIT(Z)`.
+    pub fn z_reuse_below(&self, t: u32) -> bool {
+        self.fill_z.get() > t * self.hit_z.get()
+    }
+
+    /// `true` when the epoch-`e` texture reuse probability is below
+    /// `1/(t+1)`, i.e. `FILL(e,TEX) > t·HIT(e,TEX)`.
+    pub fn tex_reuse_below(&self, e: usize, t: u32) -> bool {
+        self.fill_tex[e].get() > t * self.hit_tex[e].get()
+    }
+
+    /// Total replacement-state storage of this counter file in bits
+    /// (eight 8-bit counters + one 7-bit counter = 71).
+    pub const BITS: u32 = 8 * 8 + 7;
+}
+
+impl Default for GspcCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation() {
+        let mut c = SatCounter::new(8);
+        for _ in 0..1000 {
+            c.inc();
+        }
+        assert_eq!(c.get(), 255);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn dec_saturates_at_zero() {
+        let mut c = SatCounter::new(3);
+        c.dec();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.dec();
+        c.dec();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_rejected() {
+        SatCounter::new(0);
+    }
+
+    #[test]
+    fn halve_rounds_down() {
+        let mut c = SatCounter::new(8);
+        for _ in 0..5 {
+            c.inc();
+        }
+        c.halve();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn acc_saturation_halves_everything() {
+        let mut f = GspcCounters::new();
+        for _ in 0..10 {
+            f.fill_z.inc();
+            f.prod.inc();
+        }
+        // 7-bit ACC saturates at 127; tick it that many times.
+        for _ in 0..127 {
+            f.tick_access();
+        }
+        assert_eq!(f.fill_z.get(), 5);
+        assert_eq!(f.prod.get(), 5);
+        assert_eq!(f.acc.get(), 0);
+    }
+
+    #[test]
+    fn z_threshold_matches_definition() {
+        let mut f = GspcCounters::new();
+        // FILL(Z)=9, HIT(Z)=1, t=8: 9 > 8 -> below threshold.
+        for _ in 0..9 {
+            f.fill_z.inc();
+        }
+        f.hit_z.inc();
+        assert!(f.z_reuse_below(8));
+        // One more hit: 9 > 16 is false.
+        f.hit_z.inc();
+        assert!(!f.z_reuse_below(8));
+    }
+
+    #[test]
+    fn tex_threshold_per_epoch() {
+        let mut f = GspcCounters::new();
+        f.fill_tex[1].inc();
+        assert!(f.tex_reuse_below(1, 8));
+        assert!(!f.tex_reuse_below(0, 8)); // 0 > 0 is false
+    }
+
+    #[test]
+    fn counter_file_bits_match_paper() {
+        // "eight eight-bit and one seven-bit saturating counters per bank"
+        assert_eq!(GspcCounters::BITS, 71);
+    }
+}

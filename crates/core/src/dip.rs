@@ -1,0 +1,316 @@
+//! Dynamic insertion policy (DIP) and its components (Qureshi et al.,
+//! discussed in Section 1.1.1 of the paper), plus a random baseline.
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+use crate::{Duel, Leader};
+
+/// LIP: LRU-insertion policy — every block enters at the LRU position and
+/// is promoted to MRU only on a hit. The recency stack is a per-block age
+/// in the metadata word (0 = MRU), as in [`crate::Lru`].
+#[derive(Debug, Clone, Default)]
+pub struct Lip;
+
+fn touch(set: &mut [Block], way: usize) {
+    let old = set[way].meta;
+    for (i, b) in set.iter_mut().enumerate() {
+        if i != way && b.valid && b.meta < old {
+            b.meta += 1;
+        }
+    }
+    set[way].meta = 0;
+}
+
+fn insert_lru(set: &mut [Block], way: usize) {
+    // Make the filled block the oldest without disturbing the others.
+    let max_other = set
+        .iter()
+        .enumerate()
+        .filter(|&(i, b)| i != way && b.valid)
+        .map(|(_, b)| b.meta)
+        .max()
+        .unwrap_or(0);
+    set[way].meta = max_other + 1;
+}
+
+fn lru_victim(set: &mut [Block]) -> usize {
+    set.iter()
+        .enumerate()
+        .max_by_key(|(_, b)| b.meta)
+        .map(|(i, _)| i)
+        .expect("victim selection on an empty set")
+}
+
+impl Lip {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Lip
+    }
+}
+
+impl Policy for Lip {
+    fn name(&self) -> String {
+        "LIP".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        touch(set, way);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        lru_victim(set)
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        insert_lru(set, way);
+        FillInfo { rrpv: None, distant: true }
+    }
+}
+
+/// BIP: bimodal insertion — LRU insertion except that one fill in
+/// [`Bip::EPSILON_PERIOD`] goes to MRU.
+#[derive(Debug, Clone, Default)]
+pub struct Bip {
+    fills: u64,
+}
+
+impl Bip {
+    /// One MRU insertion per this many fills (1/32, as in the DIP paper).
+    pub const EPSILON_PERIOD: u64 = 32;
+
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Bip::default()
+    }
+
+    fn mru_fill(&mut self) -> bool {
+        self.fills += 1;
+        self.fills % Self::EPSILON_PERIOD == 0
+    }
+}
+
+impl Policy for Bip {
+    fn name(&self) -> String {
+        "BIP".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        touch(set, way);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        lru_victim(set)
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        if self.mru_fill() {
+            set[way].meta = set.len() as u32;
+            touch(set, way);
+            FillInfo { rrpv: None, distant: false }
+        } else {
+            insert_lru(set, way);
+            FillInfo { rrpv: None, distant: true }
+        }
+    }
+}
+
+/// DIP: set-dueling between LRU insertion (classic LRU) and BIP.
+#[derive(Debug, Clone)]
+pub struct Dip {
+    duel: Duel,
+    bip_fills: u64,
+}
+
+impl Dip {
+    /// Creates the policy (leaders at residues 1 and 2 modulo 64, 10-bit
+    /// PSEL, as for [`crate::Drrip`]).
+    pub fn new() -> Self {
+        Dip { duel: Duel::new(1, 2, 64, 10), bip_fills: 0 }
+    }
+}
+
+impl Default for Dip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Dip {
+    fn name(&self) -> String {
+        "DIP".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        touch(set, way);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        lru_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.duel.observe_miss(a.set_in_bank);
+        let use_bip = match self.duel.leader(a.set_in_bank) {
+            Some(Leader::A) => false, // LRU leaders
+            Some(Leader::B) => true,  // BIP leaders
+            None => self.duel.follower_prefers_b(),
+        };
+        let mru = if use_bip {
+            self.bip_fills += 1;
+            self.bip_fills % Bip::EPSILON_PERIOD == 0
+        } else {
+            true
+        };
+        if mru {
+            set[way].meta = set.len() as u32;
+            touch(set, way);
+            FillInfo { rrpv: None, distant: false }
+        } else {
+            insert_lru(set, way);
+            FillInfo { rrpv: None, distant: true }
+        }
+    }
+}
+
+/// Random replacement driven by a deterministic xorshift generator — the
+/// cheapest possible baseline.
+#[derive(Debug, Clone)]
+pub struct RandomRepl {
+    state: u64,
+}
+
+impl RandomRepl {
+    /// Creates the policy with a fixed seed (runs are reproducible).
+    pub fn new() -> Self {
+        RandomRepl { state: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+impl Default for RandomRepl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for RandomRepl {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        0
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) {}
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        (self.next() % set.len() as u64) as usize
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, _set: &mut [Block], _way: usize) -> FillInfo {
+        FillInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info(set_in_bank: usize) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank,
+            stream: StreamId::Texture,
+            class: PolicyClass::Tex,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn filled(p: &mut dyn Policy, n: usize) -> Vec<Block> {
+        let mut set = vec![Block { valid: true, ..Block::default() }; n];
+        for w in 0..n {
+            p.on_fill(&info(0), &mut set, w);
+        }
+        set
+    }
+
+    #[test]
+    fn lip_inserts_at_lru() {
+        let mut p = Lip::new();
+        let mut set = filled(&mut p, 4);
+        // The most recent fill is the oldest: it is the next victim.
+        assert_eq!(p.choose_victim(&info(0), &mut set), 3);
+        // A hit rescues it.
+        p.on_hit(&info(0), &mut set, 3);
+        assert_ne!(p.choose_victim(&info(0), &mut set), 3);
+    }
+
+    #[test]
+    fn bip_occasionally_inserts_mru() {
+        let mut p = Bip::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 2];
+        let mut mru = 0;
+        for _ in 0..320 {
+            if !p.on_fill(&info(0), &mut set, 0).distant {
+                mru += 1;
+            }
+        }
+        assert_eq!(mru, 10);
+    }
+
+    #[test]
+    fn dip_learns_toward_bip_under_thrash() {
+        let mut p = Dip::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        for _ in 0..600 {
+            p.on_fill(&info(1), &mut set, 0); // misses in LRU leaders
+        }
+        // Followers now use BIP: mostly LRU-position (distant) fills.
+        let mut distant = 0;
+        for _ in 0..64 {
+            if p.on_fill(&info(9), &mut set, 0).distant {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 60);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let mut a = RandomRepl::new();
+        let mut b = RandomRepl::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 16];
+        for _ in 0..100 {
+            let va = a.choose_victim(&info(0), &mut set);
+            let vb = b.choose_victim(&info(0), &mut set);
+            assert_eq!(va, vb);
+            assert!(va < 16);
+        }
+    }
+}

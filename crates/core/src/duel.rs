@@ -1,0 +1,151 @@
+//! Set-dueling machinery (Qureshi et al.) used by DRRIP and GS-DRRIP.
+
+use serde::{Deserialize, Serialize};
+
+/// Which dueling group a leader set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leader {
+    /// Leader of policy A (conventionally SRRIP).
+    A,
+    /// Leader of policy B (conventionally BRRIP).
+    B,
+}
+
+/// A single set-duel: two small groups of leader sets, identified by their
+/// index residue modulo `modulus`, vote through a saturating `PSEL`
+/// counter. Misses in A-leaders push `PSEL` up (toward B); misses in
+/// B-leaders push it down. Followers adopt B when the counter's MSB is set.
+///
+/// # Example
+///
+/// ```
+/// use gspc::Duel;
+///
+/// let mut d = Duel::new(1, 2, 64, 10);
+/// for _ in 0..600 { d.observe_miss(1); }    // A-leaders miss a lot
+/// assert!(d.follower_prefers_b());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Duel {
+    residue_a: usize,
+    residue_b: usize,
+    modulus: usize,
+    psel: u32,
+    psel_max: u32,
+}
+
+impl Duel {
+    /// Creates a duel whose A-leaders are the sets with
+    /// `set % modulus == residue_a` (similarly B), with a `psel_bits`-wide
+    /// selection counter initialized to its midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residues coincide or exceed the modulus.
+    pub fn new(residue_a: usize, residue_b: usize, modulus: usize, psel_bits: u32) -> Self {
+        assert!(residue_a != residue_b, "leader groups must be disjoint");
+        assert!(residue_a < modulus && residue_b < modulus, "residue out of range");
+        let psel_max = (1 << psel_bits) - 1;
+        Duel { residue_a, residue_b, modulus, psel: psel_max / 2, psel_max }
+    }
+
+    /// Returns the leader group of `set_in_bank`, if it is a leader.
+    pub fn leader(&self, set_in_bank: usize) -> Option<Leader> {
+        let r = set_in_bank % self.modulus;
+        if r == self.residue_a {
+            Some(Leader::A)
+        } else if r == self.residue_b {
+            Some(Leader::B)
+        } else {
+            None
+        }
+    }
+
+    /// Records a miss in `set_in_bank` (no-op for follower sets).
+    pub fn observe_miss(&mut self, set_in_bank: usize) {
+        match self.leader(set_in_bank) {
+            Some(Leader::A) => {
+                if self.psel < self.psel_max {
+                    self.psel += 1;
+                }
+            }
+            Some(Leader::B) => {
+                self.psel = self.psel.saturating_sub(1);
+            }
+            None => {}
+        }
+    }
+
+    /// `true` when follower sets should use policy B.
+    pub fn follower_prefers_b(&self) -> bool {
+        self.psel > self.psel_max / 2
+    }
+
+    /// Current `PSEL` value (for inspection and tests).
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_neutral() {
+        let d = Duel::new(1, 2, 64, 10);
+        assert_eq!(d.psel(), 511);
+        assert!(!d.follower_prefers_b());
+    }
+
+    #[test]
+    fn leaders_identified_by_residue() {
+        let d = Duel::new(1, 2, 64, 10);
+        assert_eq!(d.leader(1), Some(Leader::A));
+        assert_eq!(d.leader(65), Some(Leader::A));
+        assert_eq!(d.leader(2), Some(Leader::B));
+        assert_eq!(d.leader(0), None);
+        assert_eq!(d.leader(3), None);
+    }
+
+    #[test]
+    fn b_misses_swing_back_to_a() {
+        let mut d = Duel::new(1, 2, 64, 10);
+        for _ in 0..600 {
+            d.observe_miss(1);
+        }
+        assert!(d.follower_prefers_b());
+        for _ in 0..1200 {
+            d.observe_miss(2);
+        }
+        assert!(!d.follower_prefers_b());
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let mut d = Duel::new(1, 2, 64, 10);
+        for _ in 0..5000 {
+            d.observe_miss(1);
+        }
+        assert_eq!(d.psel(), 1023);
+        for _ in 0..5000 {
+            d.observe_miss(2);
+        }
+        assert_eq!(d.psel(), 0);
+    }
+
+    #[test]
+    fn follower_misses_are_ignored() {
+        let mut d = Duel::new(1, 2, 64, 10);
+        for _ in 0..100 {
+            d.observe_miss(10);
+        }
+        assert_eq!(d.psel(), 511);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn identical_residues_rejected() {
+        Duel::new(1, 1, 64, 10);
+    }
+}

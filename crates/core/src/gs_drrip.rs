@@ -1,0 +1,154 @@
+//! Graphics stream-aware DRRIP: per-stream set-dueling.
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+use crate::rrip::{Brrip, RripMeta};
+use crate::{Duel, Leader};
+
+/// GS-DRRIP (Section 3): the thread-aware DRRIP technique applied to the
+/// four graphics streams. Each of the Z, texture, render-target, and
+/// "other" classes runs its own SRRIP-vs-BRRIP duel and follower sets adopt
+/// the per-class winner.
+///
+/// The paper uses GS-DRRIP as the strongest stream-aware baseline; it saves
+/// 2.9 % of LLC misses over DRRIP on average but often converges to local
+/// optima because of the feedback-based dueling.
+#[derive(Debug, Clone)]
+pub struct GsDrrip {
+    meta: RripMeta,
+    duels: [Duel; 4],
+    brrip_fills: [u64; 4],
+}
+
+impl GsDrrip {
+    /// Creates an `n`-bit GS-DRRIP (the paper evaluates 2- and 4-bit).
+    ///
+    /// Leader groups for class `k` are the sets with index residues
+    /// `2k+1` and `2k+2` modulo 64, giving each class disjoint leaders.
+    pub fn new(bits: u32) -> Self {
+        let duel = |k: usize| Duel::new(2 * k + 1, 2 * k + 2, 64, 10);
+        GsDrrip {
+            meta: RripMeta::new(bits),
+            duels: [duel(0), duel(1), duel(2), duel(3)],
+            brrip_fills: [0; 4],
+        }
+    }
+
+    fn brrip_insertion(&mut self, class: usize) -> u8 {
+        self.brrip_fills[class] += 1;
+        if self.brrip_fills[class] % Brrip::EPSILON_PERIOD == 0 {
+            self.meta.long()
+        } else {
+            self.meta.distant()
+        }
+    }
+}
+
+impl Policy for GsDrrip {
+    fn name(&self) -> String {
+        if self.meta.bits() == 2 {
+            "GS-DRRIP".to_string()
+        } else {
+            format!("GS-DRRIP-{}", self.meta.bits())
+        }
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.meta.bits()
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let class = a.class.index();
+        self.duels[class].observe_miss(a.set_in_bank);
+        let use_brrip = match self.duels[class].leader(a.set_in_bank) {
+            Some(Leader::A) => false,
+            Some(Leader::B) => true,
+            None => self.duels[class].follower_prefers_b(),
+        };
+        let rrpv = if use_brrip { self.brrip_insertion(class) } else { self.meta.long() };
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info(stream: StreamId, set_in_bank: usize) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank,
+            stream,
+            class: stream.policy_class(),
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn leader_groups_are_disjoint_across_classes() {
+        let p = GsDrrip::new(2);
+        for k in 0..4 {
+            for j in 0..4 {
+                if k == j {
+                    continue;
+                }
+                for set in 0..64 {
+                    let both = p.duels[k].leader(set).is_some()
+                        && p.duels[j].leader(set).is_some();
+                    assert!(!both, "set {set} leads two duels");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_learn_independently() {
+        let mut p = GsDrrip::new(2);
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        // Z duel: residues 1 (SRRIP) / 2 (BRRIP). Hammer SRRIP leaders
+        // with Z misses so Z followers prefer BRRIP.
+        for _ in 0..600 {
+            p.on_fill(&info(StreamId::Z, 1), &mut set, 0);
+        }
+        assert!(p.duels[PolicyClass::Z.index()].follower_prefers_b());
+        // The texture duel is untouched.
+        assert!(!p.duels[PolicyClass::Tex.index()].follower_prefers_b());
+        // A follower texture fill therefore inserts long (non-distant).
+        let fi = p.on_fill(&info(StreamId::Texture, 20), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(2));
+    }
+
+    #[test]
+    fn misses_in_foreign_leaders_do_not_update_a_duel() {
+        let mut p = GsDrrip::new(2);
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        // Texture misses in the Z leaders: the texture duel treats those
+        // sets as followers, so PSEL stays put.
+        let before = p.duels[PolicyClass::Tex.index()].psel();
+        for _ in 0..100 {
+            p.on_fill(&info(StreamId::Texture, 1), &mut set, 0);
+        }
+        assert_eq!(p.duels[PolicyClass::Tex.index()].psel(), before);
+    }
+
+    #[test]
+    fn four_bit_variant() {
+        let p = GsDrrip::new(4);
+        assert_eq!(p.name(), "GS-DRRIP-4");
+        assert_eq!(p.state_bits_per_block(), 4);
+    }
+}

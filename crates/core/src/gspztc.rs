@@ -1,0 +1,305 @@
+//! GSPZTC: graphics stream-aware probabilistic Z and texture caching.
+
+use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
+use grtrace::PolicyClass;
+
+use crate::{GspcCounters, RripMeta, DEFAULT_T};
+
+/// Bit 2 of the metadata word: the render-target (RT) bit, set on a render
+/// target access or fill, reset on texture-sampler consumption or eviction.
+const RT_BIT: u32 = 1 << 2;
+
+/// The paper's first policy proposal (Table 3): rudimentary probabilistic
+/// caching for the Z and texture sampler streams.
+///
+/// Sixteen sets per 1024 are *samples* that always execute two-bit SRRIP
+/// and train per-bank `FILL`/`HIT` counters. In the remaining sets:
+///
+/// * a Z fill inserts at RRPV 3 when `FILL(Z) > t·HIT(Z)` (reuse
+///   probability below `1/(t+1)`), else at RRPV 2,
+/// * a texture fill inserts at RRPV 3 when `FILL(TEX) > t·HIT(TEX)`, else
+///   at RRPV **0** (inserting at 2 hurts performance),
+/// * render targets always insert at RRPV 0, maximally protected so that
+///   render-target → texture reuses can happen through the LLC,
+/// * everything else inserts at RRPV 2, and every hit promotes to RRPV 0.
+///
+/// A texture-sampler hit on a block with the RT bit set counts as a texture
+/// *fill* in the counters (the block begins its life as a texture).
+#[derive(Debug, Clone)]
+pub struct Gspztc {
+    meta: RripMeta,
+    t: u32,
+    banks: Vec<GspcCounters>,
+}
+
+impl Gspztc {
+    /// Creates the policy with the default threshold `t = 8`.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        Self::with_threshold(cfg, DEFAULT_T)
+    }
+
+    /// Creates the policy with an explicit threshold parameter `t`
+    /// (Figure 11 sweeps t ∈ {2, 4, 8, 16}).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is a power of two (the paper restricts `t` so the
+    /// threshold check is a shift, compare, and mux).
+    pub fn with_threshold(cfg: &LlcConfig, t: u32) -> Self {
+        assert!(t.is_power_of_two(), "t must be a power of two");
+        Gspztc {
+            meta: RripMeta::new(2),
+            t,
+            banks: vec![GspcCounters::new(); cfg.banks],
+        }
+    }
+
+    /// The threshold parameter.
+    pub fn threshold(&self) -> u32 {
+        self.t
+    }
+
+    /// The per-bank counter files (for inspection).
+    pub fn counters(&self) -> &[GspcCounters] {
+        &self.banks
+    }
+}
+
+impl Policy for Gspztc {
+    fn name(&self) -> String {
+        if self.t == DEFAULT_T {
+            "GSPZTC".to_string()
+        } else {
+            format!("GSPZTC(t={})", self.t)
+        }
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        2 + 1 // RRPV + RT bit
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        let was_rt = set[way].meta & RT_BIT != 0;
+        if a.is_sample {
+            let c = &mut self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => c.hit_z.inc(),
+                PolicyClass::Tex => {
+                    if was_rt {
+                        // RT -> TEX consumption: the block starts a texture
+                        // life, so it counts as a texture fill.
+                        c.fill_tex[0].inc();
+                    } else {
+                        c.hit_tex[0].inc();
+                    }
+                }
+                _ => {}
+            }
+            c.tick_access();
+        }
+        let b = &mut set[way];
+        match a.class {
+            PolicyClass::Rt => b.meta |= RT_BIT,
+            PolicyClass::Tex if was_rt => b.meta &= !RT_BIT,
+            _ => {}
+        }
+        self.meta.set(b, 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let rrpv = if a.is_sample {
+            let c = &mut self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => c.fill_z.inc(),
+                PolicyClass::Tex => c.fill_tex[0].inc(),
+                _ => {}
+            }
+            c.tick_access();
+            self.meta.long()
+        } else {
+            let c = &self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => {
+                    if c.z_reuse_below(self.t) {
+                        self.meta.distant()
+                    } else {
+                        self.meta.long()
+                    }
+                }
+                PolicyClass::Tex => {
+                    if c.tex_reuse_below(0, self.t) {
+                        self.meta.distant()
+                    } else {
+                        0
+                    }
+                }
+                PolicyClass::Rt => 0,
+                PolicyClass::Other => self.meta.long(),
+            }
+        };
+        let b = &mut set[way];
+        b.meta = if a.class == PolicyClass::Rt { RT_BIT } else { 0 };
+        self.meta.set(b, rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::StreamId;
+
+    fn cfg() -> LlcConfig {
+        LlcConfig::mb(8)
+    }
+
+    fn info(stream: StreamId, is_sample: bool) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: if is_sample { 0 } else { 5 },
+            stream,
+            class: stream.policy_class(),
+            write: false,
+            is_sample,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn one_way_set() -> Vec<Block> {
+        vec![Block { valid: true, ..Block::default() }]
+    }
+
+    #[test]
+    fn sample_fills_use_srrip_and_train_counters() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        let fi = p.on_fill(&info(StreamId::Z, true), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(2));
+        assert_eq!(p.counters()[0].fill_z.get(), 1);
+        let fi = p.on_fill(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(2));
+        assert_eq!(p.counters()[0].fill_tex[0].get(), 1);
+    }
+
+    #[test]
+    fn rt_fill_gets_rrpv_zero_and_rt_bit() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        let fi = p.on_fill(&info(StreamId::RenderTarget, false), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(0));
+        assert!(set[0].meta & RT_BIT != 0);
+    }
+
+    #[test]
+    fn low_z_reuse_inserts_distant() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        // Train: 9 Z fills, 1 Z hit in samples -> FILL=9 > 8*HIT=8.
+        for _ in 0..9 {
+            p.on_fill(&info(StreamId::Z, true), &mut set, 0);
+        }
+        p.on_hit(&info(StreamId::Z, true), &mut set, 0);
+        let fi = p.on_fill(&info(StreamId::Z, false), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(3));
+        assert!(fi.distant);
+    }
+
+    #[test]
+    fn high_z_reuse_inserts_long() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::Z, true), &mut set, 0);
+        for _ in 0..3 {
+            p.on_hit(&info(StreamId::Z, true), &mut set, 0);
+        }
+        let fi = p.on_fill(&info(StreamId::Z, false), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(2));
+    }
+
+    #[test]
+    fn reused_texture_inserts_at_zero_not_two() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        // Texture with high sample reuse: FILL=1, HIT=3 -> 1 > 24 false.
+        p.on_fill(&info(StreamId::Texture, true), &mut set, 0);
+        for _ in 0..3 {
+            p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        }
+        let fi = p.on_fill(&info(StreamId::Texture, false), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(0), "texture blocks fill at RRPV 0, not 2");
+    }
+
+    #[test]
+    fn dead_texture_inserts_distant() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        for _ in 0..5 {
+            p.on_fill(&info(StreamId::Texture, true), &mut set, 0);
+        }
+        let fi = p.on_fill(&info(StreamId::Texture, false), &mut set, 0);
+        assert!(fi.distant);
+    }
+
+    #[test]
+    fn rt_to_tex_hit_counts_as_texture_fill_in_samples() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::RenderTarget, true), &mut set, 0);
+        assert!(set[0].meta & RT_BIT != 0);
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].fill_tex[0].get(), 1);
+        assert_eq!(p.counters()[0].hit_tex[0].get(), 0);
+        assert!(set[0].meta & RT_BIT == 0, "consumption clears the RT bit");
+    }
+
+    #[test]
+    fn plain_tex_hit_counts_as_texture_hit_in_samples() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::Texture, true), &mut set, 0);
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].hit_tex[0].get(), 1);
+    }
+
+    #[test]
+    fn hits_promote_to_zero_everywhere() {
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::Other, false), &mut set, 0);
+        assert_eq!(RripMeta::new(2).get(&set[0]), 2);
+        p.on_hit(&info(StreamId::Other, false), &mut set, 0);
+        assert_eq!(RripMeta::new(2).get(&set[0]), 0);
+    }
+
+    #[test]
+    fn rt_hit_sets_rt_bit_on_existing_block() {
+        // A DirectX app reusing an existing object as a new render target.
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::Texture, false), &mut set, 0);
+        assert!(set[0].meta & RT_BIT == 0);
+        p.on_hit(&info(StreamId::RenderTarget, false), &mut set, 0);
+        assert!(set[0].meta & RT_BIT != 0);
+    }
+
+    #[test]
+    fn untrained_counters_insert_conservatively() {
+        // FILL=0 > t*HIT=0 is false, so both Z and TEX insert protected.
+        let mut p = Gspztc::new(&cfg());
+        let mut set = one_way_set();
+        assert_eq!(p.on_fill(&info(StreamId::Z, false), &mut set, 0).rrpv, Some(2));
+        assert_eq!(p.on_fill(&info(StreamId::Texture, false), &mut set, 0).rrpv, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_threshold_rejected() {
+        Gspztc::with_threshold(&cfg(), 3);
+    }
+}

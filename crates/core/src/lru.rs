@@ -1,0 +1,113 @@
+//! True least-recently-used replacement.
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+/// True LRU with a full recency stack encoded as a per-block age (0 = MRU).
+///
+/// With 16 ways this costs four state bits per block, making it the
+/// iso-overhead comparison point for GSPC in Figure 14 of the paper —
+/// where LRU *loses* 7.2 % more misses than two-bit DRRIP because it
+/// over-protects single-use texture blocks.
+#[derive(Debug, Clone, Default)]
+pub struct Lru;
+
+impl Lru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Lru
+    }
+
+    fn touch(set: &mut [Block], way: usize) {
+        let old = set[way].meta;
+        for (i, b) in set.iter_mut().enumerate() {
+            if i != way && b.valid && b.meta < old {
+                b.meta += 1;
+            }
+        }
+        set[way].meta = 0;
+    }
+}
+
+impl Policy for Lru {
+    fn name(&self) -> String {
+        "LRU".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4 // log2(16 ways); the recency stack position
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        Self::touch(set, way);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        set.iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.meta)
+            .map(|(i, _)| i)
+            .expect("victim selection on an empty set")
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        set[way].meta = set.len() as u32; // strictly older than everyone
+        Self::touch(set, way);
+        FillInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info() -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Z,
+            class: PolicyClass::Z,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn filled_set(p: &mut Lru, n: usize) -> Vec<Block> {
+        let mut set = vec![Block::default(); n];
+        for w in 0..n {
+            set[w].valid = true;
+            p.on_fill(&info(), &mut set, w);
+        }
+        set
+    }
+
+    #[test]
+    fn victim_is_least_recent_fill() {
+        let mut p = Lru::new();
+        let mut set = filled_set(&mut p, 4);
+        assert_eq!(p.choose_victim(&info(), &mut set), 0);
+    }
+
+    #[test]
+    fn hit_promotes_to_mru() {
+        let mut p = Lru::new();
+        let mut set = filled_set(&mut p, 4);
+        p.on_hit(&info(), &mut set, 0);
+        assert_eq!(p.choose_victim(&info(), &mut set), 1);
+    }
+
+    #[test]
+    fn ages_form_a_permutation() {
+        let mut p = Lru::new();
+        let mut set = filled_set(&mut p, 8);
+        for &w in &[3usize, 1, 3, 7, 0] {
+            p.on_hit(&info(), &mut set, w);
+        }
+        let mut ages: Vec<u32> = set.iter().map(|b| b.meta).collect();
+        ages.sort_unstable();
+        assert_eq!(ages, (0..8).collect::<Vec<u32>>());
+    }
+}

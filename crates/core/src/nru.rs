@@ -1,0 +1,103 @@
+//! Single-bit not-recently-used replacement.
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+const NRU_BIT: u32 = 1;
+
+/// Single-bit NRU: each block carries one "recently used" bit, set on fill
+/// and on hit. The victim is the minimum-way block whose bit is clear; if
+/// every bit is set, all bits are cleared first (and way 0 is victimized).
+///
+/// Figure 1 of the paper shows NRU *increasing* LLC misses by 6.2 % on
+/// average relative to two-bit DRRIP on these workloads.
+#[derive(Debug, Clone, Default)]
+pub struct Nru;
+
+impl Nru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Nru
+    }
+}
+
+impl Policy for Nru {
+    fn name(&self) -> String {
+        "NRU".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        1
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        set[way].meta |= NRU_BIT;
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        if let Some(way) = set.iter().position(|b| b.meta & NRU_BIT == 0) {
+            return way;
+        }
+        for b in set.iter_mut() {
+            b.meta &= !NRU_BIT;
+        }
+        0
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        set[way].meta = NRU_BIT;
+        FillInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info() -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Z,
+            class: PolicyClass::Z,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn victim_is_first_unreferenced() {
+        let mut p = Nru::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 4];
+        p.on_fill(&info(), &mut set, 0);
+        p.on_fill(&info(), &mut set, 2);
+        // Ways 1 and 3 have clear bits; way 1 wins.
+        assert_eq!(p.choose_victim(&info(), &mut set), 1);
+    }
+
+    #[test]
+    fn all_referenced_resets_and_picks_way0() {
+        let mut p = Nru::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 3];
+        for w in 0..3 {
+            p.on_fill(&info(), &mut set, w);
+        }
+        assert_eq!(p.choose_victim(&info(), &mut set), 0);
+        // Bits were cleared; the next victim scan finds way 0 again.
+        assert!(set.iter().all(|b| b.meta & NRU_BIT == 0));
+    }
+
+    #[test]
+    fn hit_sets_bit() {
+        let mut p = Nru::new();
+        let mut set = vec![Block { valid: true, ..Block::default() }; 2];
+        p.on_fill(&info(), &mut set, 0);
+        p.on_fill(&info(), &mut set, 1);
+        p.choose_victim(&info(), &mut set); // clears all
+        p.on_hit(&info(), &mut set, 1);
+        assert_eq!(p.choose_victim(&info(), &mut set), 0);
+    }
+}

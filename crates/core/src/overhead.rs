@@ -1,0 +1,116 @@
+//! Hardware storage-overhead accounting (Section 4 of the paper).
+
+use grcache::{LlcConfig, Policy};
+
+use crate::GspcCounters;
+
+/// Storage overhead of a policy relative to the two-bit DRRIP baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overhead {
+    /// Policy name.
+    pub policy: String,
+    /// Replacement state bits per block (total, not incremental).
+    pub state_bits_per_block: u32,
+    /// State bits per block beyond the two-bit DRRIP baseline.
+    pub extra_state_bits_per_block: u32,
+    /// Total extra per-block state across the LLC, in bits.
+    pub extra_block_bits: u64,
+    /// Global counter/table storage, in bits.
+    pub counter_bits: u64,
+    /// Extra storage as a fraction of the LLC data array.
+    pub fraction_of_data_array: f64,
+}
+
+/// Baseline replacement state: two-bit DRRIP RRPV.
+pub const BASELINE_BITS_PER_BLOCK: u32 = 2;
+
+/// Computes the storage overhead of `policy` on `cfg`, given the policy's
+/// global counter/table storage in bits.
+///
+/// # Example
+///
+/// ```
+/// use grcache::LlcConfig;
+/// use gspc::{overhead, Gspc};
+///
+/// let cfg = LlcConfig::mb(8);
+/// let o = overhead::measure(&Gspc::new(&cfg), &cfg, overhead::gspc_counter_bits(&cfg));
+/// assert!(o.fraction_of_data_array < 0.005); // the paper's < 0.5 % claim
+/// ```
+pub fn measure(policy: &dyn Policy, cfg: &LlcConfig, counter_bits: u64) -> Overhead {
+    let state = policy.state_bits_per_block();
+    let extra = state.saturating_sub(BASELINE_BITS_PER_BLOCK);
+    let extra_block_bits = u64::from(extra) * cfg.total_blocks() as u64;
+    let data_bits = cfg.size_bytes * 8;
+    Overhead {
+        policy: policy.name(),
+        state_bits_per_block: state,
+        extra_state_bits_per_block: extra,
+        extra_block_bits,
+        counter_bits,
+        fraction_of_data_array: (extra_block_bits + counter_bits) as f64 / data_bits as f64,
+    }
+}
+
+/// Total GSPC counter storage for an LLC: one [`GspcCounters`] file per
+/// bank (eight 8-bit and one 7-bit counters = 71 bits each).
+pub fn gspc_counter_bits(cfg: &LlcConfig) -> u64 {
+    u64::from(GspcCounters::BITS) * cfg.banks as u64
+}
+
+/// SHiP-mem table storage: a 16K-entry 3-bit table per bank.
+pub fn ship_mem_table_bits(cfg: &LlcConfig) -> u64 {
+    16 * 1024 * 3 * cfg.banks as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Drrip, Gspc, ShipMem};
+
+    #[test]
+    fn paper_numbers_for_gspc_on_8mb() {
+        let cfg = LlcConfig::mb(8);
+        let gspc = Gspc::new(&cfg);
+        let o = measure(&gspc, &cfg, gspc_counter_bits(&cfg));
+        // "an additional overhead of 32 KB in two state bits per LLC block"
+        assert_eq!(o.extra_state_bits_per_block, 2);
+        assert_eq!(o.extra_block_bits, 2 * 131_072); // 262144 bits = 32 KB
+        // "and 284 bits in saturating counters" (4 banks x 71 bits)
+        assert_eq!(o.counter_bits, 284);
+        // "less than 0.5% of the LLC data array bits"
+        assert!(o.fraction_of_data_array < 0.005);
+    }
+
+    #[test]
+    fn drrip_has_no_extra_overhead() {
+        let cfg = LlcConfig::mb(8);
+        let o = measure(&Drrip::new(2), &cfg, 0);
+        assert_eq!(o.extra_state_bits_per_block, 0);
+        assert_eq!(o.fraction_of_data_array, 0.0);
+    }
+
+    #[test]
+    fn four_bit_drrip_matches_gspc_block_overhead() {
+        // The iso-overhead comparison of Figure 14: 4 state bits per block.
+        let cfg = LlcConfig::mb(8);
+        let d4 = measure(&Drrip::new(4), &cfg, 0);
+        let g = measure(&Gspc::new(&cfg), &cfg, gspc_counter_bits(&cfg));
+        assert_eq!(d4.state_bits_per_block, g.state_bits_per_block);
+    }
+
+    #[test]
+    fn ship_mem_tables_are_much_larger_than_gspc_counters() {
+        let cfg = LlcConfig::mb(8);
+        let ship = measure(&ShipMem::new(&cfg), &cfg, ship_mem_table_bits(&cfg));
+        assert!(ship.counter_bits > 100 * gspc_counter_bits(&cfg));
+    }
+
+    #[test]
+    fn overhead_scales_with_llc_size() {
+        let o8 = measure(&Gspc::new(&LlcConfig::mb(8)), &LlcConfig::mb(8), 284);
+        let o16 = measure(&Gspc::new(&LlcConfig::mb(16)), &LlcConfig::mb(16), 284);
+        assert_eq!(o16.extra_block_bits, 2 * o8.extra_block_bits);
+        assert!(o16.fraction_of_data_array < 0.005);
+    }
+}

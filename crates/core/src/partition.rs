@@ -1,0 +1,321 @@
+//! Way-partitioning baselines (Section 1.1.1 of the paper).
+//!
+//! The paper argues that cache-partitioning schemes (UCP and successors)
+//! cannot be applied directly to 3D graphics streams because they treat
+//! the partitions as independent, while graphics streams *share* data
+//! (render targets become textures). These policies let the repository
+//! demonstrate that claim quantitatively:
+//!
+//! * [`StaticWayPartition`] — each policy class (Z / TEX / RT / other)
+//!   owns a fixed number of ways per set,
+//! * [`UcpLite`] — a utility-based repartitioner that periodically moves
+//!   ways toward the classes with the most hits per way, in the spirit of
+//!   UCP's lookahead algorithm (simplified: hit counts stand in for the
+//!   UMON utility curves).
+//!
+//! A block filled by class *c* may only displace ways belonging to classes
+//! that exceed their current quota (or invalid/own-class ways), so the
+//! partition is enforced on replacement, as in way-partitioned LLCs.
+
+use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
+
+/// Per-block metadata layout: bits 3:0 recency age (0 = MRU), bits 5:4
+/// the owning policy class.
+const AGE_MASK: u32 = 0b1111;
+const CLASS_SHIFT: u32 = 4;
+
+fn age(b: &Block) -> u32 {
+    b.meta & AGE_MASK
+}
+
+fn class_of(b: &Block) -> usize {
+    ((b.meta >> CLASS_SHIFT) & 0b11) as usize
+}
+
+fn set_block(b: &mut Block, class: usize, new_age: u32) {
+    b.meta = (new_age & AGE_MASK) | ((class as u32) << CLASS_SHIFT);
+}
+
+fn touch(set: &mut [Block], way: usize) {
+    let old = age(&set[way]);
+    for (i, b) in set.iter_mut().enumerate() {
+        if i != way && b.valid && age(b) < old {
+            b.meta = (b.meta & !AGE_MASK) | (age(b) + 1);
+        }
+    }
+    set[way].meta &= !AGE_MASK;
+}
+
+/// Chooses the partition-respecting victim: the LRU block among ways whose
+/// class is over quota, preferring the filling class itself when it is at
+/// or over its own quota.
+fn partitioned_victim(set: &[Block], quotas: &[u32; 4], fill_class: usize) -> usize {
+    let mut counts = [0u32; 4];
+    for b in set {
+        if b.valid {
+            counts[class_of(b)] += 1;
+        }
+    }
+    // If the filling class is at/above its quota, evict within the class.
+    let candidate_class = if counts[fill_class] >= quotas[fill_class] {
+        Some(fill_class)
+    } else {
+        // Evict from the most over-quota class.
+        (0..4)
+            .filter(|&c| counts[c] > quotas[c])
+            .max_by_key(|&c| counts[c] - quotas[c])
+    };
+    let victim = |class: Option<usize>| -> Option<usize> {
+        set.iter()
+            .enumerate()
+            .filter(|(_, b)| b.valid && class.map_or(true, |c| class_of(b) == c))
+            .max_by_key(|(_, b)| age(b))
+            .map(|(i, _)| i)
+    };
+    victim(candidate_class)
+        .or_else(|| victim(None))
+        .expect("victim selection on an empty set")
+}
+
+/// Fixed way quotas per policy class.
+#[derive(Debug, Clone)]
+pub struct StaticWayPartition {
+    quotas: [u32; 4],
+}
+
+impl StaticWayPartition {
+    /// Creates a partition with the given `[Z, TEX, RT, other]` way quotas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the quotas sum to the LLC's associativity.
+    pub fn new(cfg: &LlcConfig, quotas: [u32; 4]) -> Self {
+        assert_eq!(
+            quotas.iter().sum::<u32>(),
+            cfg.ways as u32,
+            "quotas must sum to the associativity"
+        );
+        StaticWayPartition { quotas }
+    }
+
+    /// A stream-mix-proportional default for a 16-way LLC:
+    /// Z:2, TEX:6, RT:6, other:2.
+    pub fn proportional(cfg: &LlcConfig) -> Self {
+        Self::new(cfg, [2, 6, 6, 2])
+    }
+
+    /// The current quotas.
+    pub fn quotas(&self) -> [u32; 4] {
+        self.quotas
+    }
+}
+
+impl Policy for StaticWayPartition {
+    fn name(&self) -> String {
+        "WayPart".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4 + 2 // recency + class tag
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        // A hit re-tags the block to the accessing class (an RT block read
+        // by the samplers migrates to the TEX partition).
+        let new_age = age(&set[way]);
+        set_block(&mut set[way], a.class.index(), new_age);
+        touch(set, way);
+    }
+
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        partitioned_victim(set, &self.quotas, a.class.index())
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let oldest = set.len() as u32 - 1;
+        set_block(&mut set[way], a.class.index(), oldest);
+        touch(set, way);
+        FillInfo::default()
+    }
+}
+
+/// How many fills between repartitioning decisions.
+const UCP_INTERVAL: u64 = 64 * 1024;
+
+/// A simplified utility-based repartitioner: every 64K fills, one way
+/// moves from the class with the fewest hits per way to the class with
+/// the most (keeping at least one way per class).
+#[derive(Debug, Clone)]
+pub struct UcpLite {
+    quotas: [u32; 4],
+    hits: [u64; 4],
+    fills_since: u64,
+}
+
+impl UcpLite {
+    /// Creates the repartitioner with an even initial split.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        let per = cfg.ways as u32 / 4;
+        UcpLite { quotas: [per; 4], hits: [0; 4], fills_since: 0 }
+    }
+
+    /// The current quotas `[Z, TEX, RT, other]`.
+    pub fn quotas(&self) -> [u32; 4] {
+        self.quotas
+    }
+
+    fn maybe_repartition(&mut self) {
+        self.fills_since += 1;
+        if self.fills_since < UCP_INTERVAL {
+            return;
+        }
+        self.fills_since = 0;
+        let utility =
+            |c: usize, q: [u32; 4]| -> f64 { self.hits[c] as f64 / f64::from(q[c].max(1)) };
+        let q = self.quotas;
+        let best = (0..4).max_by(|&a, &b| utility(a, q).total_cmp(&utility(b, q)));
+        let worst = (0..4)
+            .filter(|&c| self.quotas[c] > 1)
+            .min_by(|&a, &b| utility(a, q).total_cmp(&utility(b, q)));
+        if let (Some(best), Some(worst)) = (best, worst) {
+            if best != worst {
+                self.quotas[worst] -= 1;
+                self.quotas[best] += 1;
+            }
+        }
+        self.hits = [0; 4];
+    }
+}
+
+impl Policy for UcpLite {
+    fn name(&self) -> String {
+        "UCP-lite".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        4 + 2
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.hits[a.class.index()] += 1;
+        let new_age = age(&set[way]);
+        set_block(&mut set[way], a.class.index(), new_age);
+        touch(set, way);
+    }
+
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        partitioned_victim(set, &self.quotas, a.class.index())
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.maybe_repartition();
+        let oldest = set.len() as u32 - 1;
+        set_block(&mut set[way], a.class.index(), oldest);
+        touch(set, way);
+        FillInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn cfg() -> LlcConfig {
+        LlcConfig::mb(8)
+    }
+
+    fn info(stream: StreamId) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: 1,
+            stream,
+            class: stream.policy_class(),
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn fill_class(p: &mut dyn Policy, set: &mut Vec<Block>, stream: StreamId, n: usize) {
+        for _ in 0..n {
+            let way = set.iter().position(|b| !b.valid).unwrap_or_else(|| {
+                let v = p.choose_victim(&info(stream), set);
+                set[v].valid = false;
+                v
+            });
+            set[way].valid = true;
+            p.on_fill(&info(stream), set, way);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the associativity")]
+    fn bad_quotas_rejected() {
+        StaticWayPartition::new(&cfg(), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn partition_is_enforced_on_replacement() {
+        let mut p = StaticWayPartition::new(&cfg(), [2, 6, 6, 2]);
+        let mut set = vec![Block::default(); 16];
+        // Fill the whole set with textures, then with render targets: the
+        // RT fills must displace textures down to the TEX quota, but Z
+        // ways were never used so TEX may borrow them.
+        fill_class(&mut p, &mut set, StreamId::Texture, 16);
+        fill_class(&mut p, &mut set, StreamId::RenderTarget, 6);
+        let tex = set.iter().filter(|b| b.valid && class_of(b) == 1).count();
+        let rt = set.iter().filter(|b| b.valid && class_of(b) == 2).count();
+        assert_eq!(rt, 6, "RT fills got their quota");
+        assert_eq!(tex, 10, "textures shrank to make room");
+        // Six more RT fills: RT is now at quota, so they recycle RT ways.
+        fill_class(&mut p, &mut set, StreamId::RenderTarget, 6);
+        let rt = set.iter().filter(|b| b.valid && class_of(b) == 2).count();
+        assert_eq!(rt, 6, "RT stays at its quota");
+    }
+
+    #[test]
+    fn hit_migrates_block_between_partitions() {
+        let mut p = StaticWayPartition::proportional(&cfg());
+        let mut set = vec![Block::default(); 16];
+        fill_class(&mut p, &mut set, StreamId::RenderTarget, 1);
+        assert_eq!(class_of(&set[0]), PolicyClass::Rt.index());
+        p.on_hit(&info(StreamId::Texture), &mut set, 0);
+        assert_eq!(class_of(&set[0]), PolicyClass::Tex.index());
+    }
+
+    #[test]
+    fn ucp_moves_ways_toward_useful_classes() {
+        let mut p = UcpLite::new(&cfg());
+        assert_eq!(p.quotas(), [4, 4, 4, 4]);
+        // Simulate an interval dominated by texture hits.
+        let mut set = vec![Block { valid: true, ..Block::default() }; 16];
+        for _ in 0..100 {
+            p.on_hit(&info(StreamId::Texture), &mut set, 0);
+        }
+        for _ in 0..UCP_INTERVAL {
+            p.on_fill(&info(StreamId::Other), &mut set, 0);
+        }
+        let q = p.quotas();
+        assert_eq!(q.iter().sum::<u32>(), 16, "ways conserved");
+        assert!(q[PolicyClass::Tex.index()] > 4, "texture partition grew: {q:?}");
+    }
+
+    #[test]
+    fn every_class_keeps_at_least_one_way() {
+        let mut p = UcpLite::new(&cfg());
+        let mut set = vec![Block { valid: true, ..Block::default() }; 16];
+        // Many intervals of texture-only hits.
+        for _ in 0..10 {
+            for _ in 0..100 {
+                p.on_hit(&info(StreamId::Texture), &mut set, 0);
+            }
+            for _ in 0..UCP_INTERVAL {
+                p.on_fill(&info(StreamId::Other), &mut set, 0);
+            }
+        }
+        assert!(p.quotas().iter().all(|&q| q >= 1), "{:?}", p.quotas());
+    }
+}

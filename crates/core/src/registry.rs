@@ -1,0 +1,167 @@
+//! Policy registry: construct any evaluated policy by name (Table 6).
+
+use grcache::{LlcConfig, Policy};
+
+use crate::{
+    Belady, Bip, Dip, Drrip, Gspc, Gspztc, GspztcTse, GsDrrip, Lip, Lru, Nru, RandomRepl,
+    ShipMem, Slru, Srrip, StaticWayPartition, Ucd, UcpLite,
+};
+
+/// One row of the paper's Table 6 (plus the extra baselines of Figures 1
+/// and 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyEntry {
+    /// Registry name, accepted by [`create`].
+    pub name: &'static str,
+    /// One-line description, as in Table 6.
+    pub description: &'static str,
+}
+
+/// All policies the experiment harness knows how to build.
+pub const ALL_POLICIES: &[PolicyEntry] = &[
+    PolicyEntry { name: "DRRIP", description: "Dynamic re-reference interval prediction" },
+    PolicyEntry { name: "DRRIP-4", description: "Four-bit DRRIP (iso-overhead study)" },
+    PolicyEntry { name: "SRRIP", description: "Static re-reference interval prediction" },
+    PolicyEntry { name: "NRU", description: "Single-bit not-recently-used" },
+    PolicyEntry { name: "LRU", description: "True least-recently-used" },
+    PolicyEntry { name: "SHiP-mem", description: "Memory signature-based hit prediction" },
+    PolicyEntry { name: "GS-DRRIP", description: "Graphics stream-aware DRRIP" },
+    PolicyEntry { name: "GS-DRRIP-4", description: "Four-bit GS-DRRIP (iso-overhead study)" },
+    PolicyEntry {
+        name: "GSPZTC",
+        description: "Graphics stream-aware probabilistic Z and texture caching",
+    },
+    PolicyEntry { name: "GSPZTC+TSE", description: "GSPZTC with texture sampler epochs" },
+    PolicyEntry { name: "GSPC", description: "Graphics stream-aware probabilistic caching" },
+    PolicyEntry { name: "GSPC+UCD", description: "GSPC with uncached displayable color" },
+    PolicyEntry { name: "DRRIP+UCD", description: "DRRIP with uncached displayable color" },
+    PolicyEntry { name: "NRU+UCD", description: "NRU with uncached displayable color" },
+    PolicyEntry {
+        name: "GS-DRRIP+UCD",
+        description: "GS-DRRIP with uncached displayable color",
+    },
+    PolicyEntry { name: "OPT", description: "Belady's optimal (offline oracle)" },
+    PolicyEntry { name: "DIP", description: "Dynamic insertion policy (LRU/BIP dueling)" },
+    PolicyEntry { name: "LIP", description: "LRU-insertion policy" },
+    PolicyEntry { name: "BIP", description: "Bimodal insertion policy" },
+    PolicyEntry { name: "Random", description: "Random replacement" },
+    PolicyEntry {
+        name: "WayPart",
+        description: "Static per-stream way partitioning (Z:2 TEX:6 RT:6 other:2)",
+    },
+    PolicyEntry { name: "UCP-lite", description: "Utility-based way repartitioning" },
+    PolicyEntry {
+        name: "GSPC+BYP",
+        description: "GSPC with dead-texture LLC bypass (extension)",
+    },
+    PolicyEntry { name: "SLRU", description: "Segmented LRU (scan-resistant baseline)" },
+];
+
+/// Builds a policy by registry name. Returns `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// use grcache::LlcConfig;
+/// use gspc::registry::create;
+///
+/// let cfg = LlcConfig::mb(8);
+/// let p = create("GSPC+UCD", &cfg).expect("known policy");
+/// assert_eq!(p.name(), "GSPC+UCD");
+/// assert!(create("NOT-A-POLICY", &cfg).is_none());
+/// ```
+pub fn create(name: &str, cfg: &LlcConfig) -> Option<Box<dyn Policy>> {
+    // Parameterized GSPZTC for the Figure 11 threshold sweep:
+    // "GSPZTC(t=N)" with N a power of two.
+    if let Some(rest) = name.strip_prefix("GSPZTC(t=") {
+        let t: u32 = rest.strip_suffix(')')?.parse().ok()?;
+        if !t.is_power_of_two() {
+            return None;
+        }
+        return Some(Box::new(Gspztc::with_threshold(cfg, t)));
+    }
+    Some(match name {
+        "DRRIP" | "DRRIP-2" => Box::new(Drrip::new(2)),
+        "DRRIP-4" => Box::new(Drrip::new(4)),
+        "SRRIP" | "SRRIP-2" => Box::new(Srrip::new(2)),
+        "NRU" => Box::new(Nru::new()),
+        "LRU" => Box::new(Lru::new()),
+        "SHiP-mem" => Box::new(ShipMem::new(cfg)),
+        "GS-DRRIP" | "GS-DRRIP-2" => Box::new(GsDrrip::new(2)),
+        "GS-DRRIP-4" => Box::new(GsDrrip::new(4)),
+        "GSPZTC" => Box::new(Gspztc::new(cfg)),
+        "GSPZTC+TSE" => Box::new(GspztcTse::new(cfg)),
+        "GSPC" => Box::new(Gspc::new(cfg)),
+        "GSPC+UCD" => Box::new(Ucd::new(Gspc::new(cfg))),
+        "DRRIP+UCD" => Box::new(Ucd::new(Drrip::new(2))),
+        "NRU+UCD" => Box::new(Ucd::new(Nru::new())),
+        "GS-DRRIP+UCD" => Box::new(Ucd::new(GsDrrip::new(2))),
+        "OPT" => Box::new(Belady::new()),
+        "DIP" => Box::new(Dip::new()),
+        "LIP" => Box::new(Lip::new()),
+        "BIP" => Box::new(Bip::new()),
+        "Random" => Box::new(RandomRepl::new()),
+        "WayPart" => Box::new(StaticWayPartition::proportional(cfg)),
+        "UCP-lite" => Box::new(UcpLite::new(cfg)),
+        "GSPC+BYP" => Box::new(Gspc::with_dead_texture_bypass(cfg)),
+        "SLRU" => Box::new(Slru::new(cfg.ways as u32 / 2)),
+        _ => return None,
+    })
+}
+
+/// `true` when the named policy requires next-use annotations
+/// ([`grcache::annotate_next_use`]) to behave correctly.
+pub fn needs_next_use(name: &str) -> bool {
+    name == "OPT"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_policy_constructs() {
+        let cfg = LlcConfig::mb(8);
+        for entry in ALL_POLICIES {
+            let p = create(entry.name, &cfg)
+                .unwrap_or_else(|| panic!("{} not constructible", entry.name));
+            assert_eq!(p.name(), entry.name, "registry name mismatch");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(create("PLRU", &LlcConfig::mb(8)).is_none());
+    }
+
+    #[test]
+    fn parameterized_gspztc() {
+        let cfg = LlcConfig::mb(8);
+        let p = create("GSPZTC(t=2)", &cfg).unwrap();
+        assert_eq!(p.name(), "GSPZTC(t=2)");
+        // t=8 is the default and prints the bare name.
+        assert_eq!(create("GSPZTC(t=8)", &cfg).unwrap().name(), "GSPZTC");
+        assert!(create("GSPZTC(t=3)", &cfg).is_none(), "non-power-of-two t");
+        assert!(create("GSPZTC(t=x)", &cfg).is_none());
+    }
+
+    #[test]
+    fn table6_policies_present() {
+        // The exact set of Table 6.
+        for name in
+            ["DRRIP", "NRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC",
+             "GSPC+UCD", "DRRIP+UCD"]
+        {
+            assert!(
+                ALL_POLICIES.iter().any(|e| e.name == name),
+                "Table 6 policy {name} missing from registry"
+            );
+        }
+    }
+
+    #[test]
+    fn only_opt_needs_annotations() {
+        assert!(needs_next_use("OPT"));
+        assert!(!needs_next_use("GSPC"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Re-reference interval prediction (RRIP) building blocks: the RRPV
+//! metadata layout, the shared victim-selection/aging loop, and the
+//! [`Srrip`], [`Brrip`], and [`Drrip`] policies.
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+
+use crate::Duel;
+
+/// Layout of an `n`-bit re-reference prediction value (RRPV) within a
+/// block's policy metadata word.
+///
+/// All RRIP-family policies in this crate (including GSPC) keep the RRPV in
+/// the low `n` bits of [`Block::meta`]; policies are free to use higher
+/// bits for their own state.
+///
+/// # Example
+///
+/// ```
+/// use gspc::RripMeta;
+/// use grcache::Block;
+///
+/// let layout = RripMeta::new(2);
+/// let mut b = Block::default();
+/// layout.set(&mut b, 3);
+/// assert_eq!(layout.get(&b), 3);
+/// assert_eq!(layout.distant(), 3);
+/// assert_eq!(layout.long(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RripMeta {
+    bits: u32,
+}
+
+impl RripMeta {
+    /// Creates a layout with an `n`-bit RRPV.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "RRPV width must be 1..=8 bits");
+        RripMeta { bits }
+    }
+
+    /// RRPV width in bits.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The *distant* RRPV `2^n - 1` (no near- or intermediate-future reuse).
+    pub fn distant(self) -> u8 {
+        ((1u32 << self.bits) - 1) as u8
+    }
+
+    /// The *long* RRPV `2^n - 2` (possible intermediate-future reuse).
+    pub fn long(self) -> u8 {
+        ((1u32 << self.bits) - 2) as u8
+    }
+
+    fn mask(self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Reads the RRPV of a block.
+    #[inline]
+    pub fn get(self, block: &Block) -> u8 {
+        (block.meta & self.mask()) as u8
+    }
+
+    /// Writes the RRPV of a block, preserving higher metadata bits.
+    #[inline]
+    pub fn set(self, block: &mut Block, rrpv: u8) {
+        debug_assert!(u32::from(rrpv) <= self.mask());
+        block.meta = (block.meta & !self.mask()) | u32::from(rrpv);
+    }
+
+    /// The RRIP victim-selection loop: pick the minimum-way block whose
+    /// RRPV equals the distant value, incrementing every block's RRPV in
+    /// steps of one until such a block exists (Section 1 of the paper).
+    pub fn select_victim(self, set: &mut [Block]) -> usize {
+        let distant = self.distant();
+        loop {
+            if let Some(way) = set.iter().position(|b| self.get(b) == distant) {
+                return way;
+            }
+            for b in set.iter_mut() {
+                let v = self.get(b);
+                self.set(b, v + 1);
+            }
+        }
+    }
+}
+
+/// Static re-reference interval prediction: every block inserted at the
+/// long RRPV (`2^n - 2`), promoted to 0 on a hit.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    meta: RripMeta,
+}
+
+impl Srrip {
+    /// Creates an `n`-bit SRRIP policy (the paper's sample sets run the
+    /// two-bit variant).
+    pub fn new(bits: u32) -> Self {
+        Srrip { meta: RripMeta::new(bits) }
+    }
+}
+
+impl Policy for Srrip {
+    fn name(&self) -> String {
+        if self.meta.bits() == 2 {
+            "SRRIP".to_string()
+        } else {
+            format!("SRRIP-{}", self.meta.bits())
+        }
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.meta.bits()
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let rrpv = self.meta.long();
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+/// Bimodal RRIP: inserts at the distant RRPV except that every
+/// [`Brrip::EPSILON_PERIOD`]-th fill uses the long RRPV.
+#[derive(Debug, Clone)]
+pub struct Brrip {
+    meta: RripMeta,
+    fill_count: u64,
+}
+
+impl Brrip {
+    /// Probability denominator of a long-RRPV insertion (1/32, as in the
+    /// RRIP paper).
+    pub const EPSILON_PERIOD: u64 = 32;
+
+    /// Creates an `n`-bit BRRIP policy.
+    pub fn new(bits: u32) -> Self {
+        Brrip { meta: RripMeta::new(bits), fill_count: 0 }
+    }
+
+    /// Insertion RRPV for the next fill (advances the bimodal counter).
+    pub fn next_insertion(&mut self) -> u8 {
+        self.fill_count += 1;
+        if self.fill_count % Self::EPSILON_PERIOD == 0 {
+            self.meta.long()
+        } else {
+            self.meta.distant()
+        }
+    }
+}
+
+impl Policy for Brrip {
+    fn name(&self) -> String {
+        format!("BRRIP-{}", self.meta.bits())
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.meta.bits()
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let rrpv = self.next_insertion();
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+/// Dynamic re-reference interval prediction: set-dueling between SRRIP
+/// (long insertion) and BRRIP (mostly distant insertion). The paper's
+/// baseline is the two-bit variant; Figure 14 also evaluates four bits.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    meta: RripMeta,
+    duel: Duel,
+    brrip_fills: u64,
+}
+
+impl Drrip {
+    /// Creates an `n`-bit DRRIP policy.
+    pub fn new(bits: u32) -> Self {
+        Drrip { meta: RripMeta::new(bits), duel: Duel::new(1, 2, 64, 10), brrip_fills: 0 }
+    }
+
+    /// The RRPV metadata layout (shared with derived policies).
+    pub fn layout(&self) -> RripMeta {
+        self.meta
+    }
+
+    /// Current selection-counter value of the SRRIP/BRRIP duel (for
+    /// inspection and tests).
+    pub fn duel_psel(&self) -> u32 {
+        self.duel.psel()
+    }
+
+    /// `true` when follower sets currently use BRRIP insertion.
+    pub fn follower_uses_brrip(&self) -> bool {
+        self.duel.follower_prefers_b()
+    }
+
+    fn brrip_insertion(&mut self) -> u8 {
+        self.brrip_fills += 1;
+        if self.brrip_fills % Brrip::EPSILON_PERIOD == 0 {
+            self.meta.long()
+        } else {
+            self.meta.distant()
+        }
+    }
+}
+
+impl Policy for Drrip {
+    fn name(&self) -> String {
+        if self.meta.bits() == 2 {
+            "DRRIP".to_string()
+        } else {
+            format!("DRRIP-{}", self.meta.bits())
+        }
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.meta.bits()
+    }
+
+    fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.duel.observe_miss(a.set_in_bank);
+        let use_brrip = match self.duel.leader(a.set_in_bank) {
+            Some(crate::duel::Leader::A) => false,
+            Some(crate::duel::Leader::B) => true,
+            None => self.duel.follower_prefers_b(),
+        };
+        let rrpv = if use_brrip { self.brrip_insertion() } else { self.meta.long() };
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info(set_in_bank: usize) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank,
+            stream: StreamId::Texture,
+            class: PolicyClass::Tex,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn valid_set(n: usize) -> Vec<Block> {
+        vec![Block { valid: true, ..Block::default() }; n]
+    }
+
+    #[test]
+    fn layout_preserves_high_bits() {
+        let layout = RripMeta::new(2);
+        let mut b = Block { meta: 0b1100, ..Block::default() };
+        layout.set(&mut b, 3);
+        assert_eq!(b.meta, 0b1111);
+        assert_eq!(layout.get(&b), 3);
+    }
+
+    #[test]
+    fn victim_prefers_min_way_at_distant() {
+        let layout = RripMeta::new(2);
+        let mut set = valid_set(4);
+        layout.set(&mut set[1], 3);
+        layout.set(&mut set[3], 3);
+        assert_eq!(layout.select_victim(&mut set), 1);
+    }
+
+    #[test]
+    fn victim_ages_until_distant() {
+        let layout = RripMeta::new(2);
+        let mut set = valid_set(2);
+        layout.set(&mut set[0], 1);
+        layout.set(&mut set[1], 2);
+        assert_eq!(layout.select_victim(&mut set), 1);
+        // Aging bumped both blocks by one.
+        assert_eq!(layout.get(&set[0]), 2);
+        assert_eq!(layout.get(&set[1]), 3);
+    }
+
+    #[test]
+    fn srrip_inserts_long_promotes_zero() {
+        let mut p = Srrip::new(2);
+        let mut set = valid_set(2);
+        let fi = p.on_fill(&info(5), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(2));
+        assert!(!fi.distant);
+        p.on_hit(&info(5), &mut set, 0);
+        assert_eq!(RripMeta::new(2).get(&set[0]), 0);
+    }
+
+    #[test]
+    fn brrip_mostly_distant() {
+        let mut p = Brrip::new(2);
+        let mut set = valid_set(1);
+        let mut distant = 0;
+        for _ in 0..320 {
+            if p.on_fill(&info(5), &mut set, 0).distant {
+                distant += 1;
+            }
+        }
+        assert_eq!(distant, 320 - 10); // one long insertion per 32 fills
+    }
+
+    #[test]
+    fn drrip_learns_from_leader_misses() {
+        let mut p = Drrip::new(2);
+        let mut set = valid_set(1);
+        // Misses in SRRIP leaders (set 1 mod 64) push the duel toward BRRIP.
+        for _ in 0..600 {
+            p.on_fill(&info(1), &mut set, 0);
+        }
+        // A follower fill should now prefer BRRIP (distant insertion most
+        // of the time).
+        let mut distant = 0;
+        for _ in 0..64 {
+            if p.on_fill(&info(7), &mut set, 0).distant {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 60, "expected mostly distant fills, got {distant}");
+    }
+
+    #[test]
+    fn drrip_4bit_uses_wide_rrpv() {
+        let p = Drrip::new(4);
+        assert_eq!(p.layout().distant(), 15);
+        assert_eq!(p.layout().long(), 14);
+        assert_eq!(p.state_bits_per_block(), 4);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Srrip::new(2).name(), "SRRIP");
+        assert_eq!(Srrip::new(4).name(), "SRRIP-4");
+        assert_eq!(Drrip::new(2).name(), "DRRIP");
+        assert_eq!(Drrip::new(4).name(), "DRRIP-4");
+        assert_eq!(Brrip::new(4).name(), "BRRIP-4");
+    }
+}

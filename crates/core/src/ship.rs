@@ -1,0 +1,162 @@
+//! SHiP-mem: signature-based hit prediction keyed on memory regions.
+
+use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
+
+use crate::RripMeta;
+
+const OUTCOME_BIT: u32 = 1 << 2;
+const SIG_SHIFT: u32 = 3;
+const SIG_BITS: u32 = 14;
+const SIG_MASK: u32 = (1 << SIG_BITS) - 1;
+const TABLE_ENTRIES: usize = 1 << SIG_BITS;
+const COUNTER_MAX: u8 = 7; // 3-bit counters
+
+/// SHiP-mem (Wu et al., adapted in Section 5.1 of the paper): the physical
+/// address space is divided into contiguous 16 KB regions; a per-bank
+/// 16K-entry table of 3-bit saturating counters learns each region's reuse
+/// behaviour. A block from a zero-counter region is inserted at the distant
+/// RRPV, otherwise at the long RRPV.
+///
+/// The paper finds SHiP-mem ineffective for graphics: a 16 KB region mixes
+/// blocks from different streams, so the per-region counter cannot isolate
+/// per-stream behaviour. The program-counter variants (SHiP-PC/Iseq) are
+/// inapplicable because most GPU fills come from fixed-function hardware.
+#[derive(Debug, Clone)]
+pub struct ShipMem {
+    meta: RripMeta,
+    tables: Vec<Vec<u8>>,
+}
+
+impl ShipMem {
+    /// Creates the policy for an LLC with `cfg.banks` banks.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        ShipMem {
+            meta: RripMeta::new(2),
+            // Initialize to 1 (weakly reused) so the predictor has to see an
+            // unreused eviction before it writes a region off.
+            tables: vec![vec![1u8; TABLE_ENTRIES]; cfg.banks],
+        }
+    }
+
+    /// 14-bit region signature: physical address bits [27:14], i.e. block
+    /// address bits [21:8] (16 KB regions of 256 blocks).
+    fn signature(block: u64) -> u32 {
+        ((block >> 8) as u32) & SIG_MASK
+    }
+
+    fn stored_signature(block: &Block) -> u32 {
+        (block.meta >> SIG_SHIFT) & SIG_MASK
+    }
+}
+
+impl Policy for ShipMem {
+    fn name(&self) -> String {
+        "SHiP-mem".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        // 2 RRPV + 1 outcome + 14 stored signature.
+        2 + 1 + SIG_BITS
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        let sig = Self::stored_signature(&set[way]) as usize;
+        let c = &mut self.tables[a.bank][sig];
+        *c = (*c + 1).min(COUNTER_MAX);
+        set[way].meta |= OUTCOME_BIT;
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+
+    fn on_evict(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        if set[way].meta & OUTCOME_BIT == 0 {
+            let sig = Self::stored_signature(&set[way]) as usize;
+            let c = &mut self.tables[a.bank][sig];
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let sig = Self::signature(a.block);
+        let predicted_dead = self.tables[a.bank][sig as usize] == 0;
+        let rrpv = if predicted_dead { self.meta.distant() } else { self.meta.long() };
+        set[way].meta = sig << SIG_SHIFT;
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info(block: u64) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Texture,
+            class: PolicyClass::Tex,
+            write: false,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn signature_uses_addr_bits_27_to_14() {
+        // Blocks 0..255 share region 0; block 256 starts region 1.
+        assert_eq!(ShipMem::signature(0), 0);
+        assert_eq!(ShipMem::signature(255), 0);
+        assert_eq!(ShipMem::signature(256), 1);
+        // Wraps at 14 bits.
+        assert_eq!(ShipMem::signature(256 * (1 << 14)), 0);
+    }
+
+    #[test]
+    fn unreused_evictions_drive_region_to_distant_insertion() {
+        let cfg = LlcConfig::mb(8);
+        let mut p = ShipMem::new(&cfg);
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        // Fill + evict the same region once: counter 1 -> 0.
+        let fi = p.on_fill(&info(0), &mut set, 0);
+        assert!(!fi.distant, "fresh region starts weakly reused");
+        p.on_evict(&info(0), &mut set, 0);
+        let fi = p.on_fill(&info(1), &mut set, 0);
+        assert!(fi.distant, "region with dead history inserts distant");
+    }
+
+    #[test]
+    fn reuse_rescues_region() {
+        let cfg = LlcConfig::mb(8);
+        let mut p = ShipMem::new(&cfg);
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        p.on_fill(&info(0), &mut set, 0);
+        p.on_evict(&info(0), &mut set, 0); // counter -> 0
+        p.on_fill(&info(1), &mut set, 0);
+        p.on_hit(&info(1), &mut set, 0); // counter -> 1, outcome set
+        p.on_evict(&info(1), &mut set, 0); // outcome set: no decrement
+        let fi = p.on_fill(&info(2), &mut set, 0);
+        assert!(!fi.distant);
+    }
+
+    #[test]
+    fn banks_learn_independently() {
+        let cfg = LlcConfig::mb(8);
+        let mut p = ShipMem::new(&cfg);
+        let mut set = vec![Block { valid: true, ..Block::default() }; 1];
+        let mut a0 = info(0);
+        a0.bank = 0;
+        let mut a1 = info(0);
+        a1.bank = 1;
+        p.on_fill(&a0, &mut set, 0);
+        p.on_evict(&a0, &mut set, 0); // bank 0 counter -> 0
+        let fi = p.on_fill(&a1, &mut set, 0);
+        assert!(!fi.distant, "bank 1 unaffected by bank 0 history");
+    }
+}

@@ -1,0 +1,401 @@
+//! Texture sampler epochs: the shared core of GSPZTC+TSE and GSPC.
+
+use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
+use grtrace::PolicyClass;
+
+use crate::{GspcCounters, RripMeta, DEFAULT_T};
+
+/// The two per-block state bits of Figure 10, stored in metadata bits 3:2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TexState {
+    /// `00`: texture block in epoch `E0`.
+    E0 = 0,
+    /// `01`: texture block in epoch `E1`.
+    E1 = 1,
+    /// `10`: texture block in epoch `E≥2` (also the neutral state for
+    /// non-texture, non-render-target blocks).
+    E2Plus = 2,
+    /// `11`: render-target block (replaces the RT bit).
+    Rt = 3,
+}
+
+const STATE_SHIFT: u32 = 2;
+const STATE_MASK: u32 = 0b11 << STATE_SHIFT;
+
+pub(crate) fn state_of(block: &Block) -> TexState {
+    match (block.meta & STATE_MASK) >> STATE_SHIFT {
+        0 => TexState::E0,
+        1 => TexState::E1,
+        2 => TexState::E2Plus,
+        _ => TexState::Rt,
+    }
+}
+
+pub(crate) fn set_state(block: &mut Block, state: TexState) {
+    block.meta = (block.meta & !STATE_MASK) | ((state as u32) << STATE_SHIFT);
+}
+
+/// The machinery shared by [`crate::GspztcTse`] and [`crate::Gspc`]:
+/// probabilistic Z/texture insertion with per-epoch texture counters, plus
+/// (when `dynamic_rt` is set) the `PROD`/`CONS`-driven render-target
+/// insertion of the full GSPC policy.
+#[derive(Debug, Clone)]
+pub(crate) struct TseCore {
+    pub meta: RripMeta,
+    pub t: u32,
+    pub banks: Vec<GspcCounters>,
+    /// `false` -> render targets always fill at RRPV 0 (GSPZTC+TSE);
+    /// `true` -> render-target fills consult `PROD`/`CONS` (GSPC).
+    pub dynamic_rt: bool,
+}
+
+impl TseCore {
+    pub fn new(cfg: &LlcConfig, t: u32, dynamic_rt: bool) -> Self {
+        assert!(t.is_power_of_two(), "t must be a power of two");
+        TseCore {
+            meta: RripMeta::new(2),
+            t,
+            banks: vec![GspcCounters::new(); cfg.banks],
+            dynamic_rt,
+        }
+    }
+
+    fn transition_on_access(block: &mut Block, class: PolicyClass) {
+        match class {
+            PolicyClass::Rt => set_state(block, TexState::Rt),
+            PolicyClass::Tex => {
+                let next = match state_of(block) {
+                    TexState::Rt => TexState::E0,
+                    TexState::E0 => TexState::E1,
+                    TexState::E1 | TexState::E2Plus => TexState::E2Plus,
+                };
+                set_state(block, next);
+            }
+            PolicyClass::Z | PolicyClass::Other => {}
+        }
+    }
+
+    pub fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        let st = state_of(&set[way]);
+        let rrpv = if a.is_sample {
+            let c = &mut self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => c.hit_z.inc(),
+                PolicyClass::Tex => match st {
+                    TexState::Rt => {
+                        // RT -> TEX consumption: a texture life begins.
+                        c.fill_tex[0].inc();
+                        if self.dynamic_rt {
+                            c.cons.inc();
+                        }
+                    }
+                    TexState::E0 => {
+                        c.hit_tex[0].inc();
+                        c.fill_tex[1].inc();
+                    }
+                    TexState::E1 => c.hit_tex[1].inc(),
+                    TexState::E2Plus => {}
+                },
+                _ => {}
+            }
+            c.tick_access();
+            0 // samples run SRRIP: every hit promotes to RRPV 0
+        } else {
+            let c = &self.banks[a.bank];
+            match a.class {
+                PolicyClass::Tex => match st {
+                    // An RT -> TEX hit starts epoch E0; consult FILL/HIT(0).
+                    TexState::Rt => {
+                        if c.tex_reuse_below(0, self.t) {
+                            self.meta.distant()
+                        } else {
+                            0
+                        }
+                    }
+                    // An E0 block moving to E1; consult FILL/HIT(1).
+                    TexState::E0 => {
+                        if c.tex_reuse_below(1, self.t) {
+                            self.meta.distant()
+                        } else {
+                            0
+                        }
+                    }
+                    TexState::E1 | TexState::E2Plus => 0,
+                },
+                // Z hits, render-target blending hits, and other hits all
+                // promote to RRPV 0.
+                _ => 0,
+            }
+        };
+        Self::transition_on_access(&mut set[way], a.class);
+        self.meta.set(&mut set[way], rrpv);
+    }
+
+    pub fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        let rrpv = if a.is_sample {
+            let c = &mut self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => c.fill_z.inc(),
+                PolicyClass::Tex => c.fill_tex[0].inc(),
+                PolicyClass::Rt if self.dynamic_rt => c.prod.inc(),
+                _ => {}
+            }
+            c.tick_access();
+            self.meta.long()
+        } else {
+            let c = &self.banks[a.bank];
+            match a.class {
+                PolicyClass::Z => {
+                    if c.z_reuse_below(self.t) {
+                        self.meta.distant()
+                    } else {
+                        self.meta.long()
+                    }
+                }
+                PolicyClass::Tex => {
+                    if c.tex_reuse_below(0, self.t) {
+                        self.meta.distant()
+                    } else {
+                        0
+                    }
+                }
+                PolicyClass::Rt => {
+                    if self.dynamic_rt {
+                        // Inter-stream reuse probability below 1/16 -> 3;
+                        // between 1/16 and 1/8 -> 2; at least 1/8 -> 0.
+                        let prod = c.prod.get();
+                        let cons = c.cons.get();
+                        if prod > 16 * cons {
+                            self.meta.distant()
+                        } else if prod > 8 * cons {
+                            self.meta.long()
+                        } else {
+                            0
+                        }
+                    } else {
+                        0
+                    }
+                }
+                PolicyClass::Other => self.meta.long(),
+            }
+        };
+        let b = &mut set[way];
+        b.meta = 0;
+        let state = match a.class {
+            PolicyClass::Rt => TexState::Rt,
+            PolicyClass::Tex => TexState::E0,
+            _ => TexState::E2Plus,
+        };
+        set_state(b, state);
+        self.meta.set(b, rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+
+    pub fn choose_victim(&mut self, set: &mut [Block]) -> usize {
+        self.meta.select_victim(set)
+    }
+}
+
+/// GSPZTC with texture sampler epochs (Table 4): refines [`crate::Gspztc`]
+/// by tracking each texture block's epoch (`E0`, `E1`, `E≥2`) in two state
+/// bits and learning a separate reuse probability per epoch. On a texture
+/// hit the block's *new* epoch decides the RRPV instead of unconditionally
+/// promoting to 0 — the key difference from DRRIP-style promotion, since
+/// `E1` texture blocks have very low reuse probability (0.27 on average
+/// under Belady's optimal).
+#[derive(Debug, Clone)]
+pub struct GspztcTse {
+    core: TseCore,
+}
+
+impl GspztcTse {
+    /// Creates the policy with the default threshold `t = 8`.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        Self::with_threshold(cfg, DEFAULT_T)
+    }
+
+    /// Creates the policy with an explicit threshold parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is a power of two.
+    pub fn with_threshold(cfg: &LlcConfig, t: u32) -> Self {
+        GspztcTse { core: TseCore::new(cfg, t, false) }
+    }
+
+    /// The per-bank counter files (for inspection).
+    pub fn counters(&self) -> &[GspcCounters] {
+        &self.core.banks
+    }
+}
+
+impl Policy for GspztcTse {
+    fn name(&self) -> String {
+        "GSPZTC+TSE".to_string()
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        2 + 2 // RRPV + epoch state
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.core.on_hit(a, set, way);
+    }
+
+    fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.core.choose_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.core.on_fill(a, set, way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::StreamId;
+
+    pub(crate) fn cfg() -> LlcConfig {
+        LlcConfig::mb(8)
+    }
+
+    pub(crate) fn info(stream: StreamId, is_sample: bool) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block: 0,
+            bank: 0,
+            set_in_bank: if is_sample { 0 } else { 5 },
+            stream,
+            class: stream.policy_class(),
+            write: false,
+            is_sample,
+            next_use: u64::MAX,
+        }
+    }
+
+    fn one_way_set() -> Vec<Block> {
+        vec![Block { valid: true, ..Block::default() }]
+    }
+
+    #[test]
+    fn state_encoding_roundtrip() {
+        let mut b = Block::default();
+        for s in [TexState::E0, TexState::E1, TexState::E2Plus, TexState::Rt] {
+            set_state(&mut b, s);
+            assert_eq!(state_of(&b), s);
+        }
+    }
+
+    #[test]
+    fn state_bits_do_not_clobber_rrpv() {
+        let layout = RripMeta::new(2);
+        let mut b = Block::default();
+        layout.set(&mut b, 3);
+        set_state(&mut b, TexState::Rt);
+        assert_eq!(layout.get(&b), 3);
+        assert_eq!(state_of(&b), TexState::Rt);
+    }
+
+    #[test]
+    fn figure_10_transitions() {
+        // RT --tex--> E0 --tex--> E1 --tex--> E2 --tex--> E2
+        let mut b = Block::default();
+        set_state(&mut b, TexState::Rt);
+        TseCore::transition_on_access(&mut b, PolicyClass::Tex);
+        assert_eq!(state_of(&b), TexState::E0);
+        TseCore::transition_on_access(&mut b, PolicyClass::Tex);
+        assert_eq!(state_of(&b), TexState::E1);
+        TseCore::transition_on_access(&mut b, PolicyClass::Tex);
+        assert_eq!(state_of(&b), TexState::E2Plus);
+        TseCore::transition_on_access(&mut b, PolicyClass::Tex);
+        assert_eq!(state_of(&b), TexState::E2Plus);
+        // Any RT access returns the block to state 11.
+        TseCore::transition_on_access(&mut b, PolicyClass::Rt);
+        assert_eq!(state_of(&b), TexState::Rt);
+    }
+
+    #[test]
+    fn table4_sample_counter_updates() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        // TEX fill: FILL(0)++, state 00.
+        p.on_fill(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].fill_tex[0].get(), 1);
+        assert_eq!(state_of(&set[0]), TexState::E0);
+        // TEX hit in state 00: HIT(0)++, FILL(1)++, state 01.
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].hit_tex[0].get(), 1);
+        assert_eq!(p.counters()[0].fill_tex[1].get(), 1);
+        assert_eq!(state_of(&set[0]), TexState::E1);
+        // TEX hit in state 01: HIT(1)++, state 10.
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].hit_tex[1].get(), 1);
+        assert_eq!(state_of(&set[0]), TexState::E2Plus);
+        // TEX hit in state 10: no counter change.
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].hit_tex[1].get(), 1);
+        assert_eq!(state_of(&set[0]), TexState::E2Plus);
+    }
+
+    #[test]
+    fn table4_rt_to_tex_hit_counts_fill0() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::RenderTarget, true), &mut set, 0);
+        assert_eq!(state_of(&set[0]), TexState::Rt);
+        p.on_hit(&info(StreamId::Texture, true), &mut set, 0);
+        assert_eq!(p.counters()[0].fill_tex[0].get(), 1);
+        assert_eq!(state_of(&set[0]), TexState::E0);
+    }
+
+    #[test]
+    fn table4_nonsample_e0_hit_uses_epoch1_probability() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        // Train: E1 reuse is terrible (FILL(1)=9, HIT(1)=0).
+        {
+            let c = &mut p.core.banks[0];
+            for _ in 0..9 {
+                c.fill_tex[1].inc();
+            }
+        }
+        p.on_fill(&info(StreamId::Texture, false), &mut set, 0);
+        p.on_hit(&info(StreamId::Texture, false), &mut set, 0);
+        // The block moved to E1 and, because E1 reuse is low, was demoted
+        // to the distant RRPV instead of promoted to 0.
+        assert_eq!(state_of(&set[0]), TexState::E1);
+        assert_eq!(p.core.meta.get(&set[0]), 3);
+    }
+
+    #[test]
+    fn table4_nonsample_e1_hit_promotes_to_zero() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        p.on_fill(&info(StreamId::Texture, false), &mut set, 0);
+        p.on_hit(&info(StreamId::Texture, false), &mut set, 0); // E0 -> E1
+        p.on_hit(&info(StreamId::Texture, false), &mut set, 0); // E1 -> E2
+        assert_eq!(state_of(&set[0]), TexState::E2Plus);
+        assert_eq!(p.core.meta.get(&set[0]), 0);
+    }
+
+    #[test]
+    fn tse_rt_fills_stay_fully_protected() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        let fi = p.on_fill(&info(StreamId::RenderTarget, false), &mut set, 0);
+        assert_eq!(fi.rrpv, Some(0));
+    }
+
+    #[test]
+    fn z_path_matches_gspztc() {
+        let mut p = GspztcTse::new(&cfg());
+        let mut set = one_way_set();
+        for _ in 0..9 {
+            p.on_fill(&info(StreamId::Z, true), &mut set, 0);
+        }
+        p.on_hit(&info(StreamId::Z, true), &mut set, 0);
+        let fi = p.on_fill(&info(StreamId::Z, false), &mut set, 0);
+        assert!(fi.distant);
+    }
+}

@@ -1,0 +1,118 @@
+//! Uncached displayable color (UCD).
+
+use grcache::{AccessInfo, Block, FillInfo, Policy};
+use grtrace::StreamId;
+
+/// Wraps any policy so that displayable-color accesses bypass the LLC.
+///
+/// The display stream is the end-result of rendering a frame; it is
+/// consumed by the display engine and enjoys no reuse, so caching it only
+/// displaces useful blocks. Section 5.1 of the paper shows UCD improves
+/// GSPC across the board (GSPC+UCD is the best policy evaluated), while
+/// DRRIP barely reacts because it already inserts display blocks at the
+/// distant RRPV.
+///
+/// # Example
+///
+/// ```
+/// use grcache::LlcConfig;
+/// use gspc::{Gspc, Ucd};
+/// use grcache::Policy;
+///
+/// let cfg = LlcConfig::mb(8);
+/// let p = Ucd::new(Gspc::new(&cfg));
+/// assert_eq!(p.name(), "GSPC+UCD");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ucd<P> {
+    inner: P,
+}
+
+impl<P: Policy> Ucd<P> {
+    /// Wraps `inner` with display-stream bypassing.
+    pub fn new(inner: P) -> Self {
+        Ucd { inner }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Policy> Policy for Ucd<P> {
+    fn name(&self) -> String {
+        format!("{}+UCD", self.inner.name())
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.inner.state_bits_per_block()
+    }
+
+    fn should_bypass(&mut self, a: &AccessInfo) -> bool {
+        a.stream == StreamId::Display || self.inner.should_bypass(a)
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.inner.on_hit(a, set, way)
+    }
+
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        self.inner.choose_victim(a, set)
+    }
+
+    fn on_evict(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.inner.on_evict(a, set, way)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.inner.on_fill(a, set, way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nru;
+    use grcache::{AccessResult, Llc, LlcConfig};
+    use grtrace::Access;
+
+    #[test]
+    fn display_misses_bypass() {
+        let cfg = LlcConfig::mb(8);
+        let mut llc = Llc::new(cfg, Ucd::new(Nru::new()));
+        let r = llc.access(&Access::store(0x1000, StreamId::Display));
+        assert_eq!(r, AccessResult::Bypass);
+        assert_eq!(llc.stats().bypassed_writes, 1);
+        // A second access to the same address still bypasses (never filled).
+        let r = llc.access(&Access::store(0x1000, StreamId::Display));
+        assert_eq!(r, AccessResult::Bypass);
+    }
+
+    #[test]
+    fn other_streams_unaffected() {
+        let cfg = LlcConfig::mb(8);
+        let mut llc = Llc::new(cfg, Ucd::new(Nru::new()));
+        assert!(matches!(
+            llc.access(&Access::load(0x1000, StreamId::Texture)),
+            AccessResult::Miss { .. }
+        ));
+        assert_eq!(llc.access(&Access::load(0x1000, StreamId::Texture)), AccessResult::Hit);
+    }
+
+    #[test]
+    fn name_is_suffixed() {
+        assert_eq!(Ucd::new(Nru::new()).name(), "NRU+UCD");
+    }
+
+    #[test]
+    fn into_inner_roundtrip() {
+        let u = Ucd::new(Nru::new());
+        let _inner: Nru = u.into_inner();
+    }
+}

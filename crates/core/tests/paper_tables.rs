@@ -1,0 +1,262 @@
+//! Row-by-row verification of the paper's policy action tables.
+//!
+//! Tables 3, 4, and 5 of the paper specify the exact LLC controller
+//! actions of GSPZTC, GSPZTC+TSE, and GSPC. Each test here corresponds to
+//! one or more rows; the RRPV lives in metadata bits 1:0 and the
+//! epoch/RT state in bits 3:2 (Figure 10).
+
+use grcache::{AccessInfo, Block, LlcConfig, Policy};
+use grtrace::StreamId;
+use gspc::{Gspc, Gspztc, GspztcTse, RripMeta};
+
+fn cfg() -> LlcConfig {
+    LlcConfig::mb(8)
+}
+
+fn info(stream: StreamId, is_sample: bool) -> AccessInfo {
+    AccessInfo {
+        seq: 0,
+        block: 0,
+        bank: 0,
+        set_in_bank: if is_sample { 0 } else { 7 },
+        stream,
+        class: stream.policy_class(),
+        write: false,
+        is_sample,
+        next_use: u64::MAX,
+    }
+}
+
+fn rrpv(b: &Block) -> u8 {
+    RripMeta::new(2).get(b)
+}
+
+fn state(b: &Block) -> u32 {
+    (b.meta >> 2) & 0b11
+}
+
+fn set1() -> Vec<Block> {
+    vec![Block { valid: true, ..Block::default() }]
+}
+
+// ---------------------------------------------------------------- Table 3
+
+#[test]
+fn table3_sample_z_fill_is_srrip_and_counts() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::Z, true), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 2, "Z fill in samples: RRPV <- 2");
+    assert_eq!(p.counters()[0].fill_z.get(), 1, "FILL(Z)++");
+}
+
+#[test]
+fn table3_sample_z_hit_promotes_and_counts() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::Z, true), &mut s, 0);
+    p.on_hit(&info(StreamId::Z, true), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0, "Z hit: RRPV <- 0");
+    assert_eq!(p.counters()[0].hit_z.get(), 1, "HIT(Z)++");
+}
+
+#[test]
+fn table3_sample_rt_to_tex_hit_counts_as_tex_fill() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::RenderTarget, true), &mut s, 0);
+    p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0, "RT->TEX hit: RRPV <- 0");
+    assert_eq!(p.counters()[0].fill_tex[0].get(), 1, "FILL(TEX)++ not HIT(TEX)++");
+    assert_eq!(p.counters()[0].hit_tex[0].get(), 0);
+}
+
+#[test]
+fn table3_nonsample_z_fill_thresholds() {
+    // FILL(Z) > t*HIT(Z) ? 3 : 2 with t = 8.
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    for _ in 0..9 {
+        p.on_fill(&info(StreamId::Z, true), &mut s, 0);
+    }
+    p.on_hit(&info(StreamId::Z, true), &mut s, 0);
+    // 9 > 8*1: distant.
+    p.on_fill(&info(StreamId::Z, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 3);
+    // One more hit: 9 > 16 is false: long.
+    p.on_hit(&info(StreamId::Z, true), &mut s, 0);
+    p.on_fill(&info(StreamId::Z, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 2);
+}
+
+#[test]
+fn table3_nonsample_tex_fill_is_three_or_zero_never_two() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    // Untrained: 0 > 8*0 false -> RRPV 0 (not 2: "filling it with RRPV
+    // two hurts performance").
+    p.on_fill(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0);
+    // Dead-texture training: distant.
+    for _ in 0..5 {
+        p.on_fill(&info(StreamId::Texture, true), &mut s, 0);
+    }
+    p.on_fill(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 3);
+}
+
+#[test]
+fn table3_nonsample_rt_fill_fully_protected() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::RenderTarget, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0, "RT fill: RRPV <- 0");
+}
+
+#[test]
+fn table3_nonsample_other_fill_long_any_hit_zero() {
+    let mut p = Gspztc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::Other, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 2, "other fill: RRPV <- 2");
+    p.on_hit(&info(StreamId::Other, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0, "any hit: RRPV <- 0");
+}
+
+// ---------------------------------------------------------------- Table 4
+
+#[test]
+fn table4_states_follow_figure_10() {
+    let mut p = GspztcTse::new(&cfg());
+    let mut s = set1();
+    // RT fill -> state 11.
+    p.on_fill(&info(StreamId::RenderTarget, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b11);
+    // RT -> TEX hit -> state 00.
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b00);
+    // TEX hit in 00 -> 01 -> 10 -> stays 10.
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b01);
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b10);
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b10);
+    // An RT access to a texture-state block returns it to 11.
+    p.on_hit(&info(StreamId::RenderTarget, false), &mut s, 0);
+    assert_eq!(state(&s[0]), 0b11);
+}
+
+#[test]
+fn table4_sample_epoch_counters() {
+    let mut p = GspztcTse::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(p.counters()[0].fill_tex[0].get(), 1, "TEX fill: FILL(0)++");
+    p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(p.counters()[0].hit_tex[0].get(), 1, "E0 hit: HIT(0)++");
+    assert_eq!(p.counters()[0].fill_tex[1].get(), 1, "E0 hit: FILL(1)++");
+    p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(p.counters()[0].hit_tex[1].get(), 1, "E1 hit: HIT(1)++");
+    // E>=2 hits touch no counter.
+    p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(p.counters()[0].hit_tex[0].get(), 1);
+    assert_eq!(p.counters()[0].hit_tex[1].get(), 1);
+}
+
+#[test]
+fn table4_nonsample_e0_hit_consults_epoch1_probability() {
+    let mut p = GspztcTse::new(&cfg());
+    let mut s = set1();
+    // Train E1 as dead: FILL(1) large via sample E0 hits without E1 hits.
+    for _ in 0..9 {
+        p.on_fill(&info(StreamId::Texture, true), &mut s, 0);
+        p.on_hit(&info(StreamId::Texture, true), &mut s, 0); // FILL(1)++ HIT(0)++
+        // Re-fill resets state for the next round.
+    }
+    // HIT(0) is also 9, so E0 fills stay protected; but an E0 *hit* moves
+    // the block to E1, whose reuse (0/9) is below 1/9: demote to 3.
+    p.on_fill(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0);
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 3, "E0 hit with dead E1: RRPV <- 3, not 0");
+    assert_eq!(state(&s[0]), 0b01);
+    // A further hit (E1 -> E2) always promotes to 0.
+    p.on_hit(&info(StreamId::Texture, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0);
+}
+
+// ---------------------------------------------------------------- Table 5
+
+#[test]
+fn table5_sample_prod_cons() {
+    let mut p = Gspc::new(&cfg());
+    let mut s = set1();
+    p.on_fill(&info(StreamId::RenderTarget, true), &mut s, 0);
+    assert_eq!(p.counters()[0].prod.get(), 1, "RT fill: PROD++");
+    // Blending hit: state stays 11, no counters.
+    p.on_hit(&info(StreamId::RenderTarget, true), &mut s, 0);
+    assert_eq!(p.counters()[0].prod.get(), 1);
+    assert_eq!(p.counters()[0].cons.get(), 0);
+    // Consumption: CONS++.
+    p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+    assert_eq!(p.counters()[0].cons.get(), 1, "RT->TEX hit: CONS++");
+}
+
+#[test]
+fn table5_nonsample_rt_fill_three_tiers() {
+    let tiers: [(u32, u32, u8); 3] = [
+        (20, 1, 3), // PROD > 16*CONS: distant
+        (12, 1, 2), // 16*CONS >= PROD > 8*CONS: long
+        (6, 1, 0),  // PROD <= 8*CONS: fully protected
+    ];
+    for (prod, cons, expected) in tiers {
+        let mut p = Gspc::new(&cfg());
+        let mut s = set1();
+        // Train via sample events only.
+        for _ in 0..prod {
+            p.on_fill(&info(StreamId::RenderTarget, true), &mut s, 0);
+        }
+        for _ in 0..cons {
+            // Re-produce then consume so each CONS has an RT-state block.
+            p.on_fill(&info(StreamId::RenderTarget, true), &mut s, 0);
+            p.on_hit(&info(StreamId::Texture, true), &mut s, 0);
+        }
+        // The extra fills for consumption also bump PROD; rebuild exact
+        // counts directly instead.
+        let mut q = Gspc::new(&cfg());
+        let mut s2 = set1();
+        for _ in 0..prod {
+            q.on_fill(&info(StreamId::RenderTarget, true), &mut s2, 0);
+        }
+        // Inject CONS via consumption of freshly re-marked blocks without
+        // extra PROD: an RT *hit* re-marks without PROD++.
+        for _ in 0..cons {
+            q.on_hit(&info(StreamId::RenderTarget, true), &mut s2, 0);
+            q.on_hit(&info(StreamId::Texture, true), &mut s2, 0);
+        }
+        assert_eq!(q.counters()[0].prod.get(), prod);
+        assert_eq!(q.counters()[0].cons.get(), cons);
+        q.on_fill(&info(StreamId::RenderTarget, false), &mut s2, 0);
+        assert_eq!(
+            rrpv(&s2[0]),
+            expected,
+            "PROD={prod} CONS={cons} should insert at {expected}"
+        );
+    }
+}
+
+#[test]
+fn table5_rt_blending_hit_promotes() {
+    let mut p = Gspc::new(&cfg());
+    let mut s = set1();
+    // Force a distant RT fill.
+    for _ in 0..20 {
+        p.on_fill(&info(StreamId::RenderTarget, true), &mut s, 0);
+    }
+    p.on_fill(&info(StreamId::RenderTarget, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 3);
+    p.on_hit(&info(StreamId::RenderTarget, false), &mut s, 0);
+    assert_eq!(rrpv(&s[0]), 0, "RT hit (blending): RRPV <- 0");
+    assert_eq!(state(&s[0]), 0b11);
+}

@@ -1,0 +1,69 @@
+//! Property tests on the RRIP machinery and the GSPC counter file.
+
+use proptest::prelude::*;
+
+use grcache::Block;
+use gspc::{RripMeta, SatCounter};
+
+proptest! {
+    /// The RRIP victim loop always returns a block at the distant RRPV,
+    /// never increases any RRPV past it, and preserves relative order.
+    #[test]
+    fn victim_selection_invariants(
+        rrpvs in prop::collection::vec(0u8..=3, 1..16),
+        bits in 2u32..=4,
+    ) {
+        let layout = RripMeta::new(bits);
+        let max = layout.distant();
+        let mut set: Vec<Block> = rrpvs
+            .iter()
+            .map(|&r| {
+                let mut b = Block { valid: true, ..Block::default() };
+                layout.set(&mut b, r.min(max));
+                b
+            })
+            .collect();
+        let before: Vec<u8> = set.iter().map(|b| layout.get(b)).collect();
+        let victim = layout.select_victim(&mut set);
+        prop_assert!(victim < set.len());
+        prop_assert_eq!(layout.get(&set[victim]), max, "victim must be distant");
+        // Aging preserves the relative RRPV order and adds the same delta.
+        let after: Vec<u8> = set.iter().map(|b| layout.get(b)).collect();
+        let delta = after[0] - before[0];
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert_eq!(a - b, delta, "uniform aging");
+            prop_assert!(*a <= max);
+        }
+        // The victim is the minimum way among distant blocks.
+        let first_distant = after.iter().position(|&r| r == max).unwrap();
+        prop_assert_eq!(victim, first_distant);
+    }
+
+    /// RRPV writes never clobber unrelated metadata bits.
+    #[test]
+    fn rrpv_is_bit_isolated(meta in any::<u32>(), rrpv in 0u8..=3) {
+        let layout = RripMeta::new(2);
+        let mut b = Block { meta, ..Block::default() };
+        layout.set(&mut b, rrpv);
+        prop_assert_eq!(layout.get(&b), rrpv);
+        prop_assert_eq!(b.meta & !0b11, meta & !0b11);
+    }
+
+    /// Saturating counters never exceed their maximum, never underflow,
+    /// and halving is monotonically decreasing.
+    #[test]
+    fn sat_counter_invariants(ops in prop::collection::vec(0u8..3, 0..200), bits in 1u32..12) {
+        let mut c = SatCounter::new(bits);
+        let mut model: u64 = 0;
+        let max = u64::from(c.max());
+        for op in ops {
+            match op {
+                0 => { c.inc(); model = (model + 1).min(max); }
+                1 => { c.dec(); model = model.saturating_sub(1); }
+                _ => { c.halve(); model /= 2; }
+            }
+            prop_assert_eq!(u64::from(c.get()), model);
+            prop_assert!(u64::from(c.get()) <= max);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! A DDR3 memory-system timing model.
+//!
+//! Models the paper's memory subsystem: a dual-channel DDR3 system, each
+//! channel eight-way banked with open-row policy, burst length eight, and
+//! configurable tCAS–tRCD–tRP timing (DDR3-1600 15-15-15 baseline;
+//! DDR3-1867 10-10-10 for the Figure 17 sensitivity study). Requests are
+//! scheduled FR-FCFS (row hits first, then oldest) within a small
+//! reordering window, as GPU memory controllers do.
+//!
+//! The model is deliberately at the fidelity the reproduction needs: it
+//! produces per-request latencies and channel-busy time so the GPU interval
+//! model ([`grgpu`](../grgpu/index.html)) can translate LLC miss savings
+//! into frame-rate gains, including the dampening a faster DRAM causes.
+//!
+//! # Example
+//!
+//! ```
+//! use grdram::{DramSim, Request, TimingParams};
+//!
+//! let mut sim = DramSim::new(TimingParams::ddr3_1600());
+//! let reqs: Vec<Request> = (0..64)
+//!     .map(|i| Request { block: i * 7, write: false, arrival_ns: i as f64 * 4.0 })
+//!     .collect();
+//! let stats = sim.run(&reqs);
+//! assert_eq!(stats.reads, 64);
+//! assert!(stats.avg_latency_ns > 0.0);
+//! ```
+
+mod params;
+mod sim;
+
+pub use params::TimingParams;
+pub use sim::{DramSim, DramStats, Request};

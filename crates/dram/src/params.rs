@@ -1,0 +1,126 @@
+//! DDR3 timing parameter sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing and geometry of a DDR3 memory system.
+///
+/// Latencies are expressed in memory-clock cycles; [`TimingParams::tck_ns`]
+/// converts to wall-clock time. A burst of eight transfers moves one
+/// 64-byte block per request across a 64-bit channel in four memory clocks
+/// (double data rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Human-readable name, e.g. `"DDR3-1600 15-15-15"`.
+    pub name: &'static str,
+    /// Memory clock period in nanoseconds (data rate is 2/tCK).
+    pub tck_ns: f64,
+    /// CAS latency in memory clocks.
+    pub t_cas: u32,
+    /// RAS-to-CAS delay in memory clocks.
+    pub t_rcd: u32,
+    /// Row precharge time in memory clocks.
+    pub t_rp: u32,
+    /// Write recovery time in memory clocks (delay between the last data
+    /// beat of a write and a precharge to the same bank).
+    pub t_wr: u32,
+    /// Read-to-write / write-to-read bus turnaround penalty in memory
+    /// clocks.
+    pub t_turnaround: u32,
+    /// Average refresh interval in nanoseconds (tREFI); one rank-wide
+    /// refresh is charged per interval. Zero disables refresh.
+    pub t_refi_ns: f64,
+    /// Refresh cycle time in memory clocks (tRFC) — how long the banks
+    /// are unavailable per refresh.
+    pub t_rfc: u32,
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+}
+
+impl TimingParams {
+    /// The baseline: dual-channel DDR3-1600 15-15-15, eight-way banked
+    /// (Section 4 of the paper).
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            name: "DDR3-1600 15-15-15",
+            tck_ns: 1.25, // 800 MHz clock, 1600 MT/s
+            t_cas: 15,
+            t_rcd: 15,
+            t_rp: 15,
+            t_wr: 12,
+            t_turnaround: 6,
+            t_refi_ns: 7800.0,
+            t_rfc: 208, // 260 ns at 800 MHz (4 Gb parts)
+            channels: 2,
+            banks: 8,
+            row_bytes: 8 * 1024,
+        }
+    }
+
+    /// The faster system of the Figure 17 sensitivity study: dual-channel
+    /// DDR3-1867 10-10-10.
+    pub fn ddr3_1867() -> Self {
+        TimingParams {
+            name: "DDR3-1867 10-10-10",
+            tck_ns: 1.0714, // 933 MHz clock
+            t_cas: 10,
+            t_rcd: 10,
+            t_rp: 10,
+            t_wr: 14,
+            t_turnaround: 7,
+            t_refi_ns: 7800.0,
+            t_rfc: 243, // 260 ns at 933 MHz
+            channels: 2,
+            banks: 8,
+            row_bytes: 8 * 1024,
+        }
+    }
+
+    /// Memory clocks a burst-of-eight transfer occupies the data bus
+    /// (eight transfers at double data rate).
+    pub fn burst_clocks(&self) -> u32 {
+        4
+    }
+
+    /// Peak bandwidth in bytes per nanosecond, across all channels.
+    pub fn peak_bandwidth(&self) -> f64 {
+        // 8 bytes per transfer, 2 transfers per clock, per channel.
+        self.channels as f64 * 16.0 / self.tck_ns
+    }
+
+    /// Row-miss access latency in nanoseconds (tRP + tRCD + tCAS).
+    pub fn row_miss_ns(&self) -> f64 {
+        f64::from(self.t_rp + self.t_rcd + self.t_cas) * self.tck_ns
+    }
+
+    /// Row-hit access latency in nanoseconds (tCAS only).
+    pub fn row_hit_ns(&self) -> f64 {
+        f64::from(self.t_cas) * self.tck_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_figures() {
+        let p = TimingParams::ddr3_1600();
+        assert_eq!(p.channels, 2);
+        assert_eq!(p.banks, 8);
+        assert!((p.peak_bandwidth() - 25.6).abs() < 0.1); // 2 x 12.8 GB/s
+        assert!((p.row_hit_ns() - 18.75).abs() < 1e-9);
+        assert!((p.row_miss_ns() - 56.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr3_1867_is_faster() {
+        let fast = TimingParams::ddr3_1867();
+        let slow = TimingParams::ddr3_1600();
+        assert!(fast.row_miss_ns() < slow.row_miss_ns());
+        assert!(fast.peak_bandwidth() > slow.peak_bandwidth());
+    }
+}

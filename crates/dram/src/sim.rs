@@ -1,0 +1,345 @@
+//! FR-FCFS DRAM request scheduling and timing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimingParams;
+
+/// One 64-byte memory request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Cache-block address (64 B granularity).
+    pub block: u64,
+    /// `true` for a writeback, `false` for a demand read.
+    pub write: bool,
+    /// Arrival time at the memory controller, in nanoseconds.
+    pub arrival_ns: f64,
+}
+
+/// Aggregate results of a DRAM simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Demand reads serviced.
+    pub reads: u64,
+    /// Writebacks serviced.
+    pub writes: u64,
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests that needed precharge + activate.
+    pub row_misses: u64,
+    /// Mean request latency (arrival to last data beat) in nanoseconds.
+    pub avg_latency_ns: f64,
+    /// Time the busiest channel's data bus was occupied, in nanoseconds.
+    pub busy_ns: f64,
+    /// Completion time of the last request, in nanoseconds.
+    pub makespan_ns: f64,
+    /// Rank-wide refreshes performed (tREFI cadence).
+    pub refreshes: u64,
+    /// Read/write bus turnarounds paid.
+    pub turnarounds: u64,
+}
+
+impl DramStats {
+    /// Row-hit rate across all serviced requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Delivered bandwidth in bytes per nanosecond.
+    pub fn bandwidth(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            0.0
+        } else {
+            ((self.reads + self.writes) * 64) as f64 / self.makespan_ns
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_ns: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<BankState>,
+    bus_free_ns: f64,
+    busy_ns: f64,
+    last_was_write: bool,
+    next_refresh_ns: f64,
+}
+
+/// FR-FCFS window size (requests considered for row-hit reordering).
+const WINDOW: usize = 16;
+
+/// A dual-channel, multi-bank DDR3 timing simulator.
+///
+/// Requests are distributed to channels and banks by address bits; within
+/// each channel a small window is scanned for row hits before falling back
+/// to the oldest request (first-ready, first-come-first-served).
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    params: TimingParams,
+}
+
+impl DramSim {
+    /// Creates a simulator with the given timing parameters.
+    pub fn new(params: TimingParams) -> Self {
+        DramSim { params }
+    }
+
+    /// The timing parameters in force.
+    pub fn params(&self) -> TimingParams {
+        self.params
+    }
+
+    fn decompose(&self, block: u64) -> (usize, usize, u64) {
+        let p = &self.params;
+        let channel = (block as usize) & (p.channels - 1);
+        let col_blocks = p.row_bytes / 64; // blocks per row
+        let after_ch = block >> p.channels.trailing_zeros();
+        let bank = ((after_ch / col_blocks) as usize) & (p.banks - 1);
+        let row = after_ch / col_blocks / p.banks as u64;
+        (channel, bank, row)
+    }
+
+    /// Services `requests` (must be sorted by `arrival_ns`) and returns
+    /// aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if arrivals are not monotonically
+    /// non-decreasing.
+    pub fn run(&mut self, requests: &[Request]) -> DramStats {
+        let p = self.params;
+        let mut stats = DramStats::default();
+        if requests.is_empty() {
+            return stats;
+        }
+        let mut channels: Vec<Channel> = (0..p.channels)
+            .map(|_| Channel {
+                banks: vec![BankState { open_row: None, ready_ns: 0.0 }; p.banks],
+                bus_free_ns: 0.0,
+                busy_ns: 0.0,
+                last_was_write: false,
+                next_refresh_ns: if p.t_refi_ns > 0.0 { p.t_refi_ns } else { f64::MAX },
+            })
+            .collect();
+        // Per-channel pending queues of (index into requests).
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); p.channels];
+        for (i, r) in requests.iter().enumerate() {
+            if i > 0 {
+                debug_assert!(
+                    r.arrival_ns >= requests[i - 1].arrival_ns,
+                    "requests must be sorted by arrival"
+                );
+            }
+            let (ch, _, _) = self.decompose(r.block);
+            queues[ch].push(i);
+        }
+
+        let burst_ns = f64::from(p.burst_clocks()) * p.tck_ns;
+        let mut total_latency = 0.0;
+        for (ch_idx, queue) in queues.iter().enumerate() {
+            let ch = &mut channels[ch_idx];
+            let mut pending: std::collections::VecDeque<usize> = queue.iter().copied().collect();
+            while let Some(&oldest) = pending.front() {
+                let now = ch.bus_free_ns.max(requests[oldest].arrival_ns);
+                // FR-FCFS with write batching: prefer a row hit among the
+                // arrived window; failing that, a request that keeps the
+                // bus direction (controllers group reads and writes to
+                // amortize turnarounds); finally the oldest.
+                let mut chosen_pos = 0;
+                let mut same_dir: Option<usize> = None;
+                let mut found_hit = false;
+                for (pos, &ri) in pending.iter().take(WINDOW).enumerate() {
+                    let r = &requests[ri];
+                    if r.arrival_ns > now {
+                        break;
+                    }
+                    let (_, bank, row) = self.decompose(r.block);
+                    if ch.banks[bank].open_row == Some(row) {
+                        chosen_pos = pos;
+                        found_hit = true;
+                        break;
+                    }
+                    if same_dir.is_none() && r.write == ch.last_was_write {
+                        same_dir = Some(pos);
+                    }
+                }
+                if !found_hit {
+                    if let Some(pos) = same_dir {
+                        chosen_pos = pos;
+                    }
+                }
+                let ri = pending.remove(chosen_pos).expect("chosen request exists");
+                let r = &requests[ri];
+                let (_, bank, row) = self.decompose(r.block);
+                // Rank-wide refresh: when the refresh deadline passes, all
+                // banks stall for tRFC and every row closes.
+                while now >= ch.next_refresh_ns {
+                    let rfc_ns = f64::from(p.t_rfc) * p.tck_ns;
+                    let refresh_start = ch.next_refresh_ns.max(ch.bus_free_ns);
+                    for b in &mut ch.banks {
+                        b.open_row = None;
+                        b.ready_ns = b.ready_ns.max(refresh_start + rfc_ns);
+                    }
+                    ch.next_refresh_ns += p.t_refi_ns;
+                    stats.refreshes += 1;
+                }
+                let bank_state = &mut ch.banks[bank];
+                // `ready_ns` is when the bank can accept its next command;
+                // the CAS latency pipelines behind the data bursts.
+                let issue = r.arrival_ns.max(bank_state.ready_ns);
+                let (access_ns, hit) = if bank_state.open_row == Some(row) {
+                    (f64::from(p.t_cas) * p.tck_ns, true)
+                } else {
+                    (f64::from(p.t_rp + p.t_rcd + p.t_cas) * p.tck_ns, false)
+                };
+                // Switching the bus between reads and writes pays a
+                // turnaround penalty.
+                let turnaround = if ch.last_was_write != r.write && ch.busy_ns > 0.0 {
+                    stats.turnarounds += 1;
+                    f64::from(p.t_turnaround) * p.tck_ns
+                } else {
+                    0.0
+                };
+                let data_start = (issue + access_ns).max(ch.bus_free_ns + turnaround);
+                let done = data_start + burst_ns;
+                bank_state.open_row = Some(row);
+                bank_state.ready_ns = if hit {
+                    issue + burst_ns
+                } else {
+                    issue + f64::from(p.t_rp + p.t_rcd) * p.tck_ns + burst_ns
+                };
+                // Writes hold the bank for the write-recovery window.
+                if r.write {
+                    bank_state.ready_ns =
+                        bank_state.ready_ns.max(done + f64::from(p.t_wr) * p.tck_ns);
+                }
+                ch.last_was_write = r.write;
+                ch.bus_free_ns = done;
+                ch.busy_ns += burst_ns;
+                total_latency += done - r.arrival_ns;
+                if hit {
+                    stats.row_hits += 1;
+                } else {
+                    stats.row_misses += 1;
+                }
+                if r.write {
+                    stats.writes += 1;
+                } else {
+                    stats.reads += 1;
+                }
+                stats.makespan_ns = stats.makespan_ns.max(done);
+            }
+        }
+        stats.busy_ns = channels.iter().map(|c| c.busy_ns).fold(0.0, f64::max);
+        stats.avg_latency_ns = total_latency / requests.len() as f64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(blocks: &[u64], spacing_ns: f64) -> Vec<Request> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Request { block: b, write: false, arrival_ns: i as f64 * spacing_ns })
+            .collect()
+    }
+
+    #[test]
+    fn empty_run() {
+        let mut sim = DramSim::new(TimingParams::ddr3_1600());
+        let stats = sim.run(&[]);
+        assert_eq!(stats.reads + stats.writes, 0);
+    }
+
+    #[test]
+    fn sequential_blocks_hit_open_rows() {
+        // Blocks 0..64 within one row per channel: first access per
+        // channel misses, the rest hit.
+        let mut sim = DramSim::new(TimingParams::ddr3_1600());
+        let stats = sim.run(&reads(&(0..64).collect::<Vec<_>>(), 100.0));
+        assert_eq!(stats.row_misses, 2); // one per channel
+        assert_eq!(stats.row_hits, 62);
+        assert!(stats.row_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn row_conflicts_pay_full_latency() {
+        // Alternate between two rows of the same bank of one channel.
+        let p = TimingParams::ddr3_1600();
+        let row_stride_blocks = (p.row_bytes / 64) * p.banks as u64 * p.channels as u64;
+        let blocks: Vec<u64> = (0..32).map(|i| (i % 2) * row_stride_blocks).collect();
+        let mut sim = DramSim::new(p);
+        let stats = sim.run(&reads(&blocks, 1000.0));
+        assert_eq!(stats.row_hits, 0);
+        assert!(stats.avg_latency_ns >= p.row_miss_ns());
+    }
+
+    #[test]
+    fn faster_dram_is_faster() {
+        let blocks: Vec<u64> = (0..1000).map(|i| i * 17).collect();
+        let slow = DramSim::new(TimingParams::ddr3_1600()).run(&reads(&blocks, 2.0));
+        let fast = DramSim::new(TimingParams::ddr3_1867()).run(&reads(&blocks, 2.0));
+        assert!(fast.avg_latency_ns < slow.avg_latency_ns);
+        assert!(fast.makespan_ns < slow.makespan_ns);
+    }
+
+    #[test]
+    fn bandwidth_saturates_under_load() {
+        // Back-to-back row hits approach peak bandwidth.
+        let p = TimingParams::ddr3_1600();
+        let blocks: Vec<u64> = (0..10_000).collect();
+        let stats = DramSim::new(p).run(&reads(&blocks, 0.0));
+        assert!(stats.bandwidth() > 0.7 * p.peak_bandwidth());
+        assert!(stats.bandwidth() <= p.peak_bandwidth() * 1.001);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hits() {
+        // Row A, row B (same bank), then row A again, all arrived: the
+        // scheduler should service the second row-A request right after
+        // the first, before switching to row B.
+        let p = TimingParams::ddr3_1600();
+        let row_stride = (p.row_bytes / 64) * p.banks as u64 * p.channels as u64;
+        let reqs = vec![
+            Request { block: 0, write: false, arrival_ns: 0.0 },
+            Request { block: row_stride, write: false, arrival_ns: 0.0 },
+            Request { block: 2, write: false, arrival_ns: 0.0 },
+        ];
+        let stats = DramSim::new(p).run(&reqs);
+        assert_eq!(stats.row_hits, 1, "the second row-A access should hit");
+    }
+
+    #[test]
+    fn writes_are_counted() {
+        let reqs = vec![
+            Request { block: 0, write: true, arrival_ns: 0.0 },
+            Request { block: 1, write: false, arrival_ns: 1.0 },
+        ];
+        let stats = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn channels_work_in_parallel() {
+        // All-even blocks load one channel; even+odd spread across two.
+        let even: Vec<u64> = (0..2000).map(|i| i * 2).collect();
+        let spread: Vec<u64> = (0..2000).collect();
+        let s1 = DramSim::new(TimingParams::ddr3_1600()).run(&reads(&even, 0.0));
+        let s2 = DramSim::new(TimingParams::ddr3_1600()).run(&reads(&spread, 0.0));
+        assert!(s2.makespan_ns < s1.makespan_ns * 0.7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests on the DDR3 timing model.
+
+use proptest::prelude::*;
+
+use grdram::{DramSim, Request, TimingParams};
+
+fn arb_requests(max: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec((0u64..100_000, any::<bool>(), 0.0f64..10.0), 1..max).prop_map(
+        |items| {
+            let mut t = 0.0;
+            items
+                .into_iter()
+                .map(|(block, write, dt)| {
+                    t += dt;
+                    Request { block, write, arrival_ns: t }
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request is serviced exactly once and every latency is at
+    /// least a row-hit access plus the data burst.
+    #[test]
+    fn conservation_and_latency_floor(reqs in arb_requests(400)) {
+        let p = TimingParams::ddr3_1600();
+        let stats = DramSim::new(p).run(&reqs);
+        prop_assert_eq!(stats.reads + stats.writes, reqs.len() as u64);
+        prop_assert_eq!(stats.row_hits + stats.row_misses, reqs.len() as u64);
+        let floor = p.row_hit_ns() + f64::from(p.burst_clocks()) * p.tck_ns;
+        prop_assert!(stats.avg_latency_ns >= floor - 1e-9,
+            "avg latency {} below floor {}", stats.avg_latency_ns, floor);
+    }
+
+    /// The channel data bus can never be busier than the makespan, and
+    /// delivered bandwidth never exceeds the peak.
+    #[test]
+    fn bus_occupancy_bounds(reqs in arb_requests(400)) {
+        let p = TimingParams::ddr3_1600();
+        let stats = DramSim::new(p).run(&reqs);
+        prop_assert!(stats.busy_ns <= stats.makespan_ns + 1e-9);
+        prop_assert!(stats.bandwidth() <= p.peak_bandwidth() * (1.0 + 1e-9));
+    }
+
+    /// Disabling refresh can only help (or not hurt) the makespan.
+    #[test]
+    fn refresh_never_speeds_things_up(reqs in arb_requests(300)) {
+        let with = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+        let mut p = TimingParams::ddr3_1600();
+        p.t_refi_ns = 0.0; // disabled
+        let without = DramSim::new(p).run(&reqs);
+        prop_assert!(without.makespan_ns <= with.makespan_ns + 1e-6);
+        prop_assert_eq!(without.refreshes, 0);
+    }
+
+    /// The simulator is deterministic.
+    #[test]
+    fn deterministic(reqs in arb_requests(300)) {
+        let a = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+        let b = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
+        prop_assert_eq!(a.row_hits, b.row_hits);
+        prop_assert_eq!(a.turnarounds, b.turnarounds);
+    }
+}
+
+#[test]
+fn long_idle_workload_pays_refreshes() {
+    // Requests spread over a millisecond must see ~128 refreshes.
+    let reqs: Vec<Request> = (0..1000)
+        .map(|i| Request { block: i * 3, write: false, arrival_ns: i as f64 * 1000.0 })
+        .collect();
+    let stats = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+    assert!(stats.refreshes >= 100, "refreshes = {}", stats.refreshes);
+}
+
+#[test]
+fn alternating_reads_writes_pay_turnarounds() {
+    // `i % 4 < 2` alternates read/write *within* each channel (channel is
+    // selected by the block's low bit).
+    let reqs: Vec<Request> = (0..100)
+        .map(|i| Request { block: i, write: i % 4 < 2, arrival_ns: 0.0 })
+        .collect();
+    let stats = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+    assert!(stats.turnarounds > 40, "turnarounds = {}", stats.turnarounds);
+}

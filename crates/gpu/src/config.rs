@@ -1,0 +1,116 @@
+//! GPU machine configurations (Section 4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The modeled GPU.
+///
+/// The baseline mirrors the paper: 96 shader cores at 1.6 GHz with eight
+/// thread contexts each (768 threads), two 4-wide SIMD pipelines per core
+/// (16 single-precision ops per core-cycle, ~2.5 TFLOPS aggregate), twelve
+/// samplers delivering four 32-bit texels per cycle (76.8 GTexels/s), and
+/// a four-banked LLC at 4 GHz with a 20-cycle load-to-use latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Configuration name for reports.
+    pub name: &'static str,
+    /// Number of shader cores.
+    pub shader_cores: u32,
+    /// Thread contexts per core.
+    pub threads_per_core: u32,
+    /// Shader core clock in GHz.
+    pub core_clock_ghz: f64,
+    /// Single-precision operations per core per cycle.
+    pub ops_per_core_cycle: u32,
+    /// Number of fixed-function texture samplers.
+    pub samplers: u32,
+    /// Texels each sampler filters per cycle.
+    pub texels_per_sampler_cycle: u32,
+    /// LLC bank count.
+    pub llc_banks: u32,
+    /// LLC clock in GHz.
+    pub llc_clock_ghz: f64,
+    /// Minimum LLC round-trip load-to-use latency, in LLC cycles.
+    pub llc_latency_cycles: u32,
+    /// Average shader operations per shaded pixel (pixel shader length).
+    pub ops_per_pixel: f64,
+    /// Average shader operations per vertex (vertex shader length).
+    pub ops_per_vertex: f64,
+    /// Memory-level parallelism per thread the machine can sustain while
+    /// hiding DRAM latency.
+    pub mlp: f64,
+    /// Fraction of thread contexts that, on average, hold independent
+    /// work ready to overlap with an outstanding miss (occupancy,
+    /// register pressure, and divergence keep this well below 1).
+    pub hiding_efficiency: f64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline GPU: 96 cores × 8 threads, twelve samplers.
+    pub fn baseline() -> Self {
+        GpuConfig {
+            name: "96-core GPU",
+            shader_cores: 96,
+            threads_per_core: 8,
+            core_clock_ghz: 1.6,
+            ops_per_core_cycle: 16,
+            samplers: 12,
+            texels_per_sampler_cycle: 4,
+            llc_banks: 4,
+            llc_clock_ghz: 4.0,
+            llc_latency_cycles: 20,
+            ops_per_pixel: 2500.0,
+            ops_per_vertex: 300.0,
+            mlp: 2.0,
+            hiding_efficiency: 0.125,
+        }
+    }
+
+    /// The less aggressive GPU of Figure 17 (lower panel): 64 cores × 8
+    /// threads (512 contexts) and eight samplers; everything else equal.
+    pub fn less_aggressive() -> Self {
+        GpuConfig {
+            name: "64-core GPU",
+            shader_cores: 64,
+            samplers: 8,
+            ..Self::baseline()
+        }
+    }
+
+    /// Total thread contexts.
+    pub fn thread_contexts(&self) -> u32 {
+        self.shader_cores * self.threads_per_core
+    }
+
+    /// Peak shader throughput in single-precision GFLOPS.
+    pub fn peak_gflops(&self) -> f64 {
+        f64::from(self.shader_cores) * f64::from(self.ops_per_core_cycle) * self.core_clock_ghz
+    }
+
+    /// Peak texture fill rate in GTexels/s.
+    pub fn peak_gtexels(&self) -> f64 {
+        f64::from(self.samplers) * f64::from(self.texels_per_sampler_cycle) * self.core_clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let g = GpuConfig::baseline();
+        assert_eq!(g.thread_contexts(), 768);
+        // "aggregate peak throughput of nearly 2.5 TFLOPS"
+        assert!((g.peak_gflops() - 2457.6).abs() < 1.0);
+        // "peak texture fill rate of 76.8 GTexels/second"
+        assert!((g.peak_gtexels() - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn less_aggressive_matches_paper() {
+        let g = GpuConfig::less_aggressive();
+        assert_eq!(g.thread_contexts(), 512);
+        assert_eq!(g.samplers, 8);
+        assert!(g.peak_gflops() < GpuConfig::baseline().peak_gflops());
+    }
+}

@@ -1,0 +1,44 @@
+//! GPU interval timing model: translating LLC behaviour into frame rate.
+//!
+//! The paper's performance numbers (Figures 15–17) come from a detailed
+//! in-house GPU simulator. This crate implements an *interval model* of the
+//! same machine — the 96-core × 8-thread, 1.6 GHz shader array with twelve
+//! fixed-function samplers, a banked 4 GHz LLC, and the DDR3 memory system
+//! of [`grdram`] — that computes frame time as the maximum of the
+//! machine's throughput bounds plus the exposed memory latency that
+//! multithreading fails to hide:
+//!
+//! ```text
+//! t_frame = max(t_shader, t_sampler, t_llc, t_dram_bandwidth) + exposure
+//! exposure = misses x avg_dram_latency / (thread_contexts x MLP)
+//! ```
+//!
+//! This captures exactly the effects the paper's sensitivity studies probe:
+//! LLC miss savings shorten both the DRAM-bandwidth bound and the exposure
+//! term; a faster DRAM (Figure 17, upper) shrinks what there is to save; a
+//! narrower GPU (Figure 17, lower) grows the compute bound and hides the
+//! memory term behind it.
+//!
+//! # Example
+//!
+//! ```
+//! use grdram::TimingParams;
+//! use grgpu::{FrameTiming, GpuConfig, Workload};
+//!
+//! let cfg = GpuConfig::baseline();
+//! let work = Workload {
+//!     shaded_pixels: 2_000_000,
+//!     texel_samples: 16_000_000,
+//!     vertices: 800_000,
+//!     llc_accesses: 2_500_000,
+//! };
+//! let requests: Vec<(u64, bool)> = (0..100_000u64).map(|i| (i * 3, i % 4 == 0)).collect();
+//! let t = grgpu::time_frame(&cfg, TimingParams::ddr3_1600(), &work, &requests);
+//! assert!(t.fps() > 0.0);
+//! ```
+
+mod config;
+mod timing;
+
+pub use config::GpuConfig;
+pub use timing::{time_frame, FrameTiming, Workload};

@@ -1,0 +1,76 @@
+//! Scenario tests for the GPU interval model: the qualitative claims the
+//! paper's performance figures rest on.
+
+use grdram::TimingParams;
+use grgpu::{time_frame, GpuConfig, Workload};
+
+fn balanced_work() -> Workload {
+    Workload {
+        shaded_pixels: 600_000,
+        texel_samples: 6_000_000,
+        vertices: 300_000,
+        llc_accesses: 1_500_000,
+    }
+}
+
+fn requests(n: u64) -> Vec<(u64, bool)> {
+    (0..n).map(|i| (i.wrapping_mul(97), i % 5 == 0)).collect()
+}
+
+#[test]
+fn frame_time_is_monotone_in_memory_traffic() {
+    let cfg = GpuConfig::baseline();
+    let dram = TimingParams::ddr3_1600();
+    let mut last = 0.0;
+    for n in [50_000u64, 100_000, 200_000, 400_000] {
+        let t = time_frame(&cfg, dram, &balanced_work(), &requests(n));
+        assert!(t.frame_ns >= last, "frame time fell when traffic grew at n={n}");
+        last = t.frame_ns;
+    }
+}
+
+#[test]
+fn sampler_bound_workload_reports_sampler_bottleneck() {
+    let cfg = GpuConfig::baseline();
+    let work = Workload { texel_samples: 10_000_000_000, ..balanced_work() };
+    let t = time_frame(&cfg, TimingParams::ddr3_1600(), &work, &requests(1000));
+    assert_eq!(t.bottleneck(), "sampler");
+}
+
+#[test]
+fn writeback_traffic_costs_bandwidth() {
+    let cfg = GpuConfig::baseline();
+    let dram = TimingParams::ddr3_1600();
+    let reads_only: Vec<(u64, bool)> = (0..200_000u64).map(|i| (i * 97, false)).collect();
+    let with_writes: Vec<(u64, bool)> = (0..200_000u64)
+        .map(|i| (i * 97, i % 3 == 0))
+        .chain((0..66_000u64).map(|i| (i * 131, true)))
+        .collect();
+    let a = time_frame(&cfg, dram, &balanced_work(), &reads_only);
+    let b = time_frame(&cfg, dram, &balanced_work(), &with_writes);
+    assert!(b.frame_ns > a.frame_ns, "writebacks must cost frame time");
+}
+
+#[test]
+fn exposure_shrinks_with_more_threads() {
+    let dram = TimingParams::ddr3_1600();
+    let few = GpuConfig { threads_per_core: 4, ..GpuConfig::baseline() };
+    let many = GpuConfig { threads_per_core: 16, ..GpuConfig::baseline() };
+    let reqs = requests(100_000);
+    let a = time_frame(&few, dram, &balanced_work(), &reqs);
+    let b = time_frame(&many, dram, &balanced_work(), &reqs);
+    assert!(
+        b.exposure_ns < a.exposure_ns,
+        "more thread contexts must hide more latency"
+    );
+}
+
+#[test]
+fn timing_is_deterministic() {
+    let cfg = GpuConfig::baseline();
+    let dram = TimingParams::ddr3_1600();
+    let reqs = requests(50_000);
+    let a = time_frame(&cfg, dram, &balanced_work(), &reqs);
+    let b = time_frame(&cfg, dram, &balanced_work(), &reqs);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,83 @@
+//! Top-level workload generation API.
+
+use serde::Serialize;
+
+use grtrace::Trace;
+
+use crate::{AppProfile, FrameRenderer, Scale};
+
+/// Identifies one of the 52 frames of the evaluation workload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FrameJob {
+    /// The application profile.
+    pub app: AppProfile,
+    /// Frame index within the application's capture.
+    pub frame: u32,
+}
+
+impl FrameJob {
+    /// Synthesizes this frame's LLC trace at the given scale.
+    pub fn generate(&self, scale: Scale) -> Trace {
+        generate_frame(&self.app, self.frame, scale)
+    }
+
+    /// A short `App#frame` label for reports.
+    pub fn label(&self) -> String {
+        format!("{}#{}", self.app.abbrev, self.frame)
+    }
+}
+
+/// Synthesizes the LLC access trace for one frame.
+///
+/// # Example
+///
+/// ```
+/// use grsynth::{generate_frame, AppProfile, Scale};
+///
+/// let app = AppProfile::by_abbrev("HAWX").unwrap();
+/// let trace = generate_frame(&app, 0, Scale::Tiny);
+/// assert_eq!(trace.frame(), 0);
+/// ```
+pub fn generate_frame(app: &AppProfile, frame: u32, scale: Scale) -> Trace {
+    FrameRenderer::new(app, frame, scale).render()
+}
+
+/// The full 52-frame evaluation workload, in application order.
+///
+/// Traces are *not* generated here — each [`FrameJob`] synthesizes on
+/// demand so the harness can process one frame at a time without holding
+/// 52 traces in memory.
+pub fn workload_frames() -> Vec<FrameJob> {
+    AppProfile::all()
+        .into_iter()
+        .flat_map(|app| {
+            (0..app.frames).map(move |frame| FrameJob { app: app.clone(), frame })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_two_jobs() {
+        assert_eq!(workload_frames().len(), 52);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let jobs = workload_frames();
+        let mut labels: Vec<String> = jobs.iter().map(|j| j.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 52);
+    }
+
+    #[test]
+    fn job_generation_matches_direct_call() {
+        let jobs = workload_frames();
+        let j = &jobs[0];
+        assert_eq!(j.generate(Scale::Tiny), generate_frame(&j.app, j.frame, Scale::Tiny));
+    }
+}

@@ -1,0 +1,240 @@
+//! Surfaces (2D buffers) and their address-space layout.
+
+use grtrace::BLOCK_BYTES;
+
+/// What a surface holds; used for address-space bookkeeping and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurfaceKind {
+    /// Vertex attribute buffer.
+    VertexBuffer,
+    /// Vertex index buffer.
+    IndexBuffer,
+    /// Static (pre-authored) texture atlas.
+    StaticTexture,
+    /// Depth (Z) buffer.
+    Depth,
+    /// Hierarchical depth buffer.
+    HiZ,
+    /// Stencil buffer.
+    Stencil,
+    /// Offscreen render target (potential dynamic texture).
+    RenderTarget,
+    /// The back buffer rendering happens into.
+    BackBuffer,
+    /// The front buffer the display engine consumes.
+    FrontBuffer,
+    /// Shader code / constants.
+    Constants,
+}
+
+/// A 2D surface stored as 64-byte blocks, each covering a 4×4 tile of
+/// 32-bit texels/pixels (the 2D tiling GPUs use so that screen-space tiles
+/// touch few memory blocks).
+///
+/// # Example
+///
+/// ```
+/// use grsynth::{Surface, SurfaceAllocator, SurfaceKind};
+///
+/// let mut alloc = SurfaceAllocator::new();
+/// let s = alloc.alloc(SurfaceKind::RenderTarget, 64, 64);
+/// assert_eq!(s.width_blocks(), 16);
+/// assert_eq!(s.total_blocks(), 256);
+/// // Pixels in the same 4x4 tile share a block.
+/// assert_eq!(s.block_at_pixel(0, 0), s.block_at_pixel(3, 3));
+/// assert_ne!(s.block_at_pixel(0, 0), s.block_at_pixel(4, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Surface {
+    kind: SurfaceKind,
+    base: u64,
+    width: u32,
+    height: u32,
+}
+
+impl Surface {
+    /// Pixels per block edge (4×4 pixels of 4 bytes = 64 bytes).
+    pub const PIXELS_PER_BLOCK_EDGE: u32 = 4;
+
+    /// The surface kind.
+    pub fn kind(&self) -> SurfaceKind {
+        self.kind
+    }
+
+    /// Base byte address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Width in blocks (4-pixel granularity, rounded up).
+    pub fn width_blocks(&self) -> u32 {
+        self.width.div_ceil(Self::PIXELS_PER_BLOCK_EDGE)
+    }
+
+    /// Height in blocks.
+    pub fn height_blocks(&self) -> u32 {
+        self.height.div_ceil(Self::PIXELS_PER_BLOCK_EDGE)
+    }
+
+    /// Number of 64-byte blocks the surface occupies.
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.width_blocks()) * u64::from(self.height_blocks())
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.total_blocks() * BLOCK_BYTES
+    }
+
+    /// Byte address of the block at block coordinates `(xb, yb)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the coordinates are out of range.
+    #[inline]
+    pub fn block_addr(&self, xb: u32, yb: u32) -> u64 {
+        debug_assert!(xb < self.width_blocks() && yb < self.height_blocks());
+        self.base + (u64::from(yb) * u64::from(self.width_blocks()) + u64::from(xb)) * BLOCK_BYTES
+    }
+
+    /// Byte address of the block containing pixel `(x, y)` (clamped to the
+    /// surface).
+    #[inline]
+    pub fn block_at_pixel(&self, x: u32, y: u32) -> u64 {
+        let xb = (x / Self::PIXELS_PER_BLOCK_EDGE).min(self.width_blocks() - 1);
+        let yb = (y / Self::PIXELS_PER_BLOCK_EDGE).min(self.height_blocks() - 1);
+        self.block_addr(xb, yb)
+    }
+
+    /// Byte address of the `i`-th block in row-major order.
+    #[inline]
+    pub fn block_by_index(&self, i: u64) -> u64 {
+        debug_assert!(i < self.total_blocks());
+        self.base + i * BLOCK_BYTES
+    }
+}
+
+/// Bump allocator laying surfaces out in a flat physical address space.
+///
+/// Surfaces are aligned to 16 KB so that a SHiP-mem region (16 KB) never
+/// spans two surfaces, matching how real drivers align allocations.
+#[derive(Debug, Clone)]
+pub struct SurfaceAllocator {
+    next: u64,
+}
+
+const ALIGN: u64 = 16 * 1024;
+
+impl SurfaceAllocator {
+    /// Creates an allocator starting at a non-zero base (so address 0 is
+    /// never a valid surface byte).
+    pub fn new() -> Self {
+        SurfaceAllocator { next: ALIGN }
+    }
+
+    /// Allocates a `width` × `height` pixel surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn alloc(&mut self, kind: SurfaceKind, width: u32, height: u32) -> Surface {
+        assert!(width > 0 && height > 0, "surface dimensions must be non-zero");
+        let s = Surface { kind, base: self.next, width, height };
+        self.next += s.size_bytes();
+        self.next = self.next.div_ceil(ALIGN) * ALIGN;
+        s
+    }
+
+    /// Allocates a 1D buffer of `bytes` bytes, exposed as a 1-row surface
+    /// of 4-byte elements.
+    pub fn alloc_linear(&mut self, kind: SurfaceKind, bytes: u64) -> Surface {
+        let elems = (bytes / 4).max(1) as u32;
+        // Lay the buffer out as a 4-pixel-tall strip so that consecutive
+        // elements advance through blocks linearly.
+        self.alloc(kind, elems.div_ceil(4).max(1), 4)
+    }
+
+    /// Next free address (for tests).
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for SurfaceAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfaces_do_not_overlap() {
+        let mut a = SurfaceAllocator::new();
+        let s1 = a.alloc(SurfaceKind::Depth, 100, 100);
+        let s2 = a.alloc(SurfaceKind::RenderTarget, 64, 64);
+        assert!(s1.base() + s1.size_bytes() <= s2.base());
+    }
+
+    #[test]
+    fn alignment_is_16kb() {
+        let mut a = SurfaceAllocator::new();
+        let s1 = a.alloc(SurfaceKind::Depth, 4, 4); // one block
+        let s2 = a.alloc(SurfaceKind::Depth, 4, 4);
+        assert_eq!(s1.base() % ALIGN, 0);
+        assert_eq!(s2.base() % ALIGN, 0);
+        assert_eq!(s2.base() - s1.base(), ALIGN);
+    }
+
+    #[test]
+    fn block_addressing_is_dense_and_unique() {
+        let mut a = SurfaceAllocator::new();
+        let s = a.alloc(SurfaceKind::RenderTarget, 32, 16);
+        let mut seen = std::collections::HashSet::new();
+        for yb in 0..s.height_blocks() {
+            for xb in 0..s.width_blocks() {
+                assert!(seen.insert(s.block_addr(xb, yb)));
+            }
+        }
+        assert_eq!(seen.len() as u64, s.total_blocks());
+        assert!(seen.iter().all(|&addr| addr >= s.base()
+            && addr < s.base() + s.size_bytes()));
+    }
+
+    #[test]
+    fn non_multiple_of_four_dimensions_round_up() {
+        let mut a = SurfaceAllocator::new();
+        let s = a.alloc(SurfaceKind::Depth, 5, 9);
+        assert_eq!(s.width_blocks(), 2);
+        assert_eq!(s.height_blocks(), 3);
+        // Clamping keeps edge pixels in range.
+        let _ = s.block_at_pixel(4, 8);
+    }
+
+    #[test]
+    fn linear_buffer_walks_blocks_sequentially() {
+        let mut a = SurfaceAllocator::new();
+        let s = a.alloc_linear(SurfaceKind::VertexBuffer, 1024);
+        assert_eq!(s.block_by_index(1) - s.block_by_index(0), 64);
+        assert_eq!(s.size_bytes() % 64, 0);
+        assert!(s.size_bytes() >= 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        SurfaceAllocator::new().alloc(SurfaceKind::Depth, 0, 7);
+    }
+}

@@ -1,0 +1,67 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{block_addr, StreamId};
+
+/// One load or store issued to a cache.
+///
+/// Accesses are byte-addressed; cache models derive the block address via
+/// [`Access::block`]. The stream tag travels with the access all the way to
+/// the LLC, mirroring how the paper's hardware tags each LLC request with
+/// the identity of its source render cache.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::{Access, StreamId};
+///
+/// let a = Access::store(0x1040, StreamId::Z);
+/// assert!(a.write);
+/// assert_eq!(a.block(), 0x41);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Graphics stream the access belongs to.
+    pub stream: StreamId,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+impl Access {
+    /// Creates a load access.
+    pub fn load(addr: u64, stream: StreamId) -> Self {
+        Access { addr, stream, write: false }
+    }
+
+    /// Creates a store access.
+    pub fn store(addr: u64, stream: StreamId) -> Self {
+        Access { addr, stream, write: true }
+    }
+
+    /// Cache-block address of the access.
+    #[inline]
+    pub fn block(&self) -> u64 {
+        block_addr(self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_store_constructors() {
+        let l = Access::load(100, StreamId::Texture);
+        assert!(!l.write);
+        assert_eq!(l.stream, StreamId::Texture);
+        let s = Access::store(100, StreamId::RenderTarget);
+        assert!(s.write);
+    }
+
+    #[test]
+    fn block_strips_offset_bits() {
+        assert_eq!(Access::load(0x7f, StreamId::Z).block(), 1);
+        assert_eq!(Access::load(0x80, StreamId::Z).block(), 2);
+    }
+}

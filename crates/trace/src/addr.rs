@@ -1,0 +1,41 @@
+//! Cache-block address arithmetic shared across the workspace.
+
+/// Size of a cache block in bytes. The simulated GPU uses 64-byte blocks
+/// everywhere (render caches, LLC, DRAM bursts), matching the paper.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// log2 of [`BLOCK_BYTES`].
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// Converts a byte address into a cache-block address.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::block_addr;
+///
+/// assert_eq!(block_addr(0), 0);
+/// assert_eq!(block_addr(63), 0);
+/// assert_eq!(block_addr(64), 1);
+/// ```
+#[inline]
+pub fn block_addr(byte_addr: u64) -> u64 {
+    byte_addr >> BLOCK_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_consistency() {
+        assert_eq!(1u64 << BLOCK_SHIFT, BLOCK_BYTES);
+    }
+
+    #[test]
+    fn addresses_within_a_block_share_a_block_address() {
+        for offset in 0..BLOCK_BYTES {
+            assert_eq!(block_addr(0x4000 + offset), 0x4000 >> BLOCK_SHIFT);
+        }
+    }
+}

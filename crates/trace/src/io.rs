@@ -1,0 +1,185 @@
+//! Binary serialization of traces.
+//!
+//! A compact little-endian format (`GRTR` magic, version 1) so traces can
+//! be generated once and replayed across runs or shared between tools:
+//!
+//! ```text
+//! "GRTR" | u32 version | u32 app-name bytes | app name (UTF-8)
+//! u32 frame | u64 access count | accesses...
+//! ```
+//!
+//! Each access is 10 bytes: `u64` byte address, `u8` stream, `u8` write
+//! flag.
+
+use std::io::{self, Read, Write};
+
+use crate::{Access, StreamId, Trace};
+
+const MAGIC: &[u8; 4] = b"GRTR";
+const VERSION: u32 = 1;
+
+fn stream_code(s: StreamId) -> u8 {
+    s.index() as u8
+}
+
+fn stream_from_code(code: u8) -> Option<StreamId> {
+    StreamId::ALL.get(usize::from(code)).copied()
+}
+
+/// Writes `trace` to `writer` in the binary format.
+///
+/// A mutable reference also works as the writer (`write(&mut file, ..)`).
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write<W: Write>(mut writer: W, trace: &Trace) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.app().as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&trace.frame().to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for a in trace.iter() {
+        writer.write_all(&a.addr.to_le_bytes())?;
+        writer.write_all(&[stream_code(a.stream), u8::from(a.write)])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write()`](fn@write).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic number, unsupported version, or
+/// corrupt stream codes, and any I/O error from the underlying reader.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::{io as trace_io, Access, StreamId, Trace};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut t = Trace::new("demo", 7);
+/// t.push(Access::load(0x40, StreamId::Texture));
+/// let mut buf = Vec::new();
+/// trace_io::write(&mut buf, &t)?;
+/// let back = trace_io::read(&buf[..])?;
+/// assert_eq!(back, t);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read<R: Read>(mut reader: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a GRTR trace"));
+    }
+    let mut u32b = [0u8; 4];
+    reader.read_exact(&mut u32b)?;
+    let version = u32::from_le_bytes(u32b);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    reader.read_exact(&mut u32b)?;
+    let name_len = u32::from_le_bytes(u32b) as usize;
+    if name_len > 4096 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "app name too long"));
+    }
+    let mut name = vec![0u8; name_len];
+    reader.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    reader.read_exact(&mut u32b)?;
+    let frame = u32::from_le_bytes(u32b);
+    let mut u64b = [0u8; 8];
+    reader.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b);
+
+    let mut trace = Trace::with_capacity(name, frame, count as usize);
+    let mut rec = [0u8; 10];
+    for _ in 0..count {
+        reader.read_exact(&mut rec)?;
+        let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let stream = stream_from_code(rec[8]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "bad stream code")
+        })?;
+        trace.push(Access { addr, stream, write: rec[9] != 0 });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("Röntgen", 42);
+        for (i, s) in StreamId::ALL.iter().enumerate() {
+            t.push(Access { addr: i as u64 * 1000, stream: *s, write: i % 2 == 0 });
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &t).unwrap();
+        assert_eq!(read(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("", 0);
+        let mut buf = Vec::new();
+        write(&mut buf, &t).unwrap();
+        assert_eq!(read(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read(&b"NOPE........."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write(&mut buf, &Trace::new("x", 0)).unwrap();
+        buf[4] = 99;
+        assert!(read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_stream_code() {
+        let mut buf = Vec::new();
+        write(&mut buf, &sample()).unwrap();
+        // Corrupt the first access's stream byte.
+        let header = 4 + 4 + 4 + "Röntgen".len() + 4 + 8;
+        buf[header + 8] = 200;
+        assert!(read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut buf = Vec::new();
+        write(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn stream_codes_are_stable() {
+        // The on-disk format depends on these indices; breaking them
+        // breaks old traces.
+        assert_eq!(stream_code(StreamId::Vertex), 0);
+        assert_eq!(stream_code(StreamId::Display), 7);
+        assert_eq!(stream_from_code(8), Some(StreamId::Other));
+        assert_eq!(stream_from_code(9), None);
+    }
+}

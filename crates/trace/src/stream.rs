@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+
+/// Identity of the graphics data stream an LLC access belongs to.
+///
+/// Each access to the LLC is tagged with the identity of its source render
+/// cache (Section 3 of the paper). The variants mirror the streams the paper
+/// characterizes in its Figure 4: vertex and vertex-index reads from the
+/// input assembler, hierarchical-depth and depth-buffer traffic from the
+/// rasterizer and output merger, stencil masks, render-target colors,
+/// texture-sampler reads, the final displayable color, and a catch-all for
+/// shader code, constants, and other state.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::{PolicyClass, StreamId};
+///
+/// assert_eq!(StreamId::Z.policy_class(), PolicyClass::Z);
+/// assert_eq!(StreamId::Display.policy_class(), PolicyClass::Rt);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StreamId {
+    /// Vertex attribute reads by the input assembler.
+    Vertex,
+    /// Vertex index reads by the input assembler.
+    VertexIndex,
+    /// Hierarchical depth (HiZ) buffer traffic.
+    HiZ,
+    /// Depth (Z) buffer traffic.
+    Z,
+    /// Stencil buffer traffic.
+    Stencil,
+    /// Render target (pixel color) traffic, including blending reads.
+    RenderTarget,
+    /// Texture sampler reads (through the texture cache hierarchy).
+    Texture,
+    /// Final displayable color written to the back buffer.
+    Display,
+    /// Shader code, constants, and other miscellaneous state.
+    Other,
+}
+
+impl StreamId {
+    /// All stream identities, in a stable presentation order.
+    pub const ALL: [StreamId; 9] = [
+        StreamId::Vertex,
+        StreamId::VertexIndex,
+        StreamId::HiZ,
+        StreamId::Z,
+        StreamId::Stencil,
+        StreamId::RenderTarget,
+        StreamId::Texture,
+        StreamId::Display,
+        StreamId::Other,
+    ];
+
+    /// Maps this stream to the four-way partition used by the LLC policies.
+    ///
+    /// The paper partitions the LLC accesses into Z, texture sampler, render
+    /// target, and "the rest" (Section 3). Displayable color *is* a render
+    /// target (the back buffer), so [`StreamId::Display`] maps to
+    /// [`PolicyClass::Rt`].
+    pub fn policy_class(self) -> PolicyClass {
+        match self {
+            StreamId::Z => PolicyClass::Z,
+            StreamId::Texture => PolicyClass::Tex,
+            StreamId::RenderTarget | StreamId::Display => PolicyClass::Rt,
+            _ => PolicyClass::Other,
+        }
+    }
+
+    /// Short uppercase label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamId::Vertex => "VTX",
+            StreamId::VertexIndex => "VTXI",
+            StreamId::HiZ => "HIZ",
+            StreamId::Z => "Z",
+            StreamId::Stencil => "STC",
+            StreamId::RenderTarget => "RT",
+            StreamId::Texture => "TEX",
+            StreamId::Display => "DISP",
+            StreamId::Other => "OTHER",
+        }
+    }
+
+    /// Dense index of the stream within [`StreamId::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            StreamId::Vertex => 0,
+            StreamId::VertexIndex => 1,
+            StreamId::HiZ => 2,
+            StreamId::Z => 3,
+            StreamId::Stencil => 4,
+            StreamId::RenderTarget => 5,
+            StreamId::Texture => 6,
+            StreamId::Display => 7,
+            StreamId::Other => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Four-way stream partition the LLC policies reason about (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PolicyClass {
+    /// Depth buffer accesses.
+    Z,
+    /// Texture sampler accesses.
+    Tex,
+    /// Render target accesses (including displayable color).
+    Rt,
+    /// Everything else.
+    Other,
+}
+
+impl PolicyClass {
+    /// All policy classes, in a stable presentation order.
+    pub const ALL: [PolicyClass; 4] = [
+        PolicyClass::Z,
+        PolicyClass::Tex,
+        PolicyClass::Rt,
+        PolicyClass::Other,
+    ];
+
+    /// Dense index of the class within [`PolicyClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            PolicyClass::Z => 0,
+            PolicyClass::Tex => 1,
+            PolicyClass::Rt => 2,
+            PolicyClass::Other => 3,
+        }
+    }
+
+    /// Short uppercase label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyClass::Z => "Z",
+            PolicyClass::Tex => "TEX",
+            PolicyClass::Rt => "RT",
+            PolicyClass::Other => "OTHER",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_streams_have_unique_indices() {
+        let mut seen = [false; 9];
+        for s in StreamId::ALL {
+            assert!(!seen[s.index()], "duplicate index for {s}");
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_classes_have_unique_indices() {
+        let mut seen = [false; 4];
+        for c in PolicyClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_is_a_render_target() {
+        assert_eq!(StreamId::Display.policy_class(), PolicyClass::Rt);
+        assert_eq!(StreamId::RenderTarget.policy_class(), PolicyClass::Rt);
+    }
+
+    #[test]
+    fn class_mapping_matches_paper_partition() {
+        assert_eq!(StreamId::Z.policy_class(), PolicyClass::Z);
+        assert_eq!(StreamId::Texture.policy_class(), PolicyClass::Tex);
+        for s in [
+            StreamId::Vertex,
+            StreamId::VertexIndex,
+            StreamId::HiZ,
+            StreamId::Stencil,
+            StreamId::Other,
+        ] {
+            assert_eq!(s.policy_class(), PolicyClass::Other, "{s}");
+        }
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let mut labels: Vec<&str> = StreamId::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StreamId::ALL.len());
+    }
+}

@@ -1,0 +1,49 @@
+//! Property test: the binary trace format round-trips arbitrary traces.
+
+use proptest::prelude::*;
+
+use grtrace::{io as trace_io, Access, StreamId, Trace};
+
+fn arb_stream() -> impl Strategy<Value = StreamId> {
+    (0usize..9).prop_map(|i| StreamId::ALL[i])
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(
+        app in "[a-zA-Z0-9 _-]{0,24}",
+        frame in any::<u32>(),
+        accesses in prop::collection::vec((any::<u64>(), arb_stream(), any::<bool>()), 0..300),
+    ) {
+        let mut t = Trace::new(app, frame);
+        for (addr, stream, write) in accesses {
+            t.push(Access { addr, stream, write });
+        }
+        let mut buf = Vec::new();
+        trace_io::write(&mut buf, &t).expect("write to Vec cannot fail");
+        let back = trace_io::read(&buf[..]).expect("roundtrip read");
+        prop_assert_eq!(back, t);
+    }
+
+    /// Arbitrary garbage never panics the reader — it errors.
+    #[test]
+    fn fuzz_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = trace_io::read(&bytes[..]);
+    }
+
+    /// Truncating a valid trace at any point yields an error, not a panic
+    /// or a silently short trace.
+    #[test]
+    fn truncation_is_an_error(cut in 0usize..80) {
+        let mut t = Trace::new("app", 1);
+        for i in 0..4u64 {
+            t.push(Access::load(i * 64, StreamId::Z));
+        }
+        let mut buf = Vec::new();
+        trace_io::write(&mut buf, &t).unwrap();
+        if cut < buf.len() {
+            buf.truncate(cut);
+            prop_assert!(trace_io::read(&buf[..]).is_err());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Facade crate for the MICRO 2013 GPU-LLC reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency:
+//!
+//! * [`trace`] — streams, accesses, traces,
+//! * [`synth`] — synthetic DirectX-style workloads,
+//! * [`cache`] — render caches and the banked LLC simulator,
+//! * [`policies`] — the GSPC family and all baselines,
+//! * [`dram`] — the DDR3 timing model,
+//! * [`gpu`] — the GPU interval timing model.
+
+pub use grcache as cache;
+pub use grdram as dram;
+pub use grgpu as gpu;
+pub use grsynth as synth;
+pub use grtrace as trace;
+pub use gspc as policies;

@@ -1,0 +1,156 @@
+//! Property-based tests on the cache substrate and policy invariants.
+
+use proptest::prelude::*;
+
+use gpu_llc_repro::cache::{annotate_next_use, Llc, LlcConfig};
+use gpu_llc_repro::policies::registry;
+use gpu_llc_repro::trace::{Access, StreamId, Trace};
+
+fn arb_stream() -> impl Strategy<Value = StreamId> {
+    prop_oneof![
+        Just(StreamId::Vertex),
+        Just(StreamId::HiZ),
+        Just(StreamId::Z),
+        Just(StreamId::Stencil),
+        Just(StreamId::RenderTarget),
+        Just(StreamId::Texture),
+        Just(StreamId::Display),
+        Just(StreamId::Other),
+    ]
+}
+
+fn arb_trace(max_len: usize, addr_space_blocks: u64) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0..addr_space_blocks, arb_stream(), any::<bool>()),
+        1..max_len,
+    )
+    .prop_map(|accesses| {
+        let mut t = Trace::new("prop", 0);
+        for (block, stream, write) in accesses {
+            t.push(Access { addr: block * 64, stream, write });
+        }
+        t
+    })
+}
+
+fn small_llc() -> LlcConfig {
+    // 4 banks x 8 sets x 16 ways = 512 blocks.
+    LlcConfig { size_bytes: 32 * 1024, ways: 16, banks: 4, sample_period: 8 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy services every access: hits + misses = accesses, and a
+    /// block that just missed must hit if re-accessed immediately.
+    #[test]
+    fn accounting_is_exact(trace in arb_trace(500, 256)) {
+        let cfg = small_llc();
+        for name in ["DRRIP", "NRU", "LRU", "GSPC", "SHiP-mem"] {
+            let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            llc.run_trace(&trace, None);
+            prop_assert_eq!(
+                llc.stats().total_hits() + llc.stats().total_misses(),
+                trace.len() as u64,
+                "accounting broken for {}", name
+            );
+        }
+    }
+
+    /// Immediately re-accessing a block after a miss always hits (no
+    /// bypass policies involved).
+    #[test]
+    fn fill_then_hit(block in 0u64..10_000, stream in arb_stream()) {
+        let cfg = small_llc();
+        for name in ["DRRIP", "NRU", "LRU", "GSPZTC", "GSPZTC+TSE", "GSPC"] {
+            let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            llc.access(&Access::load(block * 64, stream));
+            let r = llc.access(&Access::load(block * 64, stream));
+            prop_assert_eq!(r, gpu_llc_repro::cache::AccessResult::Hit,
+                "{} lost a just-filled block", name);
+        }
+    }
+
+    /// Belady's OPT never has more misses than any online policy on the
+    /// same trace.
+    #[test]
+    fn opt_is_optimal(trace in arb_trace(800, 128)) {
+        let cfg = small_llc();
+        let annotations = annotate_next_use(trace.accesses());
+        let mut opt = Llc::new(cfg, registry::create("OPT", &cfg).unwrap());
+        opt.run_trace(&trace, Some(&annotations));
+        for name in ["DRRIP", "NRU", "LRU", "SRRIP", "GSPC", "GS-DRRIP"] {
+            let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            llc.run_trace(&trace, None);
+            prop_assert!(
+                opt.stats().total_misses() <= llc.stats().total_misses(),
+                "OPT ({}) worse than {} ({})",
+                opt.stats().total_misses(), name, llc.stats().total_misses()
+            );
+        }
+    }
+
+    /// The next-use annotation is self-consistent: each entry points to a
+    /// strictly later access of the same block with nothing in between.
+    #[test]
+    fn next_use_annotations_are_consistent(trace in arb_trace(300, 64)) {
+        let nu = annotate_next_use(trace.accesses());
+        let accesses = trace.accesses();
+        for (i, &n) in nu.iter().enumerate() {
+            if n != u64::MAX {
+                let n = n as usize;
+                prop_assert!(n > i);
+                prop_assert_eq!(accesses[n].block(), accesses[i].block());
+                for j in i + 1..n {
+                    prop_assert_ne!(accesses[j].block(), accesses[i].block());
+                }
+            }
+        }
+    }
+
+    /// The LLC never reports more writebacks than write accesses it saw
+    /// (every dirty block traces back to at least one store).
+    #[test]
+    fn writebacks_bounded_by_stores(trace in arb_trace(600, 128)) {
+        let cfg = small_llc();
+        let stores = trace.iter().filter(|a| a.write).count() as u64;
+        let mut llc = Llc::new(cfg, registry::create("DRRIP", &cfg).unwrap());
+        llc.run_trace(&trace, None);
+        prop_assert!(llc.stats().writebacks <= stores);
+    }
+
+    /// Running the same trace twice gives identical statistics
+    /// (policies are deterministic).
+    #[test]
+    fn policies_are_deterministic(trace in arb_trace(400, 128)) {
+        let cfg = small_llc();
+        for name in ["DRRIP", "GSPC", "SHiP-mem", "GS-DRRIP"] {
+            let mut a = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            a.run_trace(&trace, None);
+            let mut b = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            b.run_trace(&trace, None);
+            prop_assert_eq!(a.stats().total_misses(), b.stats().total_misses());
+            prop_assert_eq!(a.stats().writebacks, b.stats().writebacks);
+        }
+    }
+
+    /// Only UCD policies bypass, and they bypass at most the display
+    /// traffic; cold misses are bounded below by the distinct block count.
+    #[test]
+    fn bypass_and_cold_miss_bounds(trace in arb_trace(600, 64)) {
+        let cfg = small_llc();
+        let display = trace.iter().filter(|a| a.stream == StreamId::Display).count() as u64;
+        let distinct: std::collections::HashSet<u64> =
+            trace.iter().map(|a| a.block()).collect();
+
+        let mut plain = Llc::new(cfg, registry::create("GSPC", &cfg).unwrap());
+        plain.run_trace(&trace, None);
+        prop_assert_eq!(plain.stats().bypassed_reads + plain.stats().bypassed_writes, 0);
+        // Every distinct block must miss at least once (cold misses).
+        prop_assert!(plain.stats().total_misses() >= distinct.len() as u64);
+
+        let mut ucd = Llc::new(cfg, registry::create("GSPC+UCD", &cfg).unwrap());
+        ucd.run_trace(&trace, None);
+        prop_assert!(ucd.stats().bypassed_reads + ucd.stats().bypassed_writes <= display);
+    }
+}
