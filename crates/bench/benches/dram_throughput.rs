@@ -1,6 +1,7 @@
-//! Criterion microbenchmarks: DDR3 timing-model throughput.
+//! Microbenchmark: DDR3 timing-model throughput. Plain `Instant`-based
+//! harness — the workspace builds offline with no benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 use grdram::{DramSim, Request, TimingParams};
 
@@ -14,18 +15,18 @@ fn requests(n: u64, stride: u64) -> Vec<Request> {
         .collect()
 }
 
-fn dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram");
+fn main() {
     let reqs_seq = requests(100_000, 1); // row-hit friendly
     let reqs_rand = requests(100_000, 977); // row-conflict heavy
-    group.throughput(Throughput::Elements(100_000));
+    let iters = 5u32;
     for (label, reqs) in [("sequential", &reqs_seq), ("strided", &reqs_rand)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), reqs, |b, reqs| {
-            b.iter(|| DramSim::new(TimingParams::ddr3_1600()).run(reqs).makespan_ns)
-        });
+        let mut makespan = 0.0;
+        let started = Instant::now();
+        for _ in 0..iters {
+            makespan = DramSim::new(TimingParams::ddr3_1600()).run(reqs).makespan_ns;
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let rate = reqs.len() as f64 * f64::from(iters) / secs;
+        println!("dram/{label}: {rate:.0} requests/s (makespan {makespan:.0} ns)");
     }
-    group.finish();
 }
-
-criterion_group!(benches, dram);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks: LLC simulation throughput per policy.
+//! Microbenchmark: LLC simulation throughput per policy.
 //!
 //! Replays one synthesized frame through each evaluated policy; the
 //! measured quantity is the full simulator throughput (accesses per
 //! second), which bounds how fast the experiment harness can sweep
-//! configurations.
+//! configurations. Plain `Instant`-based harness — the workspace builds
+//! offline with no benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 use grcache::{annotate_next_use, Llc, LlcConfig};
 use grsynth::{AppProfile, Scale};
@@ -15,26 +16,25 @@ fn llc_cfg() -> LlcConfig {
     LlcConfig { size_bytes: 128 * 1024, ways: 16, banks: 4, sample_period: 64 }
 }
 
-fn policy_throughput(c: &mut Criterion) {
+fn main() {
     let app = AppProfile::by_abbrev("BioShock").expect("known app");
     let trace = grsynth::generate_frame(&app, 0, Scale::Tiny);
     let annotations = annotate_next_use(trace.accesses());
     let cfg = llc_cfg();
+    let iters = 5u32;
 
-    let mut group = c.benchmark_group("llc_policy");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    println!("llc_policy: {} accesses/replay, {iters} replays each", trace.len());
     for name in ["DRRIP", "NRU", "LRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPC", "OPT"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| {
-                let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
-                let ann = registry::needs_next_use(name).then_some(annotations.as_slice());
-                llc.run_trace(&trace, ann);
-                llc.stats().total_misses()
-            })
-        });
+        let mut misses = 0u64;
+        let started = Instant::now();
+        for _ in 0..iters {
+            let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
+            let ann = registry::needs_next_use(name).then_some(annotations.as_slice());
+            llc.run_trace(&trace, ann);
+            misses = llc.stats().total_misses();
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let rate = trace.len() as f64 * f64::from(iters) / secs;
+        println!("  {name:<10} {rate:>12.0} accesses/s  ({misses} misses)");
     }
-    group.finish();
 }
-
-criterion_group!(benches, policy_throughput);
-criterion_main!(benches);

@@ -1,32 +1,36 @@
-//! Criterion microbenchmarks: workload synthesis throughput.
+//! Microbenchmark: workload synthesis throughput.
 //!
 //! Measures frame-trace generation (pipeline modeling plus render-cache
 //! filtering) and the offline next-use annotation pass that enables
-//! Belady's OPT.
+//! Belady's OPT. Plain `Instant`-based harness — the workspace builds
+//! offline with no benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
 use grcache::annotate_next_use;
 use grsynth::{AppProfile, Scale};
 
-fn synth(c: &mut Criterion) {
+fn main() {
     let app = AppProfile::by_abbrev("AssnCreed").expect("known app");
+    let iters = 5u32;
 
-    let mut group = c.benchmark_group("synth");
-    group.sample_size(10);
-    group.bench_function("generate_frame_tiny", |b| {
-        b.iter(|| grsynth::generate_frame(&app, 0, Scale::Tiny).len())
-    });
-    group.finish();
+    let mut len = 0usize;
+    let started = Instant::now();
+    for _ in 0..iters {
+        len = grsynth::generate_frame(&app, 0, Scale::Tiny).len();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "synth/generate_frame_tiny: {:.2} ms/frame ({len} accesses)",
+        1e3 * secs / f64::from(iters)
+    );
 
     let trace = grsynth::generate_frame(&app, 0, Scale::Tiny);
-    let mut group = c.benchmark_group("optgen");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("annotate_next_use", |b| {
-        b.iter(|| annotate_next_use(trace.accesses()).len())
-    });
-    group.finish();
+    let started = Instant::now();
+    for _ in 0..iters {
+        len = annotate_next_use(trace.accesses()).len();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let rate = len as f64 * f64::from(iters) / secs;
+    println!("optgen/annotate_next_use: {rate:.0} accesses/s");
 }
-
-criterion_group!(benches, synth);
-criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Measures what the shared frame-trace cache buys `all_experiments`.
+//!
+//! The full sequence of frame consumers in `experiments::all` — every
+//! `run_workload` call plus the Figure 4 stream-distribution sweep and the
+//! two ablation loops — is replayed twice:
+//!
+//! 1. **seed-equivalent** — the frame cache is cleared before every
+//!    consumer (and, inside the ablations, wherever the seed harness's
+//!    loop structure re-synthesized: once per policy for the inter-frame
+//!    study, once per sample-density point) and the runner is pinned to
+//!    one thread. This reproduces the seed behaviour of re-synthesizing
+//!    every frame, and re-deriving every Belady annotation, once per
+//!    figure.
+//! 2. **shared-cache** — the cache is cleared once up front; every
+//!    consumer after the first reuses the process-wide traces, exactly as
+//!    `all_experiments` now runs.
+//!
+//! Both passes are checked to produce identical miss counts before the
+//! timing is reported. Honours `GR_SCALE` / `GR_FRAMES` / `GR_THREADS`.
+//!
+//! ```text
+//! cargo run -p grbench --release --example perf_compare
+//! ```
+
+use std::time::Instant;
+
+use grbench::experiments::FIG12_POLICIES;
+use grbench::{framecache, run_workload, ExperimentConfig, RunOptions, WorkloadResults};
+use grcache::{Llc, LlcConfig};
+use grdram::TimingParams;
+use grgpu::GpuConfig;
+use grsynth::AppProfile;
+use gspc::registry;
+
+/// The `run_workload` calls `experiments::all` makes, in order.
+fn runner_calls() -> Vec<RunOptions> {
+    let characterized =
+        |policies: &[&str]| RunOptions { characterize: true, ..RunOptions::misses(policies) };
+    let timed = |gpu: GpuConfig, dram: TimingParams, llc_mb: u64| RunOptions {
+        timing: Some((gpu, dram)),
+        llc_paper_mb: llc_mb,
+        ..RunOptions::misses(&["NRU+UCD", "GS-DRRIP+UCD", "GSPC+UCD", "DRRIP+UCD"])
+    };
+    let mut fig12: Vec<&str> = FIG12_POLICIES.to_vec();
+    fig12.push("DRRIP");
+    vec![
+        // fig01, characterization, fig11, fig12/13, fig14:
+        RunOptions::misses(&["NRU", "OPT", "DRRIP"]),
+        characterized(&["OPT", "DRRIP", "NRU"]),
+        RunOptions::misses(&["GSPZTC(t=2)", "GSPZTC(t=4)", "GSPZTC(t=8)", "GSPZTC(t=16)"]),
+        characterized(&fig12),
+        RunOptions::misses(&["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC", "DRRIP"]),
+        // fig15, fig16, fig17 upper and lower:
+        timed(GpuConfig::baseline(), TimingParams::ddr3_1600(), 8),
+        timed(GpuConfig::baseline(), TimingParams::ddr3_1600(), 16),
+        timed(GpuConfig::baseline(), TimingParams::ddr3_1867(), 8),
+        timed(GpuConfig::less_aggressive(), TimingParams::ddr3_1600(), 8),
+        // ablations (way partitioning):
+        RunOptions::misses(&["WayPart", "UCP-lite", "GSPC", "DRRIP"]),
+    ]
+}
+
+/// Everything one `experiments::all` pass produces that we can compare.
+struct PassOutput {
+    runs: Vec<WorkloadResults>,
+    /// Miss checksum of the non-`run_workload` simulations (ablations).
+    ablation_misses: u64,
+    /// Accesses counted by the Figure 4 stream sweep.
+    fig04_accesses: u64,
+}
+
+/// Replays the frame consumers of `experiments::all` in order. With
+/// `seed_equiv`, clears the frame cache wherever the seed harness would
+/// have re-synthesized, and pins the runner to one thread.
+fn run_all(cfg: &ExperimentConfig, seed_equiv: bool) -> PassOutput {
+    let reset = || {
+        if seed_equiv {
+            framecache::clear();
+        }
+    };
+    let calls = runner_calls();
+    let mut runs = Vec::with_capacity(calls.len());
+    let mut fig04_accesses = 0u64;
+
+    // fig01 first, then the Figure 4 stream sweep, then the rest — the
+    // order of `experiments::all`.
+    for (i, opts) in calls.iter().enumerate() {
+        if i == 1 {
+            reset();
+            for app in AppProfile::all() {
+                for frame in 0..cfg.frames_for(app.frames) {
+                    let t = framecache::frame_data(&app, frame, cfg.scale);
+                    std::hint::black_box(t.trace.stats());
+                    fig04_accesses += t.trace.len() as u64;
+                }
+            }
+        }
+        reset();
+        let opts =
+            if seed_equiv { RunOptions { threads: Some(1), ..opts.clone() } } else { opts.clone() };
+        runs.push(run_workload(&opts, cfg));
+    }
+
+    // Ablation: inter-frame reuse. The seed rendered inside the policy
+    // loop, i.e. once per policy.
+    let mut ablation_misses = 0u64;
+    let llc_cfg = cfg.llc(8);
+    for policy in ["DRRIP", "GSPC+UCD"] {
+        reset();
+        for app in AppProfile::all().iter().take(4) {
+            let mut persistent =
+                Llc::new(llc_cfg, registry::create(policy, &llc_cfg).expect("known policy"));
+            for frame in 0..cfg.frames_for(app.frames).min(3) {
+                let t = framecache::frame_data(app, frame, cfg.scale);
+                let mut fresh =
+                    Llc::new(llc_cfg, registry::create(policy, &llc_cfg).expect("known policy"));
+                fresh.run_trace(&t.trace, None);
+                persistent.run_trace(&t.trace, None);
+                ablation_misses += fresh.stats().total_misses() + persistent.stats().total_misses();
+            }
+        }
+    }
+
+    // Ablation: sample-set density. The seed rendered inside the period
+    // loop, i.e. once per density point.
+    for period in [128usize, 64, 32] {
+        reset();
+        let llc = LlcConfig { sample_period: period, ..llc_cfg };
+        for app in AppProfile::all() {
+            for frame in 0..cfg.frames_for(app.frames).min(1) {
+                let t = framecache::frame_data(&app, frame, cfg.scale);
+                let mut gspc_sim = Llc::new(llc, gspc::Gspc::new(&llc));
+                gspc_sim.run_trace(&t.trace, None);
+                let mut drrip_sim = Llc::new(llc, gspc::Drrip::new(2));
+                drrip_sim.run_trace(&t.trace, None);
+                ablation_misses +=
+                    gspc_sim.stats().total_misses() + drrip_sim.stats().total_misses();
+            }
+        }
+    }
+
+    PassOutput { runs, ablation_misses, fig04_accesses }
+}
+
+fn assert_same(a: &PassOutput, b: &PassOutput) {
+    for (call, (ra, rb)) in a.runs.iter().zip(&b.runs).enumerate() {
+        for policy in &ra.policies {
+            for app in &ra.apps {
+                assert_eq!(
+                    ra.misses(policy, app),
+                    rb.misses(policy, app),
+                    "call {call}: misses diverged for ({policy}, {app})"
+                );
+            }
+        }
+    }
+    assert_eq!(a.ablation_misses, b.ablation_misses, "ablation misses diverged");
+    assert_eq!(a.fig04_accesses, b.fig04_accesses, "fig04 access counts diverged");
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+
+    eprintln!("pass 1/2: seed-equivalent (synthesize per figure, serial)...");
+    framecache::clear();
+    let started = Instant::now();
+    let baseline = run_all(&cfg, true);
+    let cold = started.elapsed().as_secs_f64();
+
+    eprintln!("pass 2/2: shared frame-trace cache (synthesize once)...");
+    framecache::clear();
+    let started = Instant::now();
+    let cached = run_all(&cfg, false);
+    let warm = started.elapsed().as_secs_f64();
+
+    assert_same(&baseline, &cached);
+
+    let accesses: u64 = cached.runs.iter().map(|r| r.perf.llc_accesses).sum();
+    let threads = cached.runs[0].perf.threads;
+    println!("runner calls:         {}", cached.runs.len());
+    println!("simulated accesses:   {accesses}");
+    println!("seed-equivalent:      {cold:.2} s");
+    println!(
+        "shared cache ({threads} thr): {warm:.2} s  ({:.0} accesses/s)",
+        accesses as f64 / warm
+    );
+    println!("speedup:              {:.2}x", cold / warm);
+}

@@ -1,5 +1,11 @@
 //! Reproduces every figure and table of the paper. See the grbench crate docs for scaling.
+//!
+//! Figure/table output goes to stdout and is byte-identical for any
+//! `GR_THREADS`; the wall-clock summary goes to stderr so redirected
+//! output stays comparable across runs.
 fn main() {
+    let started = std::time::Instant::now();
     let cfg = grbench::ExperimentConfig::from_env();
     grbench::experiments::all(&cfg);
+    eprintln!("all_experiments completed in {:.2}s", started.elapsed().as_secs_f64());
 }

@@ -3,9 +3,15 @@
 //! ```text
 //! cargo run -p grbench --release --bin export_json > results.json
 //! ```
+//!
+//! The `perf` object records the runner's throughput (simulated LLC
+//! accesses per wall-clock second) so successive PRs can track the
+//! performance trajectory in the exported `BENCH_*.json` files. Wall-clock
+//! numbers vary run to run; everything else in the document is
+//! deterministic for a given `GR_SCALE`/`GR_FRAMES`, regardless of
+//! `GR_THREADS`.
 
-use serde_json::{json, Map, Value};
-
+use grbench::json::Json;
 use grbench::{experiments::FIG12_POLICIES, run_workload, ExperimentConfig, RunOptions};
 use grtrace::{PolicyClass, StreamId};
 
@@ -14,38 +20,37 @@ fn main() {
     let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
     policies.push("OPT".into());
-    let opts = RunOptions {
-        policies,
-        characterize: true,
-        timing: None,
-        llc_paper_mb: 8,
-    };
+    let opts =
+        RunOptions { policies, characterize: true, timing: None, llc_paper_mb: 8, threads: None };
     let r = run_workload(&opts, &cfg);
 
-    let mut out = Map::new();
-    out.insert("scale".into(), json!(format!("{:?}", cfg.scale)));
-    out.insert("llc_bytes".into(), json!(cfg.llc(8).size_bytes));
-    let mut per_policy = Map::new();
+    let mut out = Json::obj();
+    out.set("scale", format!("{:?}", cfg.scale));
+    out.set("llc_bytes", cfg.llc(8).size_bytes);
+    let mut per_policy = Json::obj();
     for policy in &r.policies {
-        let mut apps = Map::new();
+        let mut apps = Json::obj();
         for app in &r.apps {
             let agg = r.get(policy, app);
-            apps.insert(
-                app.clone(),
-                json!({
-                    "misses": agg.stats.total_misses(),
-                    "hits": agg.stats.total_hits(),
-                    "normalized_misses": r.normalized_misses(policy, app, "DRRIP"),
-                    "tex_hit_rate": agg.stats.class_hit_rate(PolicyClass::Tex),
-                    "rt_hit_rate": agg.stats.hit_rate(StreamId::RenderTarget),
-                    "z_hit_rate": agg.stats.hit_rate(StreamId::Z),
-                    "rt_consumption": agg.chars.rt_consumption_rate(),
-                    "writebacks": agg.stats.writebacks,
-                }),
-            );
+            let mut entry = Json::obj();
+            entry.set("misses", agg.stats.total_misses());
+            entry.set("hits", agg.stats.total_hits());
+            entry.set("normalized_misses", r.normalized_misses(policy, app, "DRRIP"));
+            entry.set("tex_hit_rate", agg.stats.class_hit_rate(PolicyClass::Tex));
+            entry.set("rt_hit_rate", agg.stats.hit_rate(StreamId::RenderTarget));
+            entry.set("z_hit_rate", agg.stats.hit_rate(StreamId::Z));
+            entry.set("rt_consumption", agg.chars.rt_consumption_rate());
+            entry.set("writebacks", agg.stats.writebacks);
+            apps.set(app.clone(), entry);
         }
-        per_policy.insert(policy.clone(), Value::Object(apps));
+        per_policy.set(policy.clone(), apps);
     }
-    out.insert("policies".into(), Value::Object(per_policy));
-    println!("{}", serde_json::to_string_pretty(&Value::Object(out)).expect("serialize"));
+    out.set("policies", per_policy);
+    let mut perf = Json::obj();
+    perf.set("threads", r.perf.threads);
+    perf.set("llc_accesses_simulated", r.perf.llc_accesses);
+    perf.set("wall_seconds", r.perf.wall_seconds);
+    perf.set("accesses_per_sec", r.perf.accesses_per_sec());
+    out.set("perf", perf);
+    println!("{}", out.to_string_pretty());
 }

@@ -11,8 +11,8 @@
 //! All subcommands honour `GR_SCALE` and `GR_FRAMES` (see the grbench
 //! crate docs).
 
-use grbench::{run_workload, table, ExperimentConfig, RunOptions};
-use grcache::{annotate_next_use, Llc};
+use grbench::{framecache, run_workload, table, ExperimentConfig, RunOptions};
+use grcache::Llc;
 use grsynth::AppProfile;
 use grtrace::StreamId;
 use gspc::registry;
@@ -82,12 +82,11 @@ fn characterize(cfg: &ExperimentConfig, app_name: &str) {
     let mut chars = grcache::CharReport::default();
     let mut mix = grtrace::StreamStats::new();
     for frame in 0..cfg.frames_for(app.frames) {
-        let trace = grsynth::generate_frame(&app, frame, cfg.scale);
-        mix.merge(trace.stats());
-        let nu = annotate_next_use(trace.accesses());
-        let mut llc = Llc::new(llc_cfg, registry::create("OPT", &llc_cfg).unwrap())
-            .with_characterization();
-        llc.run_trace(&trace, Some(&nu));
+        let data = framecache::frame_data(&app, frame, cfg.scale);
+        mix.merge(data.trace.stats());
+        let mut llc =
+            Llc::new(llc_cfg, registry::create("OPT", &llc_cfg).unwrap()).with_characterization();
+        llc.run_trace(&data.trace, Some(data.next_use().as_slice()));
         stats.merge(llc.stats());
         chars.merge(llc.characterization().expect("characterization enabled"));
     }
@@ -150,6 +149,7 @@ fn compare(cfg: &ExperimentConfig, policies: &[String]) {
         characterize: false,
         timing: None,
         llc_paper_mb: 8,
+        threads: None,
     };
     let r = run_workload(&opts, cfg);
     let mut head = vec!["app"];
@@ -186,10 +186,9 @@ fn sweep(cfg: &ExperimentConfig, policy: &str, sizes_mb: &[u64]) {
         let mut total = 0u64;
         for app in AppProfile::all() {
             for frame in 0..cfg.frames_for(app.frames).min(2) {
-                let trace = grsynth::generate_frame(&app, frame, cfg.scale);
-                let mut llc =
-                    Llc::new(llc_cfg, registry::create(policy, &llc_cfg).unwrap());
-                llc.run_trace(&trace, None);
+                let data = framecache::frame_data(&app, frame, cfg.scale);
+                let mut llc = Llc::new(llc_cfg, registry::create(policy, &llc_cfg).unwrap());
+                llc.run_trace(&data.trace, None);
                 hits += llc.stats().total_hits();
                 total += llc.stats().total_accesses();
             }

@@ -42,23 +42,17 @@ fn main() {
             if args.len() < 3 {
                 usage();
             }
-            let trace = trace_io::read(BufReader::new(
-                File::open(&args[1]).expect("open trace file"),
-            ))
-            .expect("parse trace");
+            let trace =
+                trace_io::read(BufReader::new(File::open(&args[1]).expect("open trace file")))
+                    .expect("parse trace");
             let kb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(512);
-            let cfg = LlcConfig {
-                size_bytes: kb * 1024,
-                ways: 16,
-                banks: 4,
-                sample_period: 64,
-            };
+            let cfg = LlcConfig { size_bytes: kb * 1024, ways: 16, banks: 4, sample_period: 64 };
             let policy = registry::create(&args[2], &cfg).unwrap_or_else(|| {
                 eprintln!("unknown policy {}", args[2]);
                 std::process::exit(1);
             });
-            let annotations = registry::needs_next_use(&args[2])
-                .then(|| annotate_next_use(trace.accesses()));
+            let annotations =
+                registry::needs_next_use(&args[2]).then(|| annotate_next_use(trace.accesses()));
             let mut llc = Llc::new(cfg, policy);
             llc.run_trace(&trace, annotations.as_deref());
             println!(
@@ -75,16 +69,19 @@ fn main() {
             if args.len() < 2 {
                 usage();
             }
-            let trace = trace_io::read(BufReader::new(
-                File::open(&args[1]).expect("open trace file"),
-            ))
-            .expect("parse trace");
+            let trace =
+                trace_io::read(BufReader::new(File::open(&args[1]).expect("open trace file")))
+                    .expect("parse trace");
             println!("app={} frame={} accesses={}", trace.app(), trace.frame(), trace.len());
             for s in grtrace::StreamId::ALL {
                 let n = trace.stats().accesses(s);
                 if n > 0 {
-                    println!("  {:<6} {:>9} ({:.1}%)", s.label(), n,
-                             100.0 * trace.stats().fraction(s));
+                    println!(
+                        "  {:<6} {:>9} ({:.1}%)",
+                        s.label(),
+                        n,
+                        100.0 * trace.stats().fraction(s)
+                    );
                 }
             }
         }

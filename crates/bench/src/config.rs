@@ -21,8 +21,7 @@ impl ExperimentConfig {
             .ok()
             .and_then(|s| Scale::from_name(&s))
             .unwrap_or(Scale::Half);
-        let frames_per_app =
-            std::env::var("GR_FRAMES").ok().and_then(|s| s.parse().ok());
+        let frames_per_app = std::env::var("GR_FRAMES").ok().and_then(|s| s.parse().ok());
         ExperimentConfig { scale, frames_per_app }
     }
 

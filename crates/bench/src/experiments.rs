@@ -36,10 +36,8 @@ fn print_normalized(results: &WorkloadResults, policies: &[&str], baseline: &str
     rows.push(overall);
     print(&head, &rows);
     println!();
-    let bars: Vec<(&str, f64)> = policies
-        .iter()
-        .map(|p| (*p, results.overall_normalized_misses(p, baseline)))
-        .collect();
+    let bars: Vec<(&str, f64)> =
+        policies.iter().map(|p| (*p, results.overall_normalized_misses(p, baseline))).collect();
     crate::table::bar_chart(&bars, "workload-average misses vs baseline");
 }
 
@@ -89,8 +87,8 @@ pub fn fig04(cfg: &ExperimentConfig) {
     for app in AppProfile::all() {
         let mut agg = StreamStats::new();
         for frame in 0..cfg.frames_for(app.frames) {
-            let t = grsynth::generate_frame(&app, frame, cfg.scale);
-            agg.merge(t.stats());
+            let t = crate::framecache::frame_data(&app, frame, cfg.scale);
+            agg.merge(t.trace.stats());
         }
         let mut row = vec![app.abbrev.to_string()];
         row.extend(streams.iter().map(|s| pct(agg.fraction(*s))));
@@ -111,6 +109,7 @@ pub fn characterization(cfg: &ExperimentConfig) {
         characterize: true,
         timing: None,
         llc_paper_mb: 8,
+        threads: None,
     };
     let r = run_workload(&opts, cfg);
 
@@ -145,10 +144,7 @@ pub fn characterization(cfg: &ExperimentConfig) {
             pct(c.rt_consumption_rate()),
         ]);
     }
-    print(
-        &["policy", "inter hits", "intra hits", "inter frac", "RT consumed"],
-        &rows,
-    );
+    print(&["policy", "inter hits", "intra hits", "inter frac", "RT consumed"], &rows);
 
     header("Figure 7: texture epochs under Belady's OPT");
     let mut c = grcache::CharReport::default();
@@ -159,13 +155,7 @@ pub fn characterization(cfg: &ExperimentConfig) {
     print(
         &["metric", "E0", "E1", "E2", "E>=3"],
         &[
-            vec![
-                "intra-hit share".into(),
-                pct(d[0]),
-                pct(d[1]),
-                pct(d[2]),
-                pct(d[3]),
-            ],
+            vec!["intra-hit share".into(), pct(d[0]), pct(d[1]), pct(d[2]), pct(d[3])],
             vec![
                 "death ratio".into(),
                 ratio(c.tex_death_ratio(0)),
@@ -204,8 +194,7 @@ pub fn characterization(cfg: &ExperimentConfig) {
 /// Figure 11: sensitivity of GSPZTC to the threshold parameter t.
 pub fn fig11(cfg: &ExperimentConfig) {
     header("Figure 11: GSPZTC miss change vs t=16 (positive = more misses)");
-    let policies =
-        ["GSPZTC(t=2)", "GSPZTC(t=4)", "GSPZTC(t=8)", "GSPZTC(t=16)"];
+    let policies = ["GSPZTC(t=2)", "GSPZTC(t=4)", "GSPZTC(t=8)", "GSPZTC(t=16)"];
     let r = run_workload(&RunOptions::misses(&policies), cfg);
     let display = ["t=2", "t=4", "t=8"];
     let mut rows = Vec::new();
@@ -224,29 +213,16 @@ pub fn fig11(cfg: &ExperimentConfig) {
 }
 
 /// The Figure 12 policy set.
-pub const FIG12_POLICIES: [&str; 8] = [
-    "NRU",
-    "SHiP-mem",
-    "GS-DRRIP",
-    "GSPZTC",
-    "GSPZTC+TSE",
-    "GSPC",
-    "GSPC+UCD",
-    "DRRIP+UCD",
-];
+pub const FIG12_POLICIES: [&str; 8] =
+    ["NRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD", "DRRIP+UCD"];
 
 /// Figures 12 and 13: LLC misses for all proposed policies, and the hit
 /// rate / consumption analysis.
 pub fn fig12_fig13(cfg: &ExperimentConfig) {
-    let mut policies: Vec<String> =
-        FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
+    let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
-    let opts = RunOptions {
-        policies,
-        characterize: true,
-        timing: None,
-        llc_paper_mb: 8,
-    };
+    let opts =
+        RunOptions { policies, characterize: true, timing: None, llc_paper_mb: 8, threads: None };
     let r = run_workload(&opts, cfg);
 
     header("Figure 12: LLC misses normalized to two-bit DRRIP");
@@ -275,10 +251,8 @@ pub fn fig12_fig13(cfg: &ExperimentConfig) {
 /// Figure 14: iso-overhead comparison (four replacement state bits each).
 pub fn fig14(cfg: &ExperimentConfig) {
     header("Figure 14: iso-overhead policies, misses normalized to DRRIP");
-    let r = run_workload(
-        &RunOptions::misses(&["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC", "DRRIP"]),
-        cfg,
-    );
+    let r =
+        run_workload(&RunOptions::misses(&["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC", "DRRIP"]), cfg);
     print_normalized(&r, &["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC"], "DRRIP");
 }
 
@@ -294,6 +268,7 @@ fn perf_table(cfg: &ExperimentConfig, gpu: GpuConfig, dram: TimingParams, llc_mb
         characterize: false,
         timing: Some((gpu, dram)),
         llc_paper_mb: llc_mb,
+        threads: None,
     };
     let r = run_workload(&opts, cfg);
     let mut rows = Vec::new();
@@ -354,10 +329,8 @@ pub fn fig17(cfg: &ExperimentConfig) {
 /// Table 6: the evaluated policies.
 pub fn table6(_cfg: &ExperimentConfig) {
     header("Table 6: evaluated policies");
-    let rows: Vec<Vec<String>> = ALL_POLICIES
-        .iter()
-        .map(|e| vec![e.name.to_string(), e.description.to_string()])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        ALL_POLICIES.iter().map(|e| vec![e.name.to_string(), e.description.to_string()]).collect();
     print(&["policy", "description"], &rows);
 }
 
@@ -388,10 +361,7 @@ pub fn ablations(cfg: &ExperimentConfig) {
     header("Ablation: way partitioning vs stream-aware probabilistic caching");
     // Section 1.1.1 of the paper argues partitioning schemes cannot exploit
     // the inter-stream sharing of graphics data; measure it.
-    let r = run_workload(
-        &RunOptions::misses(&["WayPart", "UCP-lite", "GSPC", "DRRIP"]),
-        cfg,
-    );
+    let r = run_workload(&RunOptions::misses(&["WayPart", "UCP-lite", "GSPC", "DRRIP"]), cfg);
     print_normalized(&r, &["WayPart", "UCP-lite", "GSPC"], "DRRIP");
 
     header("Ablation: inter-frame reuse (one LLC across a frame sequence)");
@@ -411,15 +381,16 @@ pub fn ablations(cfg: &ExperimentConfig) {
                     gspc::registry::create(policy, &llc_cfg).expect("known policy"),
                 );
                 for frame in 0..cfg.frames_for(app.frames).min(3) {
-                    let t = grsynth::generate_frame(app, frame, cfg.scale);
+                    let t = crate::framecache::frame_data(app, frame, cfg.scale);
+                    let t = &*t.trace;
                     let mut fresh = grcache::Llc::new(
                         llc_cfg,
                         gspc::registry::create(policy, &llc_cfg).expect("known policy"),
                     );
-                    fresh.run_trace(&t, None);
+                    fresh.run_trace(t, None);
                     cold += fresh.stats().total_misses();
                     let before = persistent.stats().total_misses();
-                    persistent.run_trace(&t, None);
+                    persistent.run_trace(t, None);
                     warm += persistent.stats().total_misses() - before;
                 }
             }
@@ -442,14 +413,13 @@ pub fn ablations(cfg: &ExperimentConfig) {
         let mut drrip = 0u64;
         for app in AppProfile::all() {
             for frame in 0..cfg.frames_for(app.frames).min(1) {
-                let t = grsynth::generate_frame(&app, frame, cfg.scale);
-                let mut llc_sim =
-                    grcache::Llc::new(llc, gspc::Gspc::new(&llc));
-                llc_sim.run_trace(&t, None);
+                let t = crate::framecache::frame_data(&app, frame, cfg.scale);
+                let t = &*t.trace;
+                let mut llc_sim = grcache::Llc::new(llc, gspc::Gspc::new(&llc));
+                llc_sim.run_trace(t, None);
                 misses += llc_sim.stats().total_misses();
-                let mut base =
-                    grcache::Llc::new(llc, gspc::Drrip::new(2));
-                base.run_trace(&t, None);
+                let mut base = grcache::Llc::new(llc, gspc::Drrip::new(2));
+                base.run_trace(t, None);
                 drrip += base.stats().total_misses();
             }
         }

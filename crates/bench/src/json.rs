@@ -1,0 +1,221 @@
+//! A minimal ordered JSON document builder.
+//!
+//! The experiment registry is offline, so the harness carries its own
+//! serializer instead of depending on `serde_json`. Object keys keep their
+//! insertion order, which makes exported `BENCH_*.json` files diffable
+//! across runs and thread counts.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (printed without a decimal point).
+    UInt(u64),
+    /// A finite double (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts `key` into an object, replacing an existing entry in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Json {
+        let Json::Obj(entries) = self else { panic!("Json::set on a non-object") };
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key, value));
+        }
+        self
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline-free
+    /// final line, matching `serde_json::to_string_pretty` conventions.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::UInt(u64::from(n))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+        assert_eq!(Json::Bool(true).to_string_pretty(), "true");
+        assert_eq!(Json::UInt(42).to_string_pretty(), "42");
+        assert_eq!(Json::Num(0.5).to_string_pretty(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\n").to_string_pretty(), r#""a\"b\\c\n""#);
+        assert_eq!(Json::from("\u{1}").to_string_pretty(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Json::obj();
+        o.set("z", 1u64).set("a", 2u64).set("z", 3u64);
+        assert_eq!(o.to_string_pretty(), "{\n  \"z\": 3,\n  \"a\": 2\n}");
+    }
+
+    #[test]
+    fn nesting_indents() {
+        let mut inner = Json::obj();
+        inner.set("k", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        let mut o = Json::obj();
+        o.set("outer", inner);
+        let expected = "{\n  \"outer\": {\n    \"k\": [\n      1,\n      2\n    ]\n  }\n}";
+        assert_eq!(o.to_string_pretty(), expected);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::obj().to_string_pretty(), "{}");
+    }
+}

@@ -19,11 +19,22 @@
 //! 8 MB LLC becomes 2 MB, at `full` scale it is the paper's native 8 MB).
 //! Set `GR_SCALE=full|half|quarter|tiny` to override the default (`half`).
 //! `GR_FRAMES=n` limits the frames per application for quick runs.
+//!
+//! # Parallelism & caching
+//!
+//! [`run_workload`] fans the (app, frame, policy) grid across `GR_THREADS`
+//! workers (default: all cores) and merges results in a canonical order,
+//! so figure output is byte-identical for any thread count. Frames are
+//! synthesized once per process in the shared [`framecache`];
+//! `GR_TRACE_CACHE=<dir>` adds an on-disk tier that survives across
+//! processes. `examples/perf_compare.rs` measures the effect.
 
 pub mod config;
 pub mod experiments;
+pub mod framecache;
+pub mod json;
 pub mod runner;
 pub mod table;
 
 pub use config::ExperimentConfig;
-pub use runner::{run_workload, AppAgg, RunOptions, WorkloadResults};
+pub use runner::{run_workload, AppAgg, RunOptions, RunPerf, WorkloadResults};

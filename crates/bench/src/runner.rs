@@ -1,15 +1,33 @@
-//! The shared experiment runner: synthesize each frame once, replay it
-//! through every requested policy, aggregate per application.
+//! The shared experiment runner: a work-stealing parallel sweep over the
+//! (app, frame, policy) grid.
+//!
+//! Each cell of the grid — one policy replaying one frame — is an
+//! independent LLC simulation: policies are per-LLC-instance state machines
+//! with no cross-frame coupling, so the grid is embarrassingly parallel.
+//! Workers claim cells from a shared atomic counter and write results into
+//! per-cell slots; frames come from the process-wide
+//! [`crate::framecache`], so each trace is synthesized once no matter how
+//! many policies replay it or how many runners re-use it.
+//!
+//! # Determinism
+//!
+//! The merge phase folds cell results into per-(policy, app) aggregates
+//! sequentially, in canonical (policy, app, frame) order, after all workers
+//! finish. Floating-point accumulation order therefore never depends on
+//! thread scheduling: `GR_THREADS=1` and `GR_THREADS=64` produce
+//! byte-identical figure output.
 
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
-use grcache::{annotate_next_use, CharReport, Llc, LlcStats};
+use grcache::{CharReport, Llc, LlcConfig, LlcStats};
 use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
-use grsynth::{AppProfile, FrameRenderer};
+use grsynth::AppProfile;
 use gspc::registry;
 
-use crate::ExperimentConfig;
+use crate::{framecache, ExperimentConfig};
 
 /// What to run and what to collect.
 #[derive(Debug, Clone)]
@@ -23,6 +41,9 @@ pub struct RunOptions {
     pub timing: Option<(GpuConfig, TimingParams)>,
     /// LLC capacity at native scale, in megabytes (8 or 16 in the paper).
     pub llc_paper_mb: u64,
+    /// Worker thread count. `None` falls back to `GR_THREADS`, then to
+    /// `std::thread::available_parallelism()`.
+    pub threads: Option<usize>,
 }
 
 impl RunOptions {
@@ -33,6 +54,7 @@ impl RunOptions {
             characterize: false,
             timing: None,
             llc_paper_mb: 8,
+            threads: None,
         }
     }
 }
@@ -61,6 +83,28 @@ impl AppAgg {
     }
 }
 
+/// Throughput accounting for one `run_workload` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPerf {
+    /// LLC accesses simulated across every (app, frame, policy) cell.
+    pub llc_accesses: u64,
+    /// Wall-clock duration of the run, in seconds.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl RunPerf {
+    /// Simulated LLC accesses per wall-clock second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.llc_accesses as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Results of a workload run, indexed by policy then application.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadResults {
@@ -68,8 +112,13 @@ pub struct WorkloadResults {
     pub apps: Vec<String>,
     /// Policy names, in the order requested.
     pub policies: Vec<String>,
-    /// `(policy, app)` aggregates.
-    pub data: BTreeMap<(String, String), AppAgg>,
+    /// Throughput accounting for the run (wall-clock is inherently
+    /// non-deterministic; everything else in the results is not).
+    pub perf: RunPerf,
+    /// Aggregates, laid out `policy-major`: `policy_idx * apps.len() +
+    /// app_idx`. Dense indexing avoids the per-lookup key allocation a
+    /// string-keyed map would need.
+    data: Vec<AppAgg>,
 }
 
 impl WorkloadResults {
@@ -79,9 +128,12 @@ impl WorkloadResults {
     ///
     /// Panics if the pair was not part of the run.
     pub fn get(&self, policy: &str, app: &str) -> &AppAgg {
-        self.data
-            .get(&(policy.to_string(), app.to_string()))
-            .unwrap_or_else(|| panic!("no results for ({policy}, {app})"))
+        let pi = self.policies.iter().position(|p| p == policy);
+        let ai = self.apps.iter().position(|a| a == app);
+        match (pi, ai) {
+            (Some(pi), Some(ai)) => &self.data[pi * self.apps.len() + ai],
+            _ => panic!("no results for ({policy}, {app})"),
+        }
     }
 
     /// Total LLC misses of `policy` on `app`.
@@ -123,66 +175,155 @@ impl WorkloadResults {
     }
 }
 
-/// Runs the 52-frame workload (or the `GR_FRAMES`-limited subset) through
-/// every requested policy.
-///
-/// Frames are synthesized once and replayed per policy; next-use
-/// annotations are computed only when Belady's OPT is among the policies.
-pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResults {
-    let llc_cfg = cfg.llc(opts.llc_paper_mb);
-    let needs_opt = opts.policies.iter().any(|p| registry::needs_next_use(p));
-    let mut results = WorkloadResults {
-        apps: Vec::new(),
-        policies: opts.policies.clone(),
-        data: BTreeMap::new(),
-    };
-    for app in AppProfile::all() {
-        results.apps.push(app.abbrev.to_string());
-        for frame in 0..cfg.frames_for(app.frames) {
-            let (trace, work) =
-                FrameRenderer::new(&app, frame, cfg.scale).render_with_work();
-            let annotations = needs_opt.then(|| annotate_next_use(trace.accesses()));
-            for policy_name in &opts.policies {
-                let policy = registry::create(policy_name, &llc_cfg)
-                    .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
-                let mut llc = Llc::new(llc_cfg, policy);
-                if opts.characterize {
-                    llc = llc.with_characterization();
-                }
-                if opts.timing.is_some() {
-                    llc = llc.with_memory_log();
-                }
-                let ann = if registry::needs_next_use(policy_name) {
-                    annotations.as_deref()
-                } else {
-                    None
-                };
-                llc.run_trace(&trace, ann);
+/// One grid cell: `policies[policy]` replaying frame `frame` of
+/// `apps[app]`.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    app: usize,
+    frame: u32,
+    policy: usize,
+}
 
-                let agg = results
-                    .data
-                    .entry((policy_name.clone(), app.abbrev.to_string()))
-                    .or_default();
-                agg.frames += 1;
-                if let Some(chars) = llc.characterization() {
-                    agg.chars.merge(chars);
-                }
-                if let Some((gpu, dram)) = &opts.timing {
-                    let workload = Workload {
-                        shaded_pixels: work.shaded_pixels,
-                        texel_samples: work.texel_samples,
-                        vertices: work.vertices,
-                        llc_accesses: trace.len() as u64,
-                    };
-                    let log = llc.memory_log().unwrap_or(&[]).to_vec();
-                    let timing = grgpu::time_frame(gpu, *dram, &workload, &log);
-                    agg.frame_ns_total += timing.frame_ns;
-                }
-                agg.stats.merge(llc.stats());
+/// What one cell produces; merged sequentially after the workers finish.
+struct CellOut {
+    stats: LlcStats,
+    chars: Option<CharReport>,
+    frame_ns: f64,
+    accesses: u64,
+}
+
+fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var("GR_THREADS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Runs the 52-frame workload (or the `GR_FRAMES`-limited subset) through
+/// every requested policy, fanning cells across worker threads.
+///
+/// Frames are synthesized at most once per process (see
+/// [`crate::framecache`]); Belady next-use annotations are computed once
+/// per frame and shared by every OPT replay. Results are identical for any
+/// thread count — see the module docs for the determinism argument.
+pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResults {
+    let started = Instant::now();
+    let llc_cfg = cfg.llc(opts.llc_paper_mb);
+    let apps = AppProfile::all();
+    let frames: Vec<u32> = apps.iter().map(|a| cfg.frames_for(a.frames)).collect();
+
+    let mut cells = Vec::new();
+    for (ai, &nframes) in frames.iter().enumerate() {
+        for frame in 0..nframes {
+            for pi in 0..opts.policies.len() {
+                cells.push(Cell { app: ai, frame, policy: pi });
             }
         }
     }
-    results
+
+    let threads = resolve_threads(opts.threads).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOut>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(cell) = cells.get(i) else { break };
+        let out =
+            run_cell(&apps[cell.app], cell.frame, &opts.policies[cell.policy], llc_cfg, opts, cfg);
+        *slots[i].lock().expect("cell slot poisoned") = Some(out);
+    };
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    // Deterministic merge: cells are laid out app-major then frame then
+    // policy, so the flat index of (policy, app, frame) is computable from
+    // per-app base offsets. Per (policy, app) pair, frames are folded in
+    // ascending order — the same accumulation order as a serial sweep.
+    let app_base: Vec<usize> = frames
+        .iter()
+        .scan(0usize, |acc, &n| {
+            let base = *acc;
+            *acc += n as usize * opts.policies.len();
+            Some(base)
+        })
+        .collect();
+    let mut data = vec![AppAgg::default(); opts.policies.len() * apps.len()];
+    let mut perf = RunPerf { llc_accesses: 0, wall_seconds: 0.0, threads };
+    for pi in 0..opts.policies.len() {
+        for (ai, &nframes) in frames.iter().enumerate() {
+            let agg = &mut data[pi * apps.len() + ai];
+            for frame in 0..nframes as usize {
+                let idx = app_base[ai] + frame * opts.policies.len() + pi;
+                let out = slots[idx]
+                    .lock()
+                    .expect("cell slot poisoned")
+                    .take()
+                    .expect("worker left a cell unfilled");
+                agg.frames += 1;
+                agg.frame_ns_total += out.frame_ns;
+                agg.stats.merge(&out.stats);
+                if let Some(chars) = &out.chars {
+                    agg.chars.merge(chars);
+                }
+                perf.llc_accesses += out.accesses;
+            }
+        }
+    }
+    perf.wall_seconds = started.elapsed().as_secs_f64();
+
+    WorkloadResults {
+        apps: apps.iter().map(|a| a.abbrev.to_string()).collect(),
+        policies: opts.policies.clone(),
+        perf,
+        data,
+    }
+}
+
+fn run_cell(
+    app: &AppProfile,
+    frame: u32,
+    policy_name: &str,
+    llc_cfg: LlcConfig,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellOut {
+    let data = framecache::frame_data(app, frame, cfg.scale);
+    let policy = registry::create(policy_name, &llc_cfg)
+        .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+    let mut llc = Llc::new(llc_cfg, policy);
+    if opts.characterize {
+        llc = llc.with_characterization();
+    }
+    if opts.timing.is_some() {
+        llc = llc.with_memory_log();
+    }
+    let ann = registry::needs_next_use(policy_name).then(|| data.next_use().clone());
+    llc.run_trace(&data.trace, ann.as_deref().map(|v| v.as_slice()));
+
+    let mut out = CellOut {
+        stats: llc.stats().clone(),
+        chars: llc.characterization().cloned(),
+        frame_ns: 0.0,
+        accesses: data.trace.len() as u64,
+    };
+    if let Some((gpu, dram)) = &opts.timing {
+        let workload = Workload {
+            shaded_pixels: data.work.shaded_pixels,
+            texel_samples: data.work.texel_samples,
+            vertices: data.work.vertices,
+            llc_accesses: data.trace.len() as u64,
+        };
+        let log = llc.memory_log().unwrap_or(&[]);
+        out.frame_ns = grgpu::time_frame(gpu, *dram, &workload, log).frame_ns;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -224,6 +365,7 @@ mod tests {
             characterize: false,
             timing: Some((GpuConfig::baseline(), TimingParams::ddr3_1600())),
             llc_paper_mb: 8,
+            threads: None,
         };
         let r = run_workload(&opts, &tiny_cfg());
         assert!(r.overall_fps("DRRIP") > 0.0);
@@ -236,9 +378,20 @@ mod tests {
             characterize: true,
             timing: None,
             llc_paper_mb: 8,
+            threads: None,
         };
         let r = run_workload(&opts, &tiny_cfg());
         let agg = r.get("DRRIP", "BioShock");
         assert!(agg.chars.rt_produced > 0);
+    }
+
+    #[test]
+    fn perf_counters_are_populated() {
+        let opts = RunOptions::misses(&["NRU"]);
+        let r = run_workload(&opts, &tiny_cfg());
+        assert!(r.perf.llc_accesses > 0);
+        assert!(r.perf.wall_seconds > 0.0);
+        assert!(r.perf.threads >= 1);
+        assert!(r.perf.accesses_per_sec() > 0.0);
     }
 }

@@ -16,11 +16,7 @@ pub fn print(header: &[&str], rows: &[Vec<String>]) {
         .iter()
         .enumerate()
         .map(|(i, h)| {
-            rows.iter()
-                .map(|r| r.get(i).map_or(0, |c| c.len()))
-                .max()
-                .unwrap_or(0)
-                .max(h.len())
+            rows.iter().map(|r| r.get(i).map_or(0, |c| c.len())).max().unwrap_or(0).max(h.len())
         })
         .collect();
     let mut line = String::new();
@@ -56,6 +52,34 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// Renders a horizontal ASCII bar chart of values around a baseline of
+/// 1.0 — the shape the paper's normalized-miss and speedup figures take.
+///
+/// # Example
+///
+/// ```
+/// grbench::table::bar_chart(&[("NRU", 1.06), ("OPT", 0.63)], "misses vs DRRIP");
+/// ```
+pub fn bar_chart(entries: &[(&str, f64)], caption: &str) {
+    if entries.is_empty() {
+        return;
+    }
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max_dev = entries.iter().map(|&(_, v)| (v - 1.0).abs()).fold(0.0_f64, f64::max).max(1e-9);
+    const HALF: usize = 28;
+    println!("{caption} (| marks the baseline 1.0)");
+    for &(label, value) in entries {
+        let dev = value - 1.0;
+        let len = ((dev.abs() / max_dev) * HALF as f64).round() as usize;
+        let (left, right) = if dev < 0.0 {
+            (format!("{:>HALF$}", "#".repeat(len)), " ".repeat(HALF))
+        } else {
+            (" ".repeat(HALF), format!("{:<HALF$}", "#".repeat(len)))
+        };
+        println!("{label:>label_w$}  {left}|{right} {value:.3}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -70,37 +94,5 @@ mod tests {
         super::bar_chart(&[], "empty");
         super::bar_chart(&[("A", 1.0)], "flat");
         super::bar_chart(&[("A", 0.5), ("BBB", 2.0)], "wide");
-    }
-}
-
-/// Renders a horizontal ASCII bar chart of values around a baseline of
-/// 1.0 — the shape the paper's normalized-miss and speedup figures take.
-///
-/// # Example
-///
-/// ```
-/// grbench::table::bar_chart(&[("NRU", 1.06), ("OPT", 0.63)], "misses vs DRRIP");
-/// ```
-pub fn bar_chart(entries: &[(&str, f64)], caption: &str) {
-    if entries.is_empty() {
-        return;
-    }
-    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-    let max_dev = entries
-        .iter()
-        .map(|&(_, v)| (v - 1.0).abs())
-        .fold(0.0_f64, f64::max)
-        .max(1e-9);
-    const HALF: usize = 28;
-    println!("{caption} (| marks the baseline 1.0)");
-    for &(label, value) in entries {
-        let dev = value - 1.0;
-        let len = ((dev.abs() / max_dev) * HALF as f64).round() as usize;
-        let (left, right) = if dev < 0.0 {
-            (format!("{:>HALF$}", "#".repeat(len)), " ".repeat(HALF))
-        } else {
-            (" ".repeat(HALF), format!("{:<HALF$}", "#".repeat(len)))
-        };
-        println!("{label:>label_w$}  {left}|{right} {value:.3}");
     }
 }

@@ -1,0 +1,42 @@
+//! The parallel runner's headline guarantee: results are identical for any
+//! worker count.
+
+use grbench::{run_workload, ExperimentConfig, RunOptions};
+use grsynth::Scale;
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(2) };
+    let policies = ["OPT", "GSPC", "DRRIP"];
+    let run = |threads: usize| {
+        let opts = RunOptions { threads: Some(threads), ..RunOptions::misses(&policies) };
+        run_workload(&opts, &cfg)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    assert_eq!(serial.perf.threads, 1);
+    assert_eq!(serial.apps, parallel.apps);
+    assert_eq!(serial.policies, parallel.policies);
+    for policy in &policies {
+        for app in &serial.apps {
+            let a = &serial.get(policy, app).stats;
+            let b = &parallel.get(policy, app).stats;
+            assert_eq!(
+                a.total_misses(),
+                b.total_misses(),
+                "miss count diverged for ({policy}, {app})"
+            );
+            assert_eq!(a.total_hits(), b.total_hits(), "hit count diverged for ({policy}, {app})");
+            assert_eq!(a.writebacks, b.writebacks, "writebacks diverged for ({policy}, {app})");
+        }
+    }
+    // The aggregate figures the tables print must match exactly too.
+    for policy in &policies {
+        assert_eq!(
+            serial.overall_normalized_misses(policy, "DRRIP").to_bits(),
+            parallel.overall_normalized_misses(policy, "DRRIP").to_bits(),
+            "normalized ratio diverged for {policy}"
+        );
+    }
+}

@@ -102,17 +102,14 @@ impl LruCache {
 
         // Miss: pick an invalid way, else the LRU (max age) way.
         self.misses += 1;
-        let victim = set_lines
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set_lines
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, l)| l.age)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim = set_lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set_lines
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.age)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         let writeback = if set_lines[victim].valid && set_lines[victim].dirty {
             let victim_tag = set_lines[victim].tag;
             Some((victim_tag << self.set_mask.count_ones()) | set as u64)

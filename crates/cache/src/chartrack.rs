@@ -12,8 +12,6 @@
 //!
 //! The resulting [`CharReport`] backs Figures 6, 7, and 9.
 
-use serde::{Deserialize, Serialize};
-
 use grtrace::PolicyClass;
 
 use crate::LlcConfig;
@@ -39,7 +37,7 @@ struct CharBlock {
 }
 
 /// Aggregated characterization counts for one LLC run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CharReport {
     /// Texture sampler hits that consumed a render-target block.
     pub tex_inter_hits: u64,
@@ -187,14 +185,7 @@ impl CharTracker {
     /// hits (including render-cache writebacks), which update a block
     /// without *reusing* it — epochs advance on read hits only, matching
     /// the paper's definition of a reuse.
-    pub fn on_hit(
-        &mut self,
-        class: PolicyClass,
-        write: bool,
-        bank: usize,
-        set: usize,
-        way: usize,
-    ) {
+    pub fn on_hit(&mut self, class: PolicyClass, write: bool, bank: usize, set: usize, way: usize) {
         let i = self.index(bank, set, way);
         let b = &mut self.blocks[i];
         match class {

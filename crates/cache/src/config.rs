@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use grtrace::BLOCK_BYTES;
 
 /// Geometry of a simple set-associative cache.
@@ -12,7 +10,7 @@ use grtrace::BLOCK_BYTES;
 /// let cfg = CacheConfig::kb(32, 32); // the paper's Z cache: 32 KB, 32-way
 /// assert_eq!(cfg.sets(), 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -65,7 +63,7 @@ impl CacheConfig {
 /// assert!(llc.is_sample_set(0));
 /// assert!(!llc.is_sample_set(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -98,10 +96,7 @@ impl LlcConfig {
     fn validate(&self) {
         assert!(self.banks.is_power_of_two(), "bank count must be a power of two");
         assert!(self.sets_per_bank() > 0, "LLC must have at least one set per bank");
-        assert!(
-            self.sets_per_bank().is_power_of_two(),
-            "sets per bank must be a power of two"
-        );
+        assert!(self.sets_per_bank().is_power_of_two(), "sets per bank must be a power of two");
         assert!(self.sample_period.is_power_of_two(), "sample period must be a power of two");
     }
 
@@ -126,6 +121,53 @@ impl LlcConfig {
         set_in_bank & (self.sample_period - 1) == 0
     }
 
+    /// The precomputed address-mapping constants. The simulator derives
+    /// this once per LLC instance; computing `sets_per_bank` involves a
+    /// 64-bit division, which must stay out of the per-access path.
+    pub fn geometry(&self) -> LlcGeometry {
+        let sets_per_bank = self.sets_per_bank();
+        LlcGeometry {
+            bank_mask: self.banks as u64 - 1,
+            set_mask: sets_per_bank as u64 - 1,
+            bank_bits: self.banks.trailing_zeros(),
+            set_bits: sets_per_bank.trailing_zeros(),
+            sets_per_bank,
+            ways: self.ways,
+        }
+    }
+
+    /// Decomposes a block address into `(bank, set_in_bank, tag)`.
+    ///
+    /// Convenience wrapper over [`LlcGeometry::map`]; hot loops should
+    /// derive the geometry once with [`LlcConfig::geometry`] instead.
+    #[inline]
+    pub fn map(&self, block: u64) -> (usize, usize, u64) {
+        self.geometry().map(block)
+    }
+
+    /// Rebuilds the block address from a `(bank, set_in_bank, tag)` triple
+    /// produced by [`LlcConfig::map`].
+    ///
+    /// Convenience wrapper over [`LlcGeometry::unmap`].
+    #[inline]
+    pub fn unmap(&self, bank: usize, set_in_bank: usize, tag: u64) -> u64 {
+        self.geometry().unmap(bank, set_in_bank, tag)
+    }
+}
+
+/// Address-mapping constants derived from an [`LlcConfig`], precomputed so
+/// the per-access path is pure shifts and masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcGeometry {
+    bank_mask: u64,
+    set_mask: u64,
+    bank_bits: u32,
+    set_bits: u32,
+    sets_per_bank: usize,
+    ways: usize,
+}
+
+impl LlcGeometry {
     /// Decomposes a block address into `(bank, set_in_bank, tag)`.
     ///
     /// The set index XOR-folds the tag bits into the low index bits
@@ -137,18 +179,39 @@ impl LlcConfig {
     /// identifies the block.
     #[inline]
     pub fn map(&self, block: u64) -> (usize, usize, u64) {
-        let bank_bits = self.banks.trailing_zeros();
-        let set_bits = self.sets_per_bank().trailing_zeros();
-        let bank = (block & (self.banks as u64 - 1)) as usize;
-        let tag = block >> (bank_bits + set_bits);
-        let mask = self.sets_per_bank() as u64 - 1;
-        let mut set = (block >> bank_bits) & mask;
+        let bank = (block & self.bank_mask) as usize;
+        let tag = block >> (self.bank_bits + self.set_bits);
+        let mut set = (block >> self.bank_bits) & self.set_mask;
         let mut fold = tag;
         while fold != 0 {
-            set ^= fold & mask;
-            fold >>= set_bits;
+            set ^= fold & self.set_mask;
+            fold >>= self.set_bits;
         }
         (bank, set as usize, tag)
+    }
+
+    /// Rebuilds the block address from a `(bank, set_in_bank, tag)` triple
+    /// produced by [`LlcGeometry::map`] — the inverse the writeback path
+    /// needs to reconstruct a victim's address from its stored tag.
+    ///
+    /// The XOR fold is an involution on the low index bits: folding the
+    /// tag into the hashed set index recovers the original one.
+    #[inline]
+    pub fn unmap(&self, bank: usize, set_in_bank: usize, tag: u64) -> u64 {
+        let mut low = set_in_bank as u64;
+        let mut fold = tag;
+        while fold != 0 {
+            low ^= fold & self.set_mask;
+            fold >>= self.set_bits;
+        }
+        (tag << (self.bank_bits + self.set_bits)) | (low << self.bank_bits) | bank as u64
+    }
+
+    /// Index of the first block of `(bank, set_in_bank)` in the flat
+    /// block array.
+    #[inline]
+    pub fn set_base(&self, bank: usize, set_in_bank: usize) -> usize {
+        (bank * self.sets_per_bank + set_in_bank) * self.ways
     }
 }
 
@@ -196,6 +259,23 @@ mod tests {
         for block in 0..100_000u64 {
             let key = llc.map(block);
             assert!(seen.insert(key), "collision for block {block}");
+        }
+    }
+
+    #[test]
+    fn unmap_inverts_map() {
+        for mb in [8, 16] {
+            let llc = LlcConfig::mb(mb);
+            for block in (0..1_000_000u64).step_by(37) {
+                let (bank, set, tag) = llc.map(block);
+                assert_eq!(llc.unmap(bank, set, tag), block, "block {block}");
+            }
+        }
+        // A tiny non-paper geometry exercises short fold chains too.
+        let small = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        for block in 0..10_000u64 {
+            let (bank, set, tag) = small.map(block);
+            assert_eq!(small.unmap(bank, set, tag), block, "block {block}");
         }
     }
 

@@ -39,7 +39,7 @@ pub mod stats;
 
 pub use basic::{Lookup, LruCache};
 pub use chartrack::{CharReport, CharTracker};
-pub use config::{CacheConfig, LlcConfig};
+pub use config::{CacheConfig, LlcConfig, LlcGeometry};
 pub use llc::{AccessResult, Llc};
 pub use optgen::annotate_next_use;
 pub use policy::{AccessInfo, Block, FillInfo, Policy};

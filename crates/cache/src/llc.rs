@@ -8,7 +8,7 @@
 
 use grtrace::{Access, Trace};
 
-use crate::{AccessInfo, Block, CharTracker, LlcConfig, LlcStats, Policy};
+use crate::{AccessInfo, Block, CharTracker, LlcConfig, LlcGeometry, LlcStats, Policy};
 
 /// Outcome of one LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub enum AccessResult {
 /// /// Evict way 0 always — a deliberately bad policy for the example.
 /// struct Way0;
 /// impl Policy for Way0 {
-///     fn name(&self) -> String { "WAY0".into() }
+///     fn name(&self) -> &str { "WAY0" }
 ///     fn state_bits_per_block(&self) -> u32 { 0 }
 ///     fn on_hit(&mut self, _: &AccessInfo, _: &mut [Block], _: usize) {}
 ///     fn choose_victim(&mut self, _: &AccessInfo, _: &mut [Block]) -> usize { 0 }
@@ -53,6 +53,9 @@ pub enum AccessResult {
 #[derive(Debug)]
 pub struct Llc<P> {
     cfg: LlcConfig,
+    /// Precomputed mapping constants — keeps the division in
+    /// [`LlcConfig::sets_per_bank`] out of the per-access path.
+    geo: LlcGeometry,
     policy: P,
     blocks: Vec<Block>,
     stats: LlcStats,
@@ -68,6 +71,7 @@ impl<P: Policy> Llc<P> {
     pub fn new(cfg: LlcConfig, policy: P) -> Self {
         Llc {
             cfg,
+            geo: cfg.geometry(),
             policy,
             blocks: vec![Block::default(); cfg.total_blocks()],
             stats: LlcStats::new(),
@@ -126,7 +130,7 @@ impl<P: Policy> Llc<P> {
     /// to the same block (`u64::MAX` if never; only Belady's policy uses it).
     pub fn access_annotated(&mut self, access: &Access, next_use: u64) -> AccessResult {
         let block = access.block();
-        let (bank, set, tag) = self.cfg.map(block);
+        let (bank, set, tag) = self.geo.map(block);
         let info = AccessInfo {
             seq: self.seq,
             block,
@@ -141,11 +145,25 @@ impl<P: Policy> Llc<P> {
         self.seq += 1;
 
         let ways = self.cfg.ways;
-        let base = (bank * self.cfg.sets_per_bank() + set) * ways;
+        let base = self.geo.set_base(bank, set);
         let set_blocks = &mut self.blocks[base..base + ways];
 
-        // Probe for a hit.
-        if let Some(way) = set_blocks.iter().position(|b| b.valid && b.tag == tag) {
+        // One pass over the set finds both the hit way and (for the miss
+        // path) the first free way, so a miss never re-scans the set.
+        let mut hit_way = None;
+        let mut free_way = None;
+        for (i, b) in set_blocks.iter().enumerate() {
+            if !b.valid {
+                if free_way.is_none() {
+                    free_way = Some(i);
+                }
+            } else if b.tag == tag {
+                hit_way = Some(i);
+                break;
+            }
+        }
+
+        if let Some(way) = hit_way {
             self.stats.record_hit(info.stream);
             set_blocks[way].dirty |= info.write;
             set_blocks[way].next_use = next_use;
@@ -170,9 +188,10 @@ impl<P: Policy> Llc<P> {
             return AccessResult::Bypass;
         }
 
-        // Pick an invalid way, else ask the policy for a victim.
+        // Fill the free way found during the probe, else ask the policy
+        // for a victim.
         let mut dirty_eviction = false;
-        let way = match set_blocks.iter().position(|b| !b.valid) {
+        let way = match free_way {
             Some(w) => w,
             None => {
                 let victim = self.policy.choose_victim(&info, set_blocks);
@@ -182,12 +201,11 @@ impl<P: Policy> Llc<P> {
                 if set_blocks[victim].dirty {
                     self.stats.writebacks += 1;
                     dirty_eviction = true;
-                }
-                if set_blocks[victim].dirty {
                     if let Some(log) = self.memory_log.as_mut() {
-                        // Reconstruct the victim's block address from its
-                        // tag; bank/set are those of the incoming access.
-                        log.push((block, true));
+                        // The writeback goes to the *victim's* address,
+                        // rebuilt from its tag and the shared (bank, set).
+                        let victim_block = self.geo.unmap(bank, set, set_blocks[victim].tag);
+                        log.push((victim_block, true));
                     }
                 }
                 if let Some(chars) = self.chars.as_mut() {
@@ -200,8 +218,7 @@ impl<P: Policy> Llc<P> {
         if let Some(log) = self.memory_log.as_mut() {
             log.push((block, false));
         }
-        set_blocks[way] =
-            Block { valid: true, tag, dirty: info.write, meta: 0, next_use };
+        set_blocks[way] = Block { valid: true, tag, dirty: info.write, meta: 0, next_use };
         let fill = self.policy.on_fill(&info, set_blocks, way);
         self.stats.record_fill(info.class, fill.distant);
         if let Some(chars) = self.chars.as_mut() {
@@ -248,8 +265,8 @@ mod tests {
     }
 
     impl Policy for TestLru {
-        fn name(&self) -> String {
-            "TEST-LRU".into()
+        fn name(&self) -> &str {
+            "TEST-LRU"
         }
         fn state_bits_per_block(&self) -> u32 {
             32
@@ -303,10 +320,7 @@ mod tests {
             llc.access(&Access::load(b * 64, StreamId::Z));
         }
         // Block 0 was LRU and must be gone; block 8 and 16 resident.
-        assert!(matches!(
-            llc.access(&Access::load(0, StreamId::Z)),
-            AccessResult::Miss { .. }
-        ));
+        assert!(matches!(llc.access(&Access::load(0, StreamId::Z)), AccessResult::Miss { .. }));
         assert_eq!(llc.stats().evictions, 2); // block 0 evicted, then block 8
     }
 
@@ -321,6 +335,23 @@ mod tests {
             other => panic!("expected miss, got {other:?}"),
         }
         assert_eq!(llc.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn writeback_logs_victim_address() {
+        let mut llc = small_llc().with_memory_log();
+        let blocks = conflicting_blocks(3);
+        // Dirty the first two blocks (filling both ways of the set), then
+        // force an eviction with a third conflicting load.
+        llc.access(&Access::store(blocks[0] * 64, StreamId::RenderTarget));
+        llc.access(&Access::store(blocks[1] * 64, StreamId::RenderTarget));
+        llc.access(&Access::load(blocks[2] * 64, StreamId::RenderTarget));
+        let writebacks: Vec<u64> =
+            llc.memory_log().unwrap().iter().filter(|(_, write)| *write).map(|(b, _)| *b).collect();
+        // TestLru evicts blocks[0]; the logged writeback must carry the
+        // victim's own address, not the incoming block's.
+        assert_eq!(writebacks, vec![blocks[0]]);
+        assert_ne!(blocks[0], blocks[2]);
     }
 
     #[test]

@@ -73,8 +73,7 @@ mod tests {
 
     #[test]
     fn annotations_point_to_same_block() {
-        let t: Vec<Access> =
-            (0..200).map(|i| la(((i * 37) % 11) * 64)).collect();
+        let t: Vec<Access> = (0..200).map(|i| la(((i * 37) % 11) * 64)).collect();
         let nu = annotate_next_use(&t);
         for (i, &n) in nu.iter().enumerate() {
             if n != u64::MAX {

@@ -81,10 +81,15 @@ impl FillInfo {
 ///    tag have been installed.
 ///
 /// Implementations must keep all their state in [`Block::meta`] and their
-/// own fields; the LLC never interprets `meta`.
-pub trait Policy {
+/// own fields; the LLC never interprets `meta`. Policies are `Send` so the
+/// experiment runner can fan independent LLC instances across threads.
+///
+/// `name` returns a borrowed string so the hot experiment loops never
+/// allocate; policies with parameterized names build the string once at
+/// construction.
+pub trait Policy: Send {
     /// Human-readable policy name, e.g. `"GSPC"` or `"DRRIP-2"`.
-    fn name(&self) -> String;
+    fn name(&self) -> &str;
 
     /// Replacement state bits this policy stores per LLC block (used by the
     /// hardware-overhead accounting of Section 4).
@@ -111,7 +116,7 @@ pub trait Policy {
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
     }
     fn state_bits_per_block(&self) -> u32 {
@@ -144,8 +149,8 @@ mod tests {
     }
 
     impl Policy for Fifo {
-        fn name(&self) -> String {
-            "FIFO".to_string()
+        fn name(&self) -> &str {
+            "FIFO"
         }
         fn state_bits_per_block(&self) -> u32 {
             32

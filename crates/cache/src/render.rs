@@ -148,9 +148,7 @@ impl RenderCaches {
                 }
                 llc_trace.push(access);
                 // Sequential next-block prefetch into the L3.
-                if self.tex_prefetch
-                    && self.tex_l3.access(block + 1, false) != Lookup::Hit
-                {
+                if self.tex_prefetch && self.tex_l3.access(block + 1, false) != Lookup::Hit {
                     self.prefetches += 1;
                     llc_trace.push(Access::load((block + 1) * 64, StreamId::Texture));
                 }

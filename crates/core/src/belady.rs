@@ -24,8 +24,8 @@ impl Belady {
 }
 
 impl Policy for Belady {
-    fn name(&self) -> String {
-        "OPT".to_string()
+    fn name(&self) -> &str {
+        "OPT"
     }
 
     fn state_bits_per_block(&self) -> u32 {

@@ -1,7 +1,5 @@
 //! Saturating counters and the GSPC per-bank counter file.
 
-use serde::{Deserialize, Serialize};
-
 /// An `n`-bit saturating up-counter with halving support.
 ///
 /// # Example
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// c.halve();
 /// assert_eq!(c.get(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SatCounter {
     value: u32,
     max: u32,
@@ -83,7 +81,7 @@ impl SatCounter {
 /// 7-bit `ACC(ALL)` access counter. When `ACC(ALL)` saturates, every other
 /// counter is halved and `ACC(ALL)` resets, keeping the reuse-probability
 /// estimates fresh across rendering phases.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GspcCounters {
     /// Z-stream fills observed in the sample sets.
     pub fill_z: SatCounter,

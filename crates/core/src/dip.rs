@@ -49,8 +49,8 @@ impl Lip {
 }
 
 impl Policy for Lip {
-    fn name(&self) -> String {
-        "LIP".to_string()
+    fn name(&self) -> &str {
+        "LIP"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -89,13 +89,13 @@ impl Bip {
 
     fn mru_fill(&mut self) -> bool {
         self.fills += 1;
-        self.fills % Self::EPSILON_PERIOD == 0
+        self.fills.is_multiple_of(Self::EPSILON_PERIOD)
     }
 }
 
 impl Policy for Bip {
-    fn name(&self) -> String {
-        "BIP".to_string()
+    fn name(&self) -> &str {
+        "BIP"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -144,8 +144,8 @@ impl Default for Dip {
 }
 
 impl Policy for Dip {
-    fn name(&self) -> String {
-        "DIP".to_string()
+    fn name(&self) -> &str {
+        "DIP"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -169,7 +169,7 @@ impl Policy for Dip {
         };
         let mru = if use_bip {
             self.bip_fills += 1;
-            self.bip_fills % Bip::EPSILON_PERIOD == 0
+            self.bip_fills.is_multiple_of(Bip::EPSILON_PERIOD)
         } else {
             true
         };
@@ -214,8 +214,8 @@ impl Default for RandomRepl {
 }
 
 impl Policy for RandomRepl {
-    fn name(&self) -> String {
-        "Random".to_string()
+    fn name(&self) -> &str {
+        "Random"
     }
 
     fn state_bits_per_block(&self) -> u32 {

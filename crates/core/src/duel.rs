@@ -1,7 +1,5 @@
 //! Set-dueling machinery (Qureshi et al.) used by DRRIP and GS-DRRIP.
 
-use serde::{Deserialize, Serialize};
-
 /// Which dueling group a leader set belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Leader {
@@ -25,7 +23,7 @@ pub enum Leader {
 /// for _ in 0..600 { d.observe_miss(1); }    // A-leaders miss a lot
 /// assert!(d.follower_prefers_b());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Duel {
     residue_a: usize,
     residue_b: usize,
@@ -64,11 +62,10 @@ impl Duel {
     /// Records a miss in `set_in_bank` (no-op for follower sets).
     pub fn observe_miss(&mut self, set_in_bank: usize) {
         match self.leader(set_in_bank) {
-            Some(Leader::A) => {
-                if self.psel < self.psel_max {
-                    self.psel += 1;
-                }
+            Some(Leader::A) if self.psel < self.psel_max => {
+                self.psel += 1;
             }
+            Some(Leader::A) => {}
             Some(Leader::B) => {
                 self.psel = self.psel.saturating_sub(1);
             }

@@ -18,6 +18,7 @@ pub struct GsDrrip {
     meta: RripMeta,
     duels: [Duel; 4],
     brrip_fills: [u64; 4],
+    name: String,
 }
 
 impl GsDrrip {
@@ -31,12 +32,13 @@ impl GsDrrip {
             meta: RripMeta::new(bits),
             duels: [duel(0), duel(1), duel(2), duel(3)],
             brrip_fills: [0; 4],
+            name: crate::rrip::bits_name("GS-DRRIP", bits),
         }
     }
 
     fn brrip_insertion(&mut self, class: usize) -> u8 {
         self.brrip_fills[class] += 1;
-        if self.brrip_fills[class] % Brrip::EPSILON_PERIOD == 0 {
+        if self.brrip_fills[class].is_multiple_of(Brrip::EPSILON_PERIOD) {
             self.meta.long()
         } else {
             self.meta.distant()
@@ -45,12 +47,8 @@ impl GsDrrip {
 }
 
 impl Policy for GsDrrip {
-    fn name(&self) -> String {
-        if self.meta.bits() == 2 {
-            "GS-DRRIP".to_string()
-        } else {
-            format!("GS-DRRIP-{}", self.meta.bits())
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -107,8 +105,7 @@ mod tests {
                     continue;
                 }
                 for set in 0..64 {
-                    let both = p.duels[k].leader(set).is_some()
-                        && p.duels[j].leader(set).is_some();
+                    let both = p.duels[k].leader(set).is_some() && p.duels[j].leader(set).is_some();
                     assert!(!both, "set {set} leads two duels");
                 }
             }

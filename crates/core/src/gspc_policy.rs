@@ -63,11 +63,11 @@ impl Gspc {
 }
 
 impl Policy for Gspc {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         if self.bypass_dead_tex {
-            "GSPC+BYP".to_string()
+            "GSPC+BYP"
         } else {
-            "GSPC".to_string()
+            "GSPC"
         }
     }
 

@@ -30,6 +30,7 @@ pub struct Gspztc {
     meta: RripMeta,
     t: u32,
     banks: Vec<GspcCounters>,
+    name: String,
 }
 
 impl Gspztc {
@@ -47,11 +48,8 @@ impl Gspztc {
     /// threshold check is a shift, compare, and mux).
     pub fn with_threshold(cfg: &LlcConfig, t: u32) -> Self {
         assert!(t.is_power_of_two(), "t must be a power of two");
-        Gspztc {
-            meta: RripMeta::new(2),
-            t,
-            banks: vec![GspcCounters::new(); cfg.banks],
-        }
+        let name = if t == DEFAULT_T { "GSPZTC".to_string() } else { format!("GSPZTC(t={t})") };
+        Gspztc { meta: RripMeta::new(2), t, banks: vec![GspcCounters::new(); cfg.banks], name }
     }
 
     /// The threshold parameter.
@@ -66,12 +64,8 @@ impl Gspztc {
 }
 
 impl Policy for Gspztc {
-    fn name(&self) -> String {
-        if self.t == DEFAULT_T {
-            "GSPZTC".to_string()
-        } else {
-            format!("GSPZTC(t={})", self.t)
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {

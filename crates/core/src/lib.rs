@@ -40,8 +40,8 @@ mod gspc_policy;
 mod gspztc;
 mod lru;
 mod nru;
-mod partition;
 pub mod overhead;
+mod partition;
 pub mod registry;
 mod rrip;
 mod ship;

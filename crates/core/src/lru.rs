@@ -29,8 +29,8 @@ impl Lru {
 }
 
 impl Policy for Lru {
-    fn name(&self) -> String {
-        "LRU".to_string()
+    fn name(&self) -> &str {
+        "LRU"
     }
 
     fn state_bits_per_block(&self) -> u32 {

@@ -21,8 +21,8 @@ impl Nru {
 }
 
 impl Policy for Nru {
-    fn name(&self) -> String {
-        "NRU".to_string()
+    fn name(&self) -> &str {
+        "NRU"
     }
 
     fn state_bits_per_block(&self) -> u32 {

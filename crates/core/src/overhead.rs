@@ -43,7 +43,7 @@ pub fn measure(policy: &dyn Policy, cfg: &LlcConfig, counter_bits: u64) -> Overh
     let extra_block_bits = u64::from(extra) * cfg.total_blocks() as u64;
     let data_bits = cfg.size_bytes * 8;
     Overhead {
-        policy: policy.name(),
+        policy: policy.name().to_string(),
         state_bits_per_block: state,
         extra_state_bits_per_block: extra,
         extra_block_bits,
@@ -76,7 +76,7 @@ mod tests {
         // "an additional overhead of 32 KB in two state bits per LLC block"
         assert_eq!(o.extra_state_bits_per_block, 2);
         assert_eq!(o.extra_block_bits, 2 * 131_072); // 262144 bits = 32 KB
-        // "and 284 bits in saturating counters" (4 banks x 71 bits)
+                                                     // "and 284 bits in saturating counters" (4 banks x 71 bits)
         assert_eq!(o.counter_bits, 284);
         // "less than 0.5% of the LLC data array bits"
         assert!(o.fraction_of_data_array < 0.005);

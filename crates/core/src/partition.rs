@@ -61,20 +61,16 @@ fn partitioned_victim(set: &[Block], quotas: &[u32; 4], fill_class: usize) -> us
         Some(fill_class)
     } else {
         // Evict from the most over-quota class.
-        (0..4)
-            .filter(|&c| counts[c] > quotas[c])
-            .max_by_key(|&c| counts[c] - quotas[c])
+        (0..4).filter(|&c| counts[c] > quotas[c]).max_by_key(|&c| counts[c] - quotas[c])
     };
     let victim = |class: Option<usize>| -> Option<usize> {
         set.iter()
             .enumerate()
-            .filter(|(_, b)| b.valid && class.map_or(true, |c| class_of(b) == c))
+            .filter(|(_, b)| b.valid && class.is_none_or(|c| class_of(b) == c))
             .max_by_key(|(_, b)| age(b))
             .map(|(i, _)| i)
     };
-    victim(candidate_class)
-        .or_else(|| victim(None))
-        .expect("victim selection on an empty set")
+    victim(candidate_class).or_else(|| victim(None)).expect("victim selection on an empty set")
 }
 
 /// Fixed way quotas per policy class.
@@ -111,8 +107,8 @@ impl StaticWayPartition {
 }
 
 impl Policy for StaticWayPartition {
-    fn name(&self) -> String {
-        "WayPart".to_string()
+    fn name(&self) -> &str {
+        "WayPart"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -188,8 +184,8 @@ impl UcpLite {
 }
 
 impl Policy for UcpLite {
-    fn name(&self) -> String {
-        "UCP-lite".to_string()
+    fn name(&self) -> &str {
+        "UCP-lite"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -239,7 +235,7 @@ mod tests {
         }
     }
 
-    fn fill_class(p: &mut dyn Policy, set: &mut Vec<Block>, stream: StreamId, n: usize) {
+    fn fill_class(p: &mut dyn Policy, set: &mut [Block], stream: StreamId, n: usize) {
         for _ in 0..n {
             let way = set.iter().position(|b| !b.valid).unwrap_or_else(|| {
                 let v = p.choose_victim(&info(stream), set);

@@ -3,8 +3,8 @@
 use grcache::{LlcConfig, Policy};
 
 use crate::{
-    Belady, Bip, Dip, Drrip, Gspc, Gspztc, GspztcTse, GsDrrip, Lip, Lru, Nru, RandomRepl,
-    ShipMem, Slru, Srrip, StaticWayPartition, Ucd, UcpLite,
+    Belady, Bip, Dip, Drrip, GsDrrip, Gspc, Gspztc, GspztcTse, Lip, Lru, Nru, RandomRepl, ShipMem,
+    Slru, Srrip, StaticWayPartition, Ucd, UcpLite,
 };
 
 /// One row of the paper's Table 6 (plus the extra baselines of Figures 1
@@ -36,10 +36,7 @@ pub const ALL_POLICIES: &[PolicyEntry] = &[
     PolicyEntry { name: "GSPC+UCD", description: "GSPC with uncached displayable color" },
     PolicyEntry { name: "DRRIP+UCD", description: "DRRIP with uncached displayable color" },
     PolicyEntry { name: "NRU+UCD", description: "NRU with uncached displayable color" },
-    PolicyEntry {
-        name: "GS-DRRIP+UCD",
-        description: "GS-DRRIP with uncached displayable color",
-    },
+    PolicyEntry { name: "GS-DRRIP+UCD", description: "GS-DRRIP with uncached displayable color" },
     PolicyEntry { name: "OPT", description: "Belady's optimal (offline oracle)" },
     PolicyEntry { name: "DIP", description: "Dynamic insertion policy (LRU/BIP dueling)" },
     PolicyEntry { name: "LIP", description: "LRU-insertion policy" },
@@ -50,10 +47,7 @@ pub const ALL_POLICIES: &[PolicyEntry] = &[
         description: "Static per-stream way partitioning (Z:2 TEX:6 RT:6 other:2)",
     },
     PolicyEntry { name: "UCP-lite", description: "Utility-based way repartitioning" },
-    PolicyEntry {
-        name: "GSPC+BYP",
-        description: "GSPC with dead-texture LLC bypass (extension)",
-    },
+    PolicyEntry { name: "GSPC+BYP", description: "GSPC with dead-texture LLC bypass (extension)" },
     PolicyEntry { name: "SLRU", description: "Segmented LRU (scan-resistant baseline)" },
 ];
 
@@ -148,10 +142,17 @@ mod tests {
     #[test]
     fn table6_policies_present() {
         // The exact set of Table 6.
-        for name in
-            ["DRRIP", "NRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC",
-             "GSPC+UCD", "DRRIP+UCD"]
-        {
+        for name in [
+            "DRRIP",
+            "NRU",
+            "SHiP-mem",
+            "GS-DRRIP",
+            "GSPZTC",
+            "GSPZTC+TSE",
+            "GSPC",
+            "GSPC+UCD",
+            "DRRIP+UCD",
+        ] {
             assert!(
                 ALL_POLICIES.iter().any(|e| e.name == name),
                 "Table 6 policy {name} missing from registry"

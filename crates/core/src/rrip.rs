@@ -96,23 +96,30 @@ impl RripMeta {
 #[derive(Debug, Clone)]
 pub struct Srrip {
     meta: RripMeta,
+    name: String,
+}
+
+/// `"BASE"` for the canonical two-bit variant, `"BASE-n"` otherwise;
+/// built once at construction so [`Policy::name`] never allocates.
+pub(crate) fn bits_name(base: &str, bits: u32) -> String {
+    if bits == 2 {
+        base.to_string()
+    } else {
+        format!("{base}-{bits}")
+    }
 }
 
 impl Srrip {
     /// Creates an `n`-bit SRRIP policy (the paper's sample sets run the
     /// two-bit variant).
     pub fn new(bits: u32) -> Self {
-        Srrip { meta: RripMeta::new(bits) }
+        Srrip { meta: RripMeta::new(bits), name: bits_name("SRRIP", bits) }
     }
 }
 
 impl Policy for Srrip {
-    fn name(&self) -> String {
-        if self.meta.bits() == 2 {
-            "SRRIP".to_string()
-        } else {
-            format!("SRRIP-{}", self.meta.bits())
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -140,6 +147,7 @@ impl Policy for Srrip {
 pub struct Brrip {
     meta: RripMeta,
     fill_count: u64,
+    name: String,
 }
 
 impl Brrip {
@@ -149,13 +157,13 @@ impl Brrip {
 
     /// Creates an `n`-bit BRRIP policy.
     pub fn new(bits: u32) -> Self {
-        Brrip { meta: RripMeta::new(bits), fill_count: 0 }
+        Brrip { meta: RripMeta::new(bits), fill_count: 0, name: format!("BRRIP-{bits}") }
     }
 
     /// Insertion RRPV for the next fill (advances the bimodal counter).
     pub fn next_insertion(&mut self) -> u8 {
         self.fill_count += 1;
-        if self.fill_count % Self::EPSILON_PERIOD == 0 {
+        if self.fill_count.is_multiple_of(Self::EPSILON_PERIOD) {
             self.meta.long()
         } else {
             self.meta.distant()
@@ -164,8 +172,8 @@ impl Brrip {
 }
 
 impl Policy for Brrip {
-    fn name(&self) -> String {
-        format!("BRRIP-{}", self.meta.bits())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -195,12 +203,18 @@ pub struct Drrip {
     meta: RripMeta,
     duel: Duel,
     brrip_fills: u64,
+    name: String,
 }
 
 impl Drrip {
     /// Creates an `n`-bit DRRIP policy.
     pub fn new(bits: u32) -> Self {
-        Drrip { meta: RripMeta::new(bits), duel: Duel::new(1, 2, 64, 10), brrip_fills: 0 }
+        Drrip {
+            meta: RripMeta::new(bits),
+            duel: Duel::new(1, 2, 64, 10),
+            brrip_fills: 0,
+            name: bits_name("DRRIP", bits),
+        }
     }
 
     /// The RRPV metadata layout (shared with derived policies).
@@ -221,7 +235,7 @@ impl Drrip {
 
     fn brrip_insertion(&mut self) -> u8 {
         self.brrip_fills += 1;
-        if self.brrip_fills % Brrip::EPSILON_PERIOD == 0 {
+        if self.brrip_fills.is_multiple_of(Brrip::EPSILON_PERIOD) {
             self.meta.long()
         } else {
             self.meta.distant()
@@ -230,12 +244,8 @@ impl Drrip {
 }
 
 impl Policy for Drrip {
-    fn name(&self) -> String {
-        if self.meta.bits() == 2 {
-            "DRRIP".to_string()
-        } else {
-            format!("DRRIP-{}", self.meta.bits())
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {

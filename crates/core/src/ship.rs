@@ -50,8 +50,8 @@ impl ShipMem {
 }
 
 impl Policy for ShipMem {
-    fn name(&self) -> String {
-        "SHiP-mem".to_string()
+    fn name(&self) -> &str {
+        "SHiP-mem"
     }
 
     fn state_bits_per_block(&self) -> u32 {

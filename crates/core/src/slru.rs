@@ -64,8 +64,8 @@ impl Slru {
 }
 
 impl Policy for Slru {
-    fn name(&self) -> String {
-        "SLRU".to_string()
+    fn name(&self) -> &str {
+        "SLRU"
     }
 
     fn state_bits_per_block(&self) -> u32 {
@@ -75,9 +75,7 @@ impl Policy for Slru {
     fn on_hit(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) {
         // Promote into the protected segment, demoting its LRU member if
         // the segment is full.
-        if !Self::is_protected(&set[way])
-            && Self::protected_count(set) >= self.protected_cap
-        {
+        if !Self::is_protected(&set[way]) && Self::protected_count(set) >= self.protected_cap {
             if let Some(demote) = Self::lru_where(set, Self::is_protected) {
                 set[demote].meta &= !PROTECTED_BIT;
             }

@@ -230,8 +230,8 @@ impl GspztcTse {
 }
 
 impl Policy for GspztcTse {
-    fn name(&self) -> String {
-        "GSPZTC+TSE".to_string()
+    fn name(&self) -> &str {
+        "GSPZTC+TSE"
     }
 
     fn state_bits_per_block(&self) -> u32 {

@@ -26,12 +26,14 @@ use grtrace::StreamId;
 #[derive(Debug, Clone)]
 pub struct Ucd<P> {
     inner: P,
+    name: String,
 }
 
 impl<P: Policy> Ucd<P> {
     /// Wraps `inner` with display-stream bypassing.
     pub fn new(inner: P) -> Self {
-        Ucd { inner }
+        let name = format!("{}+UCD", inner.name());
+        Ucd { inner, name }
     }
 
     /// The wrapped policy.
@@ -46,8 +48,8 @@ impl<P: Policy> Ucd<P> {
 }
 
 impl<P: Policy> Policy for Ucd<P> {
-    fn name(&self) -> String {
-        format!("{}+UCD", self.inner.name())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn state_bits_per_block(&self) -> u32 {

@@ -172,7 +172,7 @@ fn table4_nonsample_e0_hit_consults_epoch1_probability() {
     for _ in 0..9 {
         p.on_fill(&info(StreamId::Texture, true), &mut s, 0);
         p.on_hit(&info(StreamId::Texture, true), &mut s, 0); // FILL(1)++ HIT(0)++
-        // Re-fill resets state for the next round.
+                                                             // Re-fill resets state for the next round.
     }
     // HIT(0) is also 9, so E0 fills stay protected; but an E0 *hit* moves
     // the block to E1, whose reuse (0/9) is below 1/9: demote to 3.
@@ -238,11 +238,7 @@ fn table5_nonsample_rt_fill_three_tiers() {
         assert_eq!(q.counters()[0].prod.get(), prod);
         assert_eq!(q.counters()[0].cons.get(), cons);
         q.on_fill(&info(StreamId::RenderTarget, false), &mut s2, 0);
-        assert_eq!(
-            rrpv(&s2[0]),
-            expected,
-            "PROD={prod} CONS={cons} should insert at {expected}"
-        );
+        assert_eq!(rrpv(&s2[0]), expected, "PROD={prod} CONS={cons} should insert at {expected}");
     }
 }
 

@@ -1,69 +1,102 @@
-//! Property tests on the RRIP machinery and the GSPC counter file.
-
-use proptest::prelude::*;
+//! Randomized invariant tests on the RRIP machinery and the GSPC counter
+//! file, deterministically seeded (no property-testing dependency).
 
 use grcache::Block;
 use gspc::{RripMeta, SatCounter};
 
-proptest! {
-    /// The RRIP victim loop always returns a block at the distant RRPV,
-    /// never increases any RRPV past it, and preserves relative order.
-    #[test]
-    fn victim_selection_invariants(
-        rrpvs in prop::collection::vec(0u8..=3, 1..16),
-        bits in 2u32..=4,
-    ) {
+/// SplitMix64 — a tiny deterministic generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The RRIP victim loop always returns a block at the distant RRPV,
+/// never increases any RRPV past it, and preserves relative order.
+#[test]
+fn victim_selection_invariants() {
+    let mut rng = Rng(21);
+    for _ in 0..256 {
+        let bits = 2 + rng.below(3) as u32;
+        let len = 1 + rng.below(15) as usize;
         let layout = RripMeta::new(bits);
         let max = layout.distant();
-        let mut set: Vec<Block> = rrpvs
-            .iter()
-            .map(|&r| {
+        let mut set: Vec<Block> = (0..len)
+            .map(|_| {
                 let mut b = Block { valid: true, ..Block::default() };
-                layout.set(&mut b, r.min(max));
+                layout.set(&mut b, (rng.below(4) as u8).min(max));
                 b
             })
             .collect();
         let before: Vec<u8> = set.iter().map(|b| layout.get(b)).collect();
         let victim = layout.select_victim(&mut set);
-        prop_assert!(victim < set.len());
-        prop_assert_eq!(layout.get(&set[victim]), max, "victim must be distant");
+        assert!(victim < set.len());
+        assert_eq!(layout.get(&set[victim]), max, "victim must be distant");
         // Aging preserves the relative RRPV order and adds the same delta.
         let after: Vec<u8> = set.iter().map(|b| layout.get(b)).collect();
         let delta = after[0] - before[0];
         for (b, a) in before.iter().zip(&after) {
-            prop_assert_eq!(a - b, delta, "uniform aging");
-            prop_assert!(*a <= max);
+            assert_eq!(a - b, delta, "uniform aging");
+            assert!(*a <= max);
         }
         // The victim is the minimum way among distant blocks.
         let first_distant = after.iter().position(|&r| r == max).unwrap();
-        prop_assert_eq!(victim, first_distant);
+        assert_eq!(victim, first_distant);
     }
+}
 
-    /// RRPV writes never clobber unrelated metadata bits.
-    #[test]
-    fn rrpv_is_bit_isolated(meta in any::<u32>(), rrpv in 0u8..=3) {
-        let layout = RripMeta::new(2);
+/// RRPV writes never clobber unrelated metadata bits.
+#[test]
+fn rrpv_is_bit_isolated() {
+    let mut rng = Rng(22);
+    let layout = RripMeta::new(2);
+    for _ in 0..256 {
+        let meta = rng.next() as u32;
+        let rrpv = rng.below(4) as u8;
         let mut b = Block { meta, ..Block::default() };
         layout.set(&mut b, rrpv);
-        prop_assert_eq!(layout.get(&b), rrpv);
-        prop_assert_eq!(b.meta & !0b11, meta & !0b11);
+        assert_eq!(layout.get(&b), rrpv);
+        assert_eq!(b.meta & !0b11, meta & !0b11);
     }
+}
 
-    /// Saturating counters never exceed their maximum, never underflow,
-    /// and halving is monotonically decreasing.
-    #[test]
-    fn sat_counter_invariants(ops in prop::collection::vec(0u8..3, 0..200), bits in 1u32..12) {
+/// Saturating counters never exceed their maximum, never underflow,
+/// and halving is monotonically decreasing.
+#[test]
+fn sat_counter_invariants() {
+    let mut rng = Rng(23);
+    for _ in 0..128 {
+        let bits = 1 + rng.below(11) as u32;
         let mut c = SatCounter::new(bits);
         let mut model: u64 = 0;
         let max = u64::from(c.max());
-        for op in ops {
-            match op {
-                0 => { c.inc(); model = (model + 1).min(max); }
-                1 => { c.dec(); model = model.saturating_sub(1); }
-                _ => { c.halve(); model /= 2; }
+        for _ in 0..rng.below(200) {
+            match rng.below(3) {
+                0 => {
+                    c.inc();
+                    model = (model + 1).min(max);
+                }
+                1 => {
+                    c.dec();
+                    model = model.saturating_sub(1);
+                }
+                _ => {
+                    c.halve();
+                    model /= 2;
+                }
             }
-            prop_assert_eq!(u64::from(c.get()), model);
-            prop_assert!(u64::from(c.get()) <= max);
+            assert_eq!(u64::from(c.get()), model);
+            assert!(u64::from(c.get()) <= max);
         }
     }
 }

@@ -1,14 +1,12 @@
 //! DDR3 timing parameter sets.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing and geometry of a DDR3 memory system.
 ///
 /// Latencies are expressed in memory-clock cycles; [`TimingParams::tck_ns`]
 /// converts to wall-clock time. A burst of eight transfers moves one
 /// 64-byte block per request across a 64-bit channel in four memory clocks
 /// (double data rate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingParams {
     /// Human-readable name, e.g. `"DDR3-1600 15-15-15"`.
     pub name: &'static str,

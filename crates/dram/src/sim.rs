@@ -1,7 +1,5 @@
 //! FR-FCFS DRAM request scheduling and timing.
 
-use serde::{Deserialize, Serialize};
-
 use crate::TimingParams;
 
 /// One 64-byte memory request.
@@ -16,7 +14,7 @@ pub struct Request {
 }
 
 /// Aggregate results of a DRAM simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DramStats {
     /// Demand reads serviced.
     pub reads: u64,

@@ -1,69 +1,100 @@
-//! Property tests on the DDR3 timing model.
-
-use proptest::prelude::*;
+//! Randomized invariant tests on the DDR3 timing model, deterministically
+//! seeded (no property-testing dependency).
 
 use grdram::{DramSim, Request, TimingParams};
 
-fn arb_requests(max: usize) -> impl Strategy<Value = Vec<Request>> {
-    prop::collection::vec((0u64..100_000, any::<bool>(), 0.0f64..10.0), 1..max).prop_map(
-        |items| {
-            let mut t = 0.0;
-            items
-                .into_iter()
-                .map(|(block, write, dt)| {
-                    t += dt;
-                    Request { block, write, arrival_ns: t }
-                })
-                .collect()
-        },
-    )
+/// SplitMix64 — a tiny deterministic generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_requests(rng: &mut Rng, max: u64) -> Vec<Request> {
+    let len = 1 + rng.below(max);
+    let mut t = 0.0;
+    (0..len)
+        .map(|_| {
+            t += rng.f64() * 10.0;
+            Request { block: rng.below(100_000), write: rng.next() & 1 == 1, arrival_ns: t }
+        })
+        .collect()
+}
 
-    /// Every request is serviced exactly once and every latency is at
-    /// least a row-hit access plus the data burst.
-    #[test]
-    fn conservation_and_latency_floor(reqs in arb_requests(400)) {
+/// Every request is serviced exactly once and every latency is at
+/// least a row-hit access plus the data burst.
+#[test]
+fn conservation_and_latency_floor() {
+    let mut rng = Rng(31);
+    for _ in 0..64 {
+        let reqs = random_requests(&mut rng, 400);
         let p = TimingParams::ddr3_1600();
         let stats = DramSim::new(p).run(&reqs);
-        prop_assert_eq!(stats.reads + stats.writes, reqs.len() as u64);
-        prop_assert_eq!(stats.row_hits + stats.row_misses, reqs.len() as u64);
+        assert_eq!(stats.reads + stats.writes, reqs.len() as u64);
+        assert_eq!(stats.row_hits + stats.row_misses, reqs.len() as u64);
         let floor = p.row_hit_ns() + f64::from(p.burst_clocks()) * p.tck_ns;
-        prop_assert!(stats.avg_latency_ns >= floor - 1e-9,
-            "avg latency {} below floor {}", stats.avg_latency_ns, floor);
+        assert!(
+            stats.avg_latency_ns >= floor - 1e-9,
+            "avg latency {} below floor {floor}",
+            stats.avg_latency_ns
+        );
     }
+}
 
-    /// The channel data bus can never be busier than the makespan, and
-    /// delivered bandwidth never exceeds the peak.
-    #[test]
-    fn bus_occupancy_bounds(reqs in arb_requests(400)) {
+/// The channel data bus can never be busier than the makespan, and
+/// delivered bandwidth never exceeds the peak.
+#[test]
+fn bus_occupancy_bounds() {
+    let mut rng = Rng(32);
+    for _ in 0..64 {
+        let reqs = random_requests(&mut rng, 400);
         let p = TimingParams::ddr3_1600();
         let stats = DramSim::new(p).run(&reqs);
-        prop_assert!(stats.busy_ns <= stats.makespan_ns + 1e-9);
-        prop_assert!(stats.bandwidth() <= p.peak_bandwidth() * (1.0 + 1e-9));
+        assert!(stats.busy_ns <= stats.makespan_ns + 1e-9);
+        assert!(stats.bandwidth() <= p.peak_bandwidth() * (1.0 + 1e-9));
     }
+}
 
-    /// Disabling refresh can only help (or not hurt) the makespan.
-    #[test]
-    fn refresh_never_speeds_things_up(reqs in arb_requests(300)) {
+/// Disabling refresh can only help (or not hurt) the makespan.
+#[test]
+fn refresh_never_speeds_things_up() {
+    let mut rng = Rng(33);
+    for _ in 0..64 {
+        let reqs = random_requests(&mut rng, 300);
         let with = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
         let mut p = TimingParams::ddr3_1600();
         p.t_refi_ns = 0.0; // disabled
         let without = DramSim::new(p).run(&reqs);
-        prop_assert!(without.makespan_ns <= with.makespan_ns + 1e-6);
-        prop_assert_eq!(without.refreshes, 0);
+        assert!(without.makespan_ns <= with.makespan_ns + 1e-6);
+        assert_eq!(without.refreshes, 0);
     }
+}
 
-    /// The simulator is deterministic.
-    #[test]
-    fn deterministic(reqs in arb_requests(300)) {
+/// The simulator is deterministic.
+#[test]
+fn deterministic() {
+    let mut rng = Rng(34);
+    for _ in 0..32 {
+        let reqs = random_requests(&mut rng, 300);
         let a = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
         let b = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
-        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
-        prop_assert_eq!(a.row_hits, b.row_hits);
-        prop_assert_eq!(a.turnarounds, b.turnarounds);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.row_hits, b.row_hits);
+        assert_eq!(a.turnarounds, b.turnarounds);
     }
 }
 
@@ -81,9 +112,8 @@ fn long_idle_workload_pays_refreshes() {
 fn alternating_reads_writes_pay_turnarounds() {
     // `i % 4 < 2` alternates read/write *within* each channel (channel is
     // selected by the block's low bit).
-    let reqs: Vec<Request> = (0..100)
-        .map(|i| Request { block: i, write: i % 4 < 2, arrival_ns: 0.0 })
-        .collect();
+    let reqs: Vec<Request> =
+        (0..100).map(|i| Request { block: i, write: i % 4 < 2, arrival_ns: 0.0 }).collect();
     let stats = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
     assert!(stats.turnarounds > 40, "turnarounds = {}", stats.turnarounds);
 }

@@ -1,7 +1,5 @@
 //! GPU machine configurations (Section 4 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// The modeled GPU.
 ///
 /// The baseline mirrors the paper: 96 shader cores at 1.6 GHz with eight
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// (16 single-precision ops per core-cycle, ~2.5 TFLOPS aggregate), twelve
 /// samplers delivering four 32-bit texels per cycle (76.8 GTexels/s), and
 /// a four-banked LLC at 4 GHz with a 20-cycle load-to-use latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Configuration name for reports.
     pub name: &'static str,
@@ -68,12 +66,7 @@ impl GpuConfig {
     /// The less aggressive GPU of Figure 17 (lower panel): 64 cores × 8
     /// threads (512 contexts) and eight samplers; everything else equal.
     pub fn less_aggressive() -> Self {
-        GpuConfig {
-            name: "64-core GPU",
-            shader_cores: 64,
-            samplers: 8,
-            ..Self::baseline()
-        }
+        GpuConfig { name: "64-core GPU", shader_cores: 64, samplers: 8, ..Self::baseline() }
     }
 
     /// Total thread contexts.

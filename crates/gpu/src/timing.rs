@@ -1,13 +1,11 @@
 //! The interval frame-time model.
 
-use serde::{Deserialize, Serialize};
-
 use grdram::{DramSim, Request, TimingParams};
 
 use crate::GpuConfig;
 
 /// The computational work of one rendered frame, as seen by the machine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Workload {
     /// Pixels shaded (including overdraw).
     pub shaded_pixels: u64,
@@ -20,7 +18,7 @@ pub struct Workload {
 }
 
 /// The model's verdict for one frame.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FrameTiming {
     /// Shader-throughput bound, in nanoseconds.
     pub t_shader_ns: f64,
@@ -50,11 +48,7 @@ impl FrameTiming {
 
     /// Which bound dominated (`"shader"`, `"sampler"`, `"llc"`, `"dram"`).
     pub fn bottleneck(&self) -> &'static str {
-        let m = self
-            .t_shader_ns
-            .max(self.t_sampler_ns)
-            .max(self.t_llc_ns)
-            .max(self.t_dram_ns);
+        let m = self.t_shader_ns.max(self.t_sampler_ns).max(self.t_llc_ns).max(self.t_dram_ns);
         if m == self.t_dram_ns {
             "dram"
         } else if m == self.t_shader_ns {
@@ -83,8 +77,8 @@ pub fn time_frame(
     work: &Workload,
     memory_requests: &[(u64, bool)],
 ) -> FrameTiming {
-    let shader_ops = work.shaded_pixels as f64 * cfg.ops_per_pixel
-        + work.vertices as f64 * cfg.ops_per_vertex;
+    let shader_ops =
+        work.shaded_pixels as f64 * cfg.ops_per_pixel + work.vertices as f64 * cfg.ops_per_vertex;
     let t_shader_ns = shader_ops
         / (f64::from(cfg.shader_cores) * f64::from(cfg.ops_per_core_cycle) * cfg.core_clock_ghz);
     let t_sampler_ns = work.texel_samples as f64
@@ -97,11 +91,7 @@ pub fn time_frame(
         memory_requests
             .iter()
             .enumerate()
-            .map(|(i, &(block, write))| Request {
-                block,
-                write,
-                arrival_ns: i as f64 * spacing,
-            })
+            .map(|(i, &(block, write))| Request { block, write, arrival_ns: i as f64 * spacing })
             .collect()
     };
 
@@ -118,15 +108,13 @@ pub fn time_frame(
     // M/D/1-style wait that grows with memory-system load.
     let rhr = saturated.row_hit_rate();
     let burst_ns = f64::from(dram.burst_clocks()) * dram.tck_ns;
-    let service_ns =
-        rhr * dram.row_hit_ns() + (1.0 - rhr) * dram.row_miss_ns() + burst_ns;
+    let service_ns = rhr * dram.row_hit_ns() + (1.0 - rhr) * dram.row_miss_ns() + burst_ns;
     let load = (t_mem / frame_base.max(1.0)).min(0.95);
     let latency_ns = service_ns * (1.0 + load / (2.0 * (1.0 - load)));
 
     let misses = memory_requests.iter().filter(|&&(_, w)| !w).count() as f64;
     // Raw exposed latency if every thread simply waited...
-    let hiding =
-        f64::from(cfg.thread_contexts()) * cfg.mlp * cfg.hiding_efficiency;
+    let hiding = f64::from(cfg.thread_contexts()) * cfg.mlp * cfg.hiding_efficiency;
     let raw_exposure = misses * latency_ns / hiding.max(1.0);
     // ...scaled by how little independent compute there is to overlap with:
     // a machine with relatively more shader work per memory access hides
@@ -199,10 +187,8 @@ mod tests {
         // matter less (Figure 17, lower panel). Request volumes are kept
         // below DRAM saturation so queueing stays in the stable regime.
         let speedup = |cfg: GpuConfig| {
-            let base =
-                time_frame(&cfg, TimingParams::ddr3_1600(), &work(), &requests(150_000));
-            let improved =
-                time_frame(&cfg, TimingParams::ddr3_1600(), &work(), &requests(100_000));
+            let base = time_frame(&cfg, TimingParams::ddr3_1600(), &work(), &requests(150_000));
+            let improved = time_frame(&cfg, TimingParams::ddr3_1600(), &work(), &requests(100_000));
             base.frame_ns / improved.frame_ns
         };
         let wide = speedup(GpuConfig::baseline());
@@ -213,10 +199,7 @@ mod tests {
     #[test]
     fn compute_bound_frames_ignore_memory() {
         let cfg = GpuConfig::baseline();
-        let heavy_compute = Workload {
-            shaded_pixels: 500_000_000,
-            ..work()
-        };
+        let heavy_compute = Workload { shaded_pixels: 500_000_000, ..work() };
         let t = time_frame(&cfg, TimingParams::ddr3_1600(), &heavy_compute, &requests(1000));
         assert_eq!(t.bottleneck(), "shader");
     }

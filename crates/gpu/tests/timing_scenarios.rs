@@ -59,10 +59,7 @@ fn exposure_shrinks_with_more_threads() {
     let reqs = requests(100_000);
     let a = time_frame(&few, dram, &balanced_work(), &reqs);
     let b = time_frame(&many, dram, &balanced_work(), &reqs);
-    assert!(
-        b.exposure_ns < a.exposure_ns,
-        "more thread contexts must hide more latency"
-    );
+    assert!(b.exposure_ns < a.exposure_ns, "more thread contexts must hide more latency");
 }
 
 #[test]

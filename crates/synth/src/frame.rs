@@ -15,13 +15,10 @@
 //! 5. *present* reads the final back buffer and writes the displayable
 //!    color stream to the front buffer.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use grcache::RenderCaches;
 use grtrace::{Access, StreamId, Trace};
 
-use crate::rng::{frame_rng, zipf_rank};
+use crate::rng::{frame_rng, zipf_rank, FrameRng};
 use crate::{AppProfile, Scale, Surface, SurfaceAllocator, SurfaceKind};
 
 /// Pixels per screen tile edge (8×8-pixel tiles, i.e. 2×2 surface blocks).
@@ -60,7 +57,7 @@ pub struct FrameWork {
 pub struct FrameRenderer<'a> {
     profile: &'a AppProfile,
     scale: Scale,
-    rng: StdRng,
+    rng: FrameRng,
     caches: RenderCaches,
     trace: Trace,
     width: u32,
@@ -126,8 +123,7 @@ impl<'a> FrameRenderer<'a> {
             SurfaceKind::VertexBuffer,
             (u64::from(profile.triangles_k) * 1024 * 4 / d2).max(4096),
         );
-        let indices =
-            alloc.alloc_linear(SurfaceKind::IndexBuffer, vertices.size_bytes() / 8);
+        let indices = alloc.alloc_linear(SurfaceKind::IndexBuffer, vertices.size_bytes() / 8);
         let mrt = alloc.alloc(SurfaceKind::RenderTarget, width, height);
         // Scratch render targets continuously produced and shortly after
         // consumed during the main pass (per-object reflections, particle
@@ -221,8 +217,7 @@ impl<'a> FrameRenderer<'a> {
 
     #[inline]
     fn emit(&mut self, addr: u64, stream: StreamId, write: bool) {
-        let access =
-            if write { Access::store(addr, stream) } else { Access::load(addr, stream) };
+        let access = if write { Access::store(addr, stream) } else { Access::load(addr, stream) };
         self.work.raw_accesses += 1;
         self.caches.filter(access, &mut self.trace);
     }
@@ -244,7 +239,7 @@ impl<'a> FrameRenderer<'a> {
             self.emit(addr, StreamId::Vertex, false);
             // Indexed geometry re-reads shared vertices of nearby triangles.
             if i > 4 && self.rng.gen_bool(0.3) {
-                let back = 1 + (self.rng.gen::<u64>() % 4);
+                let back = 1 + (self.rng.next_u64() % 4);
                 let addr = self.vertices.block_by_index((i - back) % vtx_base_blocks);
                 self.emit(addr, StreamId::Vertex, false);
             }
@@ -252,7 +247,7 @@ impl<'a> FrameRenderer<'a> {
         // Shader code and constants for the pass; the window rotates as
         // different shaders bind.
         let total = self.constants.total_blocks();
-        let base = self.rng.gen::<u64>() % total;
+        let base = self.rng.next_u64() % total;
         for i in 0..48 {
             let addr = self.constants.block_by_index((base + i) % total);
             self.emit(addr, StreamId::Other, false);
@@ -285,21 +280,20 @@ impl<'a> FrameRenderer<'a> {
     /// policy.
     fn sample_static_texture(&mut self, footprint: usize, out: &mut Vec<u64>) {
         let regions = (self.static_tex.total_blocks() / TEX_REGION_BLOCKS).max(1);
-        let roll: f64 = self.rng.gen();
+        let roll = self.rng.next_f64();
         let (rv_min, rv_max) = self.revisit_window;
         let medium_revisit =
             roll < self.profile.tex_revisit && self.tex_history.len() > rv_min + rv_min / 8;
         let region_base = if medium_revisit {
             let window = (self.tex_history.len() - rv_min).min(rv_max - rv_min);
-            let d = rv_min + (self.rng.gen::<usize>() % window);
+            let d = rv_min + ((self.rng.next_u64() as usize) % window);
             // Each region is far-revisited at most once (E1 texture blocks
             // rarely see further reuse — the paper's E1 death ratio is
             // 0.73 even under Belady's optimal), so take it out of the
             // history once consumed.
             let idx = self.tex_history.len() - 1 - d;
             self.tex_history.swap_remove(idx)
-        } else if roll < self.profile.tex_revisit + 0.04 && !self.tex_history.is_empty()
-        {
+        } else if roll < self.profile.tex_revisit + 0.04 && !self.tex_history.is_empty() {
             // Occasional long-range revisit (usually cold by now).
             let k = zipf_rank(&mut self.rng, self.tex_history.len());
             self.tex_history[self.tex_history.len() - 1 - k]
@@ -311,7 +305,7 @@ impl<'a> FrameRenderer<'a> {
             // population of Figure 7).
             self.tex_walk = self.tex_walk.wrapping_add(1);
             let region = if self.rng.gen_bool(0.02) {
-                (self.rng.gen::<u64>() % 8) * 997 % regions
+                (self.rng.next_u64() % 8) * 997 % regions
             } else {
                 (self.tex_walk + zipf_rank(&mut self.rng, 24) as u64) % regions
             };
@@ -331,7 +325,7 @@ impl<'a> FrameRenderer<'a> {
             let b = if i % 3 < 2 {
                 region_base + (i - i / 3) % TEX_REGION_BLOCKS
             } else {
-                region_base + self.rng.gen::<u64>() % TEX_REGION_BLOCKS
+                region_base + self.rng.next_u64() % TEX_REGION_BLOCKS
             };
             out.push(self.static_tex.block_by_index(b % total));
         }
@@ -364,7 +358,7 @@ impl<'a> FrameRenderer<'a> {
                 let footprint =
                     (self.profile.tex_samples_per_pixel * 5.0).round().max(3.0) as usize;
                 self.sample_static_texture(footprint, &mut tex);
-                for &b in &tex {
+                for &b in tex.iter() {
                     self.emit(b, StreamId::Texture, false);
                 }
                 // Color output.
@@ -404,7 +398,7 @@ impl<'a> FrameRenderer<'a> {
                 }
                 tex.clear();
                 self.sample_static_texture(2, &mut tex);
-                for &b in &tex {
+                for &b in tex.iter() {
                     self.emit(b, StreamId::Texture, false);
                 }
                 // Accumulate into the corresponding back-buffer tile.
@@ -471,8 +465,7 @@ impl<'a> FrameRenderer<'a> {
         self.geometry(1.0 / f64::from(bands));
         let (tw, th) = Self::tiles_of(&self.back);
         let overdraw_extra = (self.profile.overdraw - 1.0).clamp(0.0, 1.0);
-        let footprint =
-            (self.profile.tex_samples_per_pixel * 7.0).round().max(4.0) as usize;
+        let footprint = (self.profile.tex_samples_per_pixel * 7.0).round().max(4.0) as usize;
         let offscreen = self.offscreen.clone();
         let mut tex = Vec::with_capacity(footprint + 8);
         let (y0, y1) = Self::band(th, s, bands);
@@ -534,9 +527,7 @@ impl<'a> FrameRenderer<'a> {
         }
         if self.scratch_cursor >= 2 * n {
             for i in 0..n {
-                let b = self
-                    .scratch
-                    .block_by_index((self.scratch_cursor - 2 * n + i) % total);
+                let b = self.scratch.block_by_index((self.scratch_cursor - 2 * n + i) % total);
                 if self.consumable(b) {
                     self.emit(b, StreamId::Texture, false);
                 }
@@ -573,8 +564,7 @@ impl<'a> FrameRenderer<'a> {
             let sy = ty - lag_rows;
             for target in offscreen.iter() {
                 let scale_y = |row: u32| {
-                    ((u64::from(row) * u64::from(target.height())
-                        / u64::from(th * TILE_PX)) as u32)
+                    ((u64::from(row) * u64::from(target.height()) / u64::from(th * TILE_PX)) as u32)
                         / TILE_PX
                 };
                 let oty = scale_y(sy);
@@ -583,12 +573,12 @@ impl<'a> FrameRenderer<'a> {
                 if sy > 0 && scale_y(sy - 1) == oty {
                     continue;
                 }
-                let otx = ((u64::from(tx) * u64::from(target.width())
-                    / u64::from(tw * TILE_PX)) as u32)
+                let otx = ((u64::from(tx) * u64::from(target.width()) / u64::from(tw * TILE_PX))
+                    as u32)
                     / TILE_PX;
                 // The lighting work took every third column; the main
                 // pass consumes the other two thirds, far from production.
-                if otx % 3 == 0 {
+                if otx.is_multiple_of(3) {
                     continue;
                 }
                 for b in Self::tile_blocks(target, otx, oty) {
@@ -598,8 +588,7 @@ impl<'a> FrameRenderer<'a> {
                 }
             }
         }
-        for i in 0..tex.len() {
-            let b = tex[i];
+        for &b in tex.iter() {
             self.emit(b, StreamId::Texture, false);
         }
         // Output merger: blend + write the back buffer.
@@ -635,7 +624,7 @@ impl<'a> FrameRenderer<'a> {
                 }
                 tex.clear();
                 self.sample_static_texture(2, &mut tex);
-                for &b in &tex {
+                for &b in tex.iter() {
                     self.emit(b, StreamId::Texture, false);
                 }
                 for b in Self::tile_blocks(&self.back, tx, ty) {

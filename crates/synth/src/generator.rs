@@ -1,13 +1,11 @@
 //! Top-level workload generation API.
 
-use serde::Serialize;
-
 use grtrace::Trace;
 
 use crate::{AppProfile, FrameRenderer, Scale};
 
 /// Identifies one of the 52 frames of the evaluation workload.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameJob {
     /// The application profile.
     pub app: AppProfile,
@@ -50,9 +48,7 @@ pub fn generate_frame(app: &AppProfile, frame: u32, scale: Scale) -> Trace {
 pub fn workload_frames() -> Vec<FrameJob> {
     AppProfile::all()
         .into_iter()
-        .flat_map(|app| {
-            (0..app.frames).map(move |frame| FrameJob { app: app.clone(), frame })
-        })
+        .flat_map(|app| (0..app.frames).map(move |frame| FrameJob { app: app.clone(), frame }))
         .collect()
 }
 

@@ -1,7 +1,5 @@
 //! The twelve application profiles (Table 1 plus synthetic reuse knobs).
 
-use serde::{Deserialize, Serialize};
-
 /// Resolution scaling applied to a profile before synthesis.
 ///
 /// Full scale renders the application's native resolution (Table 1); the
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// for faster experimentation. Every reuse *ratio* is scale-invariant by
 /// construction (surface sizes, texture working sets, and pass structure
 /// shrink together).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Native resolution.
     Full,
@@ -50,7 +48,7 @@ impl Scale {
 /// follow Table 1. The remaining knobs control the *reuse structure* of
 /// the synthesized frames and were calibrated against the paper's
 /// characterization figures; see `DESIGN.md` for the mapping.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Full application name.
     pub name: &'static str,

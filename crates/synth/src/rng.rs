@@ -3,28 +3,75 @@
 //! Every frame derives its own seed from the application seed and frame
 //! number, so traces are bit-for-bit reproducible across runs and across
 //! machines — a requirement for the experiment harness to be comparable
-//! between policies.
+//! between policies. The generator is a self-contained xoshiro256++ so the
+//! workspace builds with no external dependencies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A deterministic xoshiro256++ generator seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct FrameRng {
+    s: [u64; 4],
+}
+
+impl FrameRng {
+    /// Creates a generator whose full 256-bit state is expanded from
+    /// `seed` with SplitMix64 (the reference seeding procedure).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        FrameRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
 
 /// Creates the RNG for frame `frame` of an application with base seed
 /// `app_seed`.
-pub fn frame_rng(app_seed: u64, frame: u32) -> StdRng {
+pub fn frame_rng(app_seed: u64, frame: u32) -> FrameRng {
     // SplitMix64-style mix so consecutive frames get unrelated streams.
     let mut z = app_seed ^ (u64::from(frame).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    StdRng::seed_from_u64(z)
+    FrameRng::seed_from_u64(z)
 }
 
 /// Samples a Zipf-like rank in `0..n` with exponent ~1: low ranks are much
 /// more likely. Used to model hot texture regions.
-pub fn zipf_rank<R: Rng>(rng: &mut R, n: usize) -> usize {
+pub fn zipf_rank(rng: &mut FrameRng, n: usize) -> usize {
     debug_assert!(n > 0);
     // Inverse-CDF approximation for s=1: P(rank <= k) ~ ln(k+1)/ln(n+1).
-    let u: f64 = rng.gen();
+    let u = rng.next_f64();
     let k = ((n as f64 + 1.0).powf(u) - 1.0).floor() as usize;
     k.min(n - 1)
 }
@@ -37,8 +84,8 @@ mod tests {
     fn frame_rng_is_deterministic() {
         let mut a = frame_rng(42, 3);
         let mut b = frame_rng(42, 3);
-        let xs: Vec<u64> = (0..10).map(|_| a.gen()).collect();
-        let ys: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
         assert_eq!(xs, ys);
     }
 
@@ -46,9 +93,25 @@ mod tests {
     fn different_frames_get_different_streams() {
         let mut a = frame_rng(42, 0);
         let mut b = frame_rng(42, 1);
-        let xs: Vec<u64> = (0..10).map(|_| a.gen()).collect();
-        let ys: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut rng = frame_rng(1, 0);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = frame_rng(9, 0);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 produced {hits}/10000");
     }
 
     #[test]

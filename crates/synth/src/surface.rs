@@ -209,8 +209,7 @@ mod tests {
             }
         }
         assert_eq!(seen.len() as u64, s.total_blocks());
-        assert!(seen.iter().all(|&addr| addr >= s.base()
-            && addr < s.base() + s.size_bytes()));
+        assert!(seen.iter().all(|&addr| addr >= s.base() && addr < s.base() + s.size_bytes()));
     }
 
     #[test]

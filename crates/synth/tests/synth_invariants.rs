@@ -63,11 +63,8 @@ fn display_stream_is_unique_blocks() {
     // The displayable color stream is written once per block per frame.
     let app = AppProfile::by_abbrev("BioShock").unwrap();
     let trace = grsynth::generate_frame(&app, 0, Scale::Tiny);
-    let display: Vec<u64> = trace
-        .iter()
-        .filter(|a| a.stream == StreamId::Display)
-        .map(|a| a.block())
-        .collect();
+    let display: Vec<u64> =
+        trace.iter().filter(|a| a.stream == StreamId::Display).map(|a| a.block()).collect();
     let unique: std::collections::HashSet<&u64> = display.iter().collect();
     assert_eq!(display.len(), unique.len(), "display blocks rewritten");
 }

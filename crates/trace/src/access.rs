@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{block_addr, StreamId};
 
 /// One load or store issued to a cache.
@@ -18,7 +16,7 @@ use crate::{block_addr, StreamId};
 /// assert!(a.write);
 /// assert_eq!(a.block(), 0x41);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Access {
     /// Byte address of the access.
     pub addr: u64,

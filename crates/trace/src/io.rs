@@ -92,8 +92,8 @@ pub fn read<R: Read>(mut reader: R) -> io::Result<Trace> {
     }
     let mut name = vec![0u8; name_len];
     reader.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let name =
+        String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     reader.read_exact(&mut u32b)?;
     let frame = u32::from_le_bytes(u32b);
     let mut u64b = [0u8; 8];
@@ -105,9 +105,8 @@ pub fn read<R: Read>(mut reader: R) -> io::Result<Trace> {
     for _ in 0..count {
         reader.read_exact(&mut rec)?;
         let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
-        let stream = stream_from_code(rec[8]).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "bad stream code")
-        })?;
+        let stream = stream_from_code(rec[8])
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stream code"))?;
         trace.push(Access { addr, stream, write: rec[9] != 0 });
     }
     Ok(trace)

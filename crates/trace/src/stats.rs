@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Access, StreamId};
 
 /// Per-stream access accounting.
@@ -20,7 +18,7 @@ use crate::{Access, StreamId};
 /// assert_eq!(stats.writes(StreamId::Texture), 1);
 /// assert!((stats.fraction(StreamId::Texture) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamStats {
     accesses: [u64; 9],
     writes: [u64; 9],

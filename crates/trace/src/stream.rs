@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Identity of the graphics data stream an LLC access belongs to.
 ///
 /// Each access to the LLC is tagged with the identity of its source render
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(StreamId::Z.policy_class(), PolicyClass::Z);
 /// assert_eq!(StreamId::Display.policy_class(), PolicyClass::Rt);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StreamId {
     /// Vertex attribute reads by the input assembler.
     Vertex,
@@ -107,7 +105,7 @@ impl std::fmt::Display for StreamId {
 }
 
 /// Four-way stream partition the LLC policies reason about (Section 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PolicyClass {
     /// Depth buffer accesses.
     Z,
@@ -121,12 +119,8 @@ pub enum PolicyClass {
 
 impl PolicyClass {
     /// All policy classes, in a stable presentation order.
-    pub const ALL: [PolicyClass; 4] = [
-        PolicyClass::Z,
-        PolicyClass::Tex,
-        PolicyClass::Rt,
-        PolicyClass::Other,
-    ];
+    pub const ALL: [PolicyClass; 4] =
+        [PolicyClass::Z, PolicyClass::Tex, PolicyClass::Rt, PolicyClass::Other];
 
     /// Dense index of the class within [`PolicyClass::ALL`].
     pub fn index(self) -> usize {

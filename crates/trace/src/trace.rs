@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Access, StreamStats};
 
 /// An ordered sequence of accesses produced while rendering one frame.
@@ -19,7 +17,7 @@ use crate::{Access, StreamStats};
 /// assert_eq!(t.frame(), 3);
 /// assert_eq!(t.iter().count(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     app: String,
     frame: u32,
@@ -121,10 +119,8 @@ mod tests {
     fn extend_matches_push() {
         let mut a = Trace::new("x", 0);
         let mut b = Trace::new("x", 0);
-        let items = vec![
-            Access::load(0, StreamId::Texture),
-            Access::store(64, StreamId::RenderTarget),
-        ];
+        let items =
+            vec![Access::load(0, StreamId::Texture), Access::store(64, StreamId::RenderTarget)];
         for item in &items {
             a.push(*item);
         }

@@ -1,49 +1,72 @@
-//! Property test: the binary trace format round-trips arbitrary traces.
-
-use proptest::prelude::*;
+//! Randomized test: the binary trace format round-trips arbitrary traces,
+//! deterministically seeded (no property-testing dependency).
 
 use grtrace::{io as trace_io, Access, StreamId, Trace};
 
-fn arb_stream() -> impl Strategy<Value = StreamId> {
-    (0usize..9).prop_map(|i| StreamId::ALL[i])
+/// SplitMix64 — a tiny deterministic generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-proptest! {
-    #[test]
-    fn roundtrip(
-        app in "[a-zA-Z0-9 _-]{0,24}",
-        frame in any::<u32>(),
-        accesses in prop::collection::vec((any::<u64>(), arb_stream(), any::<bool>()), 0..300),
-    ) {
-        let mut t = Trace::new(app, frame);
-        for (addr, stream, write) in accesses {
-            t.push(Access { addr, stream, write });
+#[test]
+fn roundtrip() {
+    const APP_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz\
+                               ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+    let mut rng = Rng(41);
+    for _ in 0..64 {
+        let app: String = (0..rng.below(25))
+            .map(|_| APP_CHARS[rng.below(APP_CHARS.len() as u64) as usize] as char)
+            .collect();
+        let mut t = Trace::new(app, rng.next() as u32);
+        for _ in 0..rng.below(300) {
+            t.push(Access {
+                addr: rng.next(),
+                stream: StreamId::ALL[rng.below(9) as usize],
+                write: rng.next() & 1 == 1,
+            });
         }
         let mut buf = Vec::new();
         trace_io::write(&mut buf, &t).expect("write to Vec cannot fail");
         let back = trace_io::read(&buf[..]).expect("roundtrip read");
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    /// Arbitrary garbage never panics the reader — it errors.
-    #[test]
-    fn fuzz_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary garbage never panics the reader — it errors.
+#[test]
+fn fuzz_reader_never_panics() {
+    let mut rng = Rng(42);
+    for _ in 0..256 {
+        let bytes: Vec<u8> = (0..rng.below(256)).map(|_| rng.next() as u8).collect();
         let _ = trace_io::read(&bytes[..]);
     }
+}
 
-    /// Truncating a valid trace at any point yields an error, not a panic
-    /// or a silently short trace.
-    #[test]
-    fn truncation_is_an_error(cut in 0usize..80) {
-        let mut t = Trace::new("app", 1);
-        for i in 0..4u64 {
-            t.push(Access::load(i * 64, StreamId::Z));
-        }
-        let mut buf = Vec::new();
-        trace_io::write(&mut buf, &t).unwrap();
-        if cut < buf.len() {
-            buf.truncate(cut);
-            prop_assert!(trace_io::read(&buf[..]).is_err());
-        }
+/// Truncating a valid trace at any point yields an error, not a panic
+/// or a silently short trace.
+#[test]
+fn truncation_is_an_error() {
+    let mut t = Trace::new("app", 1);
+    for i in 0..4u64 {
+        t.push(Access::load(i * 64, StreamId::Z));
+    }
+    let mut buf = Vec::new();
+    trace_io::write(&mut buf, &t).unwrap();
+    for cut in 0..buf.len() {
+        let mut short = buf.clone();
+        short.truncate(cut);
+        assert!(trace_io::read(&short[..]).is_err(), "cut at {cut}");
     }
 }

@@ -19,10 +19,17 @@ fn main() {
     let gpu = GpuConfig::baseline();
     let dram = TimingParams::ddr3_1600();
 
-    println!("{} frame 0: {} LLC accesses, {} shaded pixels",
-             app.name, trace.len(), work.shaded_pixels);
+    println!(
+        "{} frame 0: {} LLC accesses, {} shaded pixels",
+        app.name,
+        trace.len(),
+        work.shaded_pixels
+    );
     println!();
-    println!("{:<12} {:>9} {:>10} {:>11} {:>9}", "policy", "misses", "DRAM ns", "exposure ns", "FPS");
+    println!(
+        "{:<12} {:>9} {:>10} {:>11} {:>9}",
+        "policy", "misses", "DRAM ns", "exposure ns", "FPS"
+    );
     for name in ["DRRIP+UCD", "GSPC+UCD"] {
         let policy = registry::create(name, &cfg).expect("known policy");
         let mut llc = Llc::new(cfg, policy).with_memory_log();

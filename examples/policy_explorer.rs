@@ -26,32 +26,27 @@ fn main() {
     }
     let app_name = args.first().map(String::as_str).unwrap_or("AssnCreed");
     let policy_name = args.get(1).map(String::as_str).unwrap_or("GSPC");
-    let scale = args
-        .get(2)
-        .and_then(|s| Scale::from_name(s))
-        .unwrap_or(Scale::Quarter);
+    let scale = args.get(2).and_then(|s| Scale::from_name(s)).unwrap_or(Scale::Quarter);
 
     let app = AppProfile::by_abbrev(app_name).unwrap_or_else(|| {
         eprintln!("unknown application {app_name}; try `-- list`");
         std::process::exit(1);
     });
     let d2 = u64::from(scale.divisor()).pow(2);
-    let cfg = LlcConfig {
-        size_bytes: 8 * 1024 * 1024 / d2,
-        ways: 16,
-        banks: 4,
-        sample_period: 64,
-    };
+    let cfg = LlcConfig { size_bytes: 8 * 1024 * 1024 / d2, ways: 16, banks: 4, sample_period: 64 };
     let policy = registry::create(policy_name, &cfg).unwrap_or_else(|| {
         eprintln!("unknown policy {policy_name}; try `-- list`");
         std::process::exit(1);
     });
 
-    println!("{} frame 0 at {scale:?} scale, {} KB LLC, policy {policy_name}",
-             app.name, cfg.size_bytes / 1024);
+    println!(
+        "{} frame 0 at {scale:?} scale, {} KB LLC, policy {policy_name}",
+        app.name,
+        cfg.size_bytes / 1024
+    );
     let trace = gpu_llc_repro::synth::generate_frame(&app, 0, scale);
-    let annotations = registry::needs_next_use(policy_name)
-        .then(|| annotate_next_use(trace.accesses()));
+    let annotations =
+        registry::needs_next_use(policy_name).then(|| annotate_next_use(trace.accesses()));
 
     let mut llc = Llc::new(cfg, policy).with_characterization();
     llc.run_trace(&trace, annotations.as_deref());
@@ -64,22 +59,24 @@ fn main() {
         if h + m == 0 {
             continue;
         }
-        println!(
-            "{:<8} {:>10} {:>10} {:>8.1}%",
-            stream.label(),
-            h,
-            m,
-            100.0 * s.hit_rate(stream)
-        );
+        println!("{:<8} {:>10} {:>10} {:>8.1}%", stream.label(), h, m, 100.0 * s.hit_rate(stream));
     }
     println!();
     println!("overall hit rate : {:.1}%", 100.0 * s.overall_hit_rate());
     println!("writebacks       : {}", s.writebacks);
     println!("bypassed         : {}", s.bypassed_reads + s.bypassed_writes);
     if let Some(c) = llc.characterization() {
-        println!("RT blocks consumed as textures: {} of {} ({:.1}%)",
-                 c.rt_consumed, c.rt_produced, 100.0 * c.rt_consumption_rate());
-        println!("texture epoch death ratios    : E0={:.2} E1={:.2} E2={:.2}",
-                 c.tex_death_ratio(0), c.tex_death_ratio(1), c.tex_death_ratio(2));
+        println!(
+            "RT blocks consumed as textures: {} of {} ({:.1}%)",
+            c.rt_consumed,
+            c.rt_produced,
+            100.0 * c.rt_consumption_rate()
+        );
+        println!(
+            "texture epoch death ratios    : E0={:.2} E1={:.2} E2={:.2}",
+            c.tex_death_ratio(0),
+            c.tex_death_ratio(1),
+            c.tex_death_ratio(2)
+        );
     }
 }

@@ -12,11 +12,7 @@ fn main() {
     // Pick a game profile and synthesize the LLC access trace of one frame.
     let app = AppProfile::by_abbrev("AssnCreed").expect("known app");
     let trace = gpu_llc_repro::synth::generate_frame(&app, 0, Scale::Quarter);
-    println!(
-        "{}: frame 0 at quarter scale -> {} LLC accesses",
-        app.name,
-        trace.len()
-    );
+    println!("{}: frame 0 at quarter scale -> {} LLC accesses", app.name, trace.len());
 
     // A quarter-scale frame pairs with a 1/16-capacity LLC (512 KB here
     // stands in for the paper's 8 MB; see DESIGN.md for the scaling rule).

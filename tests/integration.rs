@@ -16,8 +16,7 @@ fn tiny_llc() -> LlcConfig {
 fn run(policy: &str, app: &str, cfg: LlcConfig) -> u64 {
     let app = AppProfile::by_abbrev(app).unwrap();
     let trace = gpu_llc_repro::synth::generate_frame(&app, 0, Scale::Tiny);
-    let annotations =
-        registry::needs_next_use(policy).then(|| annotate_next_use(trace.accesses()));
+    let annotations = registry::needs_next_use(policy).then(|| annotate_next_use(trace.accesses()));
     let mut llc = Llc::new(cfg, registry::create(policy, &cfg).unwrap());
     llc.run_trace(&trace, annotations.as_deref());
     llc.stats().total_misses()
@@ -45,10 +44,7 @@ fn opt_saves_substantially_over_drrip() {
         drrip_total += run("DRRIP", app.abbrev, cfg);
     }
     let ratio = opt_total as f64 / drrip_total as f64;
-    assert!(
-        ratio < 0.9,
-        "OPT should save well over 10% of misses vs DRRIP, got ratio {ratio:.3}"
-    );
+    assert!(ratio < 0.9, "OPT should save well over 10% of misses vs DRRIP, got ratio {ratio:.3}");
 }
 
 #[test]
@@ -81,8 +77,7 @@ fn memory_log_matches_miss_and_writeback_counts() {
     let cfg = tiny_llc();
     let app = AppProfile::by_abbrev("Dirt").unwrap();
     let trace = gpu_llc_repro::synth::generate_frame(&app, 0, Scale::Tiny);
-    let mut llc =
-        Llc::new(cfg, registry::create("DRRIP", &cfg).unwrap()).with_memory_log();
+    let mut llc = Llc::new(cfg, registry::create("DRRIP", &cfg).unwrap()).with_memory_log();
     llc.run_trace(&trace, None);
     let log = llc.memory_log().unwrap();
     let reads = log.iter().filter(|&&(_, w)| !w).count() as u64;
@@ -108,8 +103,7 @@ fn end_to_end_timing_rewards_fewer_misses() {
     for policy in ["OPT", "DRRIP"] {
         let annotations =
             registry::needs_next_use(policy).then(|| annotate_next_use(trace.accesses()));
-        let mut llc =
-            Llc::new(cfg, registry::create(policy, &cfg).unwrap()).with_memory_log();
+        let mut llc = Llc::new(cfg, registry::create(policy, &cfg).unwrap()).with_memory_log();
         llc.run_trace(&trace, annotations.as_deref());
         let log = llc.memory_log().unwrap().to_vec();
         let t = gpu_llc_repro::gpu::time_frame(&gpu, dram, &workload, &log);
@@ -142,7 +136,8 @@ fn stream_mix_matches_figure_4_shape() {
 fn sixteen_mb_has_fewer_misses_than_eight() {
     let small = tiny_llc();
     let big = LlcConfig { size_bytes: 256 * 1024, ..small };
-    for app in ["Unigine"] {
+    {
+        let app = "Unigine";
         assert!(run("GSPC", app, big) < run("GSPC", app, small));
     }
 }

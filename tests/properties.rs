@@ -1,36 +1,50 @@
-//! Property-based tests on the cache substrate and policy invariants.
+//! Randomized invariant tests on the cache substrate and policy layer.
+//!
+//! Deterministically seeded (the workspace builds offline with no property
+//! -testing dependency): every run replays the same trace sample.
 
-use proptest::prelude::*;
-
-use gpu_llc_repro::cache::{annotate_next_use, Llc, LlcConfig};
+use gpu_llc_repro::cache::{annotate_next_use, AccessResult, Llc, LlcConfig};
 use gpu_llc_repro::policies::registry;
 use gpu_llc_repro::trace::{Access, StreamId, Trace};
 
-fn arb_stream() -> impl Strategy<Value = StreamId> {
-    prop_oneof![
-        Just(StreamId::Vertex),
-        Just(StreamId::HiZ),
-        Just(StreamId::Z),
-        Just(StreamId::Stencil),
-        Just(StreamId::RenderTarget),
-        Just(StreamId::Texture),
-        Just(StreamId::Display),
-        Just(StreamId::Other),
-    ]
+/// SplitMix64 — a tiny deterministic generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-fn arb_trace(max_len: usize, addr_space_blocks: u64) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0..addr_space_blocks, arb_stream(), any::<bool>()),
-        1..max_len,
-    )
-    .prop_map(|accesses| {
-        let mut t = Trace::new("prop", 0);
-        for (block, stream, write) in accesses {
-            t.push(Access { addr: block * 64, stream, write });
-        }
-        t
-    })
+const STREAMS: [StreamId; 8] = [
+    StreamId::Vertex,
+    StreamId::HiZ,
+    StreamId::Z,
+    StreamId::Stencil,
+    StreamId::RenderTarget,
+    StreamId::Texture,
+    StreamId::Display,
+    StreamId::Other,
+];
+
+fn random_trace(rng: &mut Rng, max_len: u64, addr_space_blocks: u64) -> Trace {
+    let len = 1 + rng.below(max_len);
+    let mut t = Trace::new("prop", 0);
+    for _ in 0..len {
+        let block = rng.below(addr_space_blocks);
+        let stream = STREAMS[rng.below(8) as usize];
+        let write = rng.next() & 1 == 1;
+        t.push(Access { addr: block * 64, stream, write });
+    }
+    t
 }
 
 fn small_llc() -> LlcConfig {
@@ -38,119 +52,142 @@ fn small_llc() -> LlcConfig {
     LlcConfig { size_bytes: 32 * 1024, ways: 16, banks: 4, sample_period: 8 }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every policy services every access: hits + misses = accesses, and a
-    /// block that just missed must hit if re-accessed immediately.
-    #[test]
-    fn accounting_is_exact(trace in arb_trace(500, 256)) {
-        let cfg = small_llc();
+/// Every policy services every access: hits + misses = accesses.
+#[test]
+fn accounting_is_exact() {
+    let mut rng = Rng(11);
+    let cfg = small_llc();
+    for _ in 0..32 {
+        let trace = random_trace(&mut rng, 500, 256);
         for name in ["DRRIP", "NRU", "LRU", "GSPC", "SHiP-mem"] {
             let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
             llc.run_trace(&trace, None);
-            prop_assert_eq!(
+            assert_eq!(
                 llc.stats().total_hits() + llc.stats().total_misses(),
                 trace.len() as u64,
-                "accounting broken for {}", name
+                "accounting broken for {name}"
             );
         }
     }
+}
 
-    /// Immediately re-accessing a block after a miss always hits (no
-    /// bypass policies involved).
-    #[test]
-    fn fill_then_hit(block in 0u64..10_000, stream in arb_stream()) {
-        let cfg = small_llc();
+/// Immediately re-accessing a block after a miss always hits (no
+/// bypass policies involved).
+#[test]
+fn fill_then_hit() {
+    let mut rng = Rng(12);
+    let cfg = small_llc();
+    for _ in 0..32 {
+        let block = rng.below(10_000);
+        let stream = STREAMS[rng.below(8) as usize];
         for name in ["DRRIP", "NRU", "LRU", "GSPZTC", "GSPZTC+TSE", "GSPC"] {
             let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
             llc.access(&Access::load(block * 64, stream));
             let r = llc.access(&Access::load(block * 64, stream));
-            prop_assert_eq!(r, gpu_llc_repro::cache::AccessResult::Hit,
-                "{} lost a just-filled block", name);
+            assert_eq!(r, AccessResult::Hit, "{name} lost a just-filled block");
         }
     }
+}
 
-    /// Belady's OPT never has more misses than any online policy on the
-    /// same trace.
-    #[test]
-    fn opt_is_optimal(trace in arb_trace(800, 128)) {
-        let cfg = small_llc();
+/// Belady's OPT never has more misses than any online policy on the
+/// same trace.
+#[test]
+fn opt_is_optimal() {
+    let mut rng = Rng(13);
+    let cfg = small_llc();
+    for _ in 0..24 {
+        let trace = random_trace(&mut rng, 800, 128);
         let annotations = annotate_next_use(trace.accesses());
         let mut opt = Llc::new(cfg, registry::create("OPT", &cfg).unwrap());
         opt.run_trace(&trace, Some(&annotations));
         for name in ["DRRIP", "NRU", "LRU", "SRRIP", "GSPC", "GS-DRRIP"] {
             let mut llc = Llc::new(cfg, registry::create(name, &cfg).unwrap());
             llc.run_trace(&trace, None);
-            prop_assert!(
+            assert!(
                 opt.stats().total_misses() <= llc.stats().total_misses(),
-                "OPT ({}) worse than {} ({})",
-                opt.stats().total_misses(), name, llc.stats().total_misses()
+                "OPT ({}) worse than {name} ({})",
+                opt.stats().total_misses(),
+                llc.stats().total_misses()
             );
         }
     }
+}
 
-    /// The next-use annotation is self-consistent: each entry points to a
-    /// strictly later access of the same block with nothing in between.
-    #[test]
-    fn next_use_annotations_are_consistent(trace in arb_trace(300, 64)) {
+/// The next-use annotation is self-consistent: each entry points to a
+/// strictly later access of the same block with nothing in between.
+#[test]
+fn next_use_annotations_are_consistent() {
+    let mut rng = Rng(14);
+    for _ in 0..32 {
+        let trace = random_trace(&mut rng, 300, 64);
         let nu = annotate_next_use(trace.accesses());
         let accesses = trace.accesses();
         for (i, &n) in nu.iter().enumerate() {
             if n != u64::MAX {
                 let n = n as usize;
-                prop_assert!(n > i);
-                prop_assert_eq!(accesses[n].block(), accesses[i].block());
+                assert!(n > i);
+                assert_eq!(accesses[n].block(), accesses[i].block());
                 for j in i + 1..n {
-                    prop_assert_ne!(accesses[j].block(), accesses[i].block());
+                    assert_ne!(accesses[j].block(), accesses[i].block());
                 }
             }
         }
     }
+}
 
-    /// The LLC never reports more writebacks than write accesses it saw
-    /// (every dirty block traces back to at least one store).
-    #[test]
-    fn writebacks_bounded_by_stores(trace in arb_trace(600, 128)) {
-        let cfg = small_llc();
+/// The LLC never reports more writebacks than write accesses it saw
+/// (every dirty block traces back to at least one store).
+#[test]
+fn writebacks_bounded_by_stores() {
+    let mut rng = Rng(15);
+    let cfg = small_llc();
+    for _ in 0..32 {
+        let trace = random_trace(&mut rng, 600, 128);
         let stores = trace.iter().filter(|a| a.write).count() as u64;
         let mut llc = Llc::new(cfg, registry::create("DRRIP", &cfg).unwrap());
         llc.run_trace(&trace, None);
-        prop_assert!(llc.stats().writebacks <= stores);
+        assert!(llc.stats().writebacks <= stores);
     }
+}
 
-    /// Running the same trace twice gives identical statistics
-    /// (policies are deterministic).
-    #[test]
-    fn policies_are_deterministic(trace in arb_trace(400, 128)) {
-        let cfg = small_llc();
+/// Running the same trace twice gives identical statistics
+/// (policies are deterministic).
+#[test]
+fn policies_are_deterministic() {
+    let mut rng = Rng(16);
+    let cfg = small_llc();
+    for _ in 0..32 {
+        let trace = random_trace(&mut rng, 400, 128);
         for name in ["DRRIP", "GSPC", "SHiP-mem", "GS-DRRIP"] {
             let mut a = Llc::new(cfg, registry::create(name, &cfg).unwrap());
             a.run_trace(&trace, None);
             let mut b = Llc::new(cfg, registry::create(name, &cfg).unwrap());
             b.run_trace(&trace, None);
-            prop_assert_eq!(a.stats().total_misses(), b.stats().total_misses());
-            prop_assert_eq!(a.stats().writebacks, b.stats().writebacks);
+            assert_eq!(a.stats().total_misses(), b.stats().total_misses());
+            assert_eq!(a.stats().writebacks, b.stats().writebacks);
         }
     }
+}
 
-    /// Only UCD policies bypass, and they bypass at most the display
-    /// traffic; cold misses are bounded below by the distinct block count.
-    #[test]
-    fn bypass_and_cold_miss_bounds(trace in arb_trace(600, 64)) {
-        let cfg = small_llc();
+/// Only UCD policies bypass, and they bypass at most the display
+/// traffic; cold misses are bounded below by the distinct block count.
+#[test]
+fn bypass_and_cold_miss_bounds() {
+    let mut rng = Rng(17);
+    let cfg = small_llc();
+    for _ in 0..32 {
+        let trace = random_trace(&mut rng, 600, 64);
         let display = trace.iter().filter(|a| a.stream == StreamId::Display).count() as u64;
-        let distinct: std::collections::HashSet<u64> =
-            trace.iter().map(|a| a.block()).collect();
+        let distinct: std::collections::HashSet<u64> = trace.iter().map(|a| a.block()).collect();
 
         let mut plain = Llc::new(cfg, registry::create("GSPC", &cfg).unwrap());
         plain.run_trace(&trace, None);
-        prop_assert_eq!(plain.stats().bypassed_reads + plain.stats().bypassed_writes, 0);
+        assert_eq!(plain.stats().bypassed_reads + plain.stats().bypassed_writes, 0);
         // Every distinct block must miss at least once (cold misses).
-        prop_assert!(plain.stats().total_misses() >= distinct.len() as u64);
+        assert!(plain.stats().total_misses() >= distinct.len() as u64);
 
         let mut ucd = Llc::new(cfg, registry::create("GSPC+UCD", &cfg).unwrap());
         ucd.run_trace(&trace, None);
-        prop_assert!(ucd.stats().bypassed_reads + ucd.stats().bypassed_writes <= display);
+        assert!(ucd.stats().bypassed_reads + ucd.stats().bypassed_writes <= display);
     }
 }
