@@ -1,0 +1,98 @@
+//! Bounded-memory replay of a full-scale frame through the streaming disk
+//! tier.
+//!
+//! ```text
+//! GR_SCALE=full cargo run -p grbench --release --example stream_replay [APP]
+//! ```
+//!
+//! The paper's traces are collected at native resolutions (up to
+//! 2560×1600); a materialized full-scale frame is millions of accesses —
+//! tens of megabytes. This example never builds that `Vec`: synthesis
+//! streams band
+//! by band straight into the `GR_TRACE_CACHE` disk format
+//! ([`framecache::ensure_on_disk`]), and replay pulls it back through a
+//! [`grtrace::io::ChunkedReader`] holding `GR_STREAM_CHUNK` accesses at a
+//! time. Peak RSS (VmHWM) is reported at each step to show the bound.
+//!
+//! Defaults to `GR_SCALE=full` (override with the usual env var) and the
+//! BioShock profile (pass another abbreviation as the first argument).
+
+use std::time::Instant;
+
+use grbench::{framecache, ExperimentConfig};
+use grcache::Llc;
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+
+/// Peak resident set size in kilobytes, from `/proc/self/status` (Linux
+/// only; `None` elsewhere).
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn report(step: &str, detail: String) {
+    match vm_hwm_kb() {
+        Some(kb) => println!("{step:<28} {detail:<44} peak RSS {:>7.1} MB", kb as f64 / 1024.0),
+        None => println!("{step:<28} {detail}"),
+    }
+}
+
+fn main() {
+    if std::env::var_os("GR_TRACE_CACHE").is_none() {
+        let dir = std::env::temp_dir().join("gr_stream_replay");
+        std::env::set_var("GR_TRACE_CACHE", &dir);
+    }
+    let scale =
+        std::env::var("GR_SCALE").ok().and_then(|s| Scale::from_name(&s)).unwrap_or(Scale::Full);
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "BioShock".into());
+    let app = AppProfile::by_abbrev(&abbrev).unwrap_or_else(|| {
+        eprintln!("unknown app {abbrev}; try `grsim apps`");
+        std::process::exit(1);
+    });
+
+    let chunk = framecache::stream_chunk();
+    println!("streaming {} frame 0 at {scale:?} scale, {chunk} accesses per chunk", app.name);
+    println!();
+
+    let t0 = Instant::now();
+    let path = framecache::ensure_on_disk(&app, 0, scale)
+        .expect("disk tier I/O failed")
+        .expect("GR_TRACE_CACHE was just set");
+    let trace_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    report(
+        "synthesize (band-by-band)",
+        format!("{:.1} MB on disk in {:.2}s", trace_bytes as f64 / 1e6, t0.elapsed().as_secs_f64()),
+    );
+
+    let src = framecache::disk_source(&app, 0, scale, false)
+        .expect("disk tier I/O failed")
+        .expect("GR_TRACE_CACHE was just set");
+    let total = src.reader.remaining();
+    let llc_cfg = ExperimentConfig { scale, frames_per_app: None }.llc(8);
+    let mut llc = Llc::new(llc_cfg, registry::create("GSPC", &llc_cfg).expect("GSPC exists"));
+    let t1 = Instant::now();
+    let mut reader = src.reader;
+    let served = llc.run_source(&mut reader).expect("streamed replay failed");
+    let secs = t1.elapsed().as_secs_f64();
+    report(
+        "replay (chunked)",
+        format!("{served} accesses at {:.1} M/s", served as f64 / secs / 1e6),
+    );
+
+    println!();
+    assert_eq!(served, total);
+    let access_bytes = std::mem::size_of::<grtrace::Access>() as u64;
+    println!(
+        "materialized trace would hold {:.1} MB in memory; the chunk buffer holds {:.2} MB",
+        (total * access_bytes) as f64 / 1e6,
+        (chunk as u64 * (access_bytes + 10)) as f64 / 1e6,
+    );
+    println!(
+        "GSPC misses {} of {} accesses ({:.1}% hit rate)",
+        llc.stats().total_misses(),
+        llc.stats().total_accesses(),
+        100.0 * llc.stats().overall_hit_rate(),
+    );
+}

@@ -12,7 +12,10 @@
 //! `GR_THREADS`.
 
 use grbench::json::Json;
-use grbench::{experiments::FIG12_POLICIES, run_workload, ExperimentConfig, RunOptions};
+use grbench::{
+    experiments::FIG12_POLICIES, run_frame_sequence, run_workload, ExperimentConfig, RunOptions,
+};
+use grsynth::AppProfile;
 use grtrace::{PolicyClass, StreamId};
 
 fn main() {
@@ -20,8 +23,7 @@ fn main() {
     let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
     policies.push("OPT".into());
-    let opts =
-        RunOptions { policies, characterize: true, timing: None, llc_paper_mb: 8, threads: None };
+    let opts = RunOptions { policies, characterize: true, ..RunOptions::misses(&[]) };
     let r = run_workload(&opts, &cfg);
 
     let mut out = Json::obj();
@@ -46,6 +48,34 @@ fn main() {
         per_policy.set(policy.clone(), apps);
     }
     out.set("policies", per_policy);
+
+    // The persistent-LLC inter-frame mode: warm (one LLC, no inter-frame
+    // flush) vs cold (fresh LLC per frame) misses over a short sequence.
+    let mut interframe = Json::obj();
+    for policy in ["DRRIP", "GSPC+UCD"] {
+        let mut apps = Json::obj();
+        for app in AppProfile::all().iter().take(2) {
+            let nframes = cfg.frames_for(app.frames).min(3);
+            let warm = run_frame_sequence(policy, app, 0..nframes, 8, &cfg)
+                .last()
+                .map_or(0, |s| s.total_misses());
+            let cold: u64 = (0..nframes)
+                .map(|f| {
+                    run_frame_sequence(policy, app, f..f + 1, 8, &cfg)
+                        .last()
+                        .map_or(0, |s| s.total_misses())
+                })
+                .sum();
+            let mut entry = Json::obj();
+            entry.set("frames", nframes);
+            entry.set("cold_misses", cold);
+            entry.set("warm_misses", warm);
+            apps.set(app.abbrev.to_string(), entry);
+        }
+        interframe.set(policy.to_string(), apps);
+    }
+    out.set("interframe", interframe);
+
     let mut perf = Json::obj();
     perf.set("threads", r.perf.threads);
     perf.set("llc_accesses_simulated", r.perf.llc_accesses);

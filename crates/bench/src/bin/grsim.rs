@@ -6,10 +6,11 @@
 //! grsim characterize BioShock        # Section-2-style reuse profile
 //! grsim compare GSPC+UCD GS-DRRIP    # misses vs DRRIP over the workload
 //! grsim sweep GSPC 2 4 8 16          # miss curve vs LLC capacity (MB)
+//! grsim sequence GSPC BioShock 4     # persistent-LLC multi-frame replay
 //! ```
 //!
-//! All subcommands honour `GR_SCALE` and `GR_FRAMES` (see the grbench
-//! crate docs).
+//! All subcommands honour `GR_SCALE`, `GR_FRAMES`, `GR_TRACE_CACHE`,
+//! `GR_STREAM_CHUNK`, and `GR_STREAMED` (see the grbench crate docs).
 
 use grbench::{framecache, run_workload, table, ExperimentConfig, RunOptions};
 use grcache::Llc;
@@ -18,7 +19,9 @@ use grtrace::StreamId;
 use gspc::registry;
 
 fn usage() -> ! {
-    eprintln!("usage: grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...>");
+    eprintln!(
+        "usage: grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...|sequence POLICY APP NFRAMES>"
+    );
     std::process::exit(2);
 }
 
@@ -67,8 +70,57 @@ fn main() {
                 args[2..].iter().map(|s| s.parse().unwrap_or_else(|_| usage())).collect();
             sweep(&cfg, policy, &sizes);
         }
+        Some("sequence") => {
+            if args.len() != 4 {
+                usage();
+            }
+            let nframes: u32 = args[3].parse().unwrap_or_else(|_| usage());
+            sequence(&cfg, &args[1], &args[2], nframes);
+        }
         _ => usage(),
     }
+}
+
+/// Multi-frame replay through one persistent LLC (no inter-frame flush),
+/// against the paper's per-frame cold-start methodology.
+fn sequence(cfg: &ExperimentConfig, policy: &str, app_name: &str, nframes: u32) {
+    if registry::create(policy, &cfg.llc(8)).is_none() {
+        eprintln!("unknown policy {policy}; try `grsim policies`");
+        std::process::exit(1);
+    }
+    let app = AppProfile::by_abbrev(app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name}; try `grsim apps`");
+        std::process::exit(1);
+    });
+    let nframes = nframes.min(app.frames);
+    let warm = grbench::run_frame_sequence(policy, &app, 0..nframes, 8, cfg);
+    let mut rows = Vec::new();
+    let mut prev = 0u64;
+    let mut cold_total = 0u64;
+    for frame in 0..nframes {
+        let cold = grbench::run_frame_sequence(policy, &app, frame..frame + 1, 8, cfg)
+            .last()
+            .map_or(0, |s| s.total_misses());
+        cold_total += cold;
+        let cum = warm[frame as usize].total_misses();
+        let delta = cum - prev;
+        prev = cum;
+        rows.push(vec![
+            format!("{frame}"),
+            format!("{cold}"),
+            format!("{delta}"),
+            table::pct(1.0 - delta as f64 / cold.max(1) as f64),
+        ]);
+    }
+    let warm_total = prev;
+    rows.push(vec![
+        "ALL".into(),
+        format!("{cold_total}"),
+        format!("{warm_total}"),
+        table::pct(1.0 - warm_total as f64 / cold_total.max(1) as f64),
+    ]);
+    println!("{policy} on {} — persistent LLC across {nframes} frames", app.name);
+    table::print(&["frame", "cold misses", "warm misses", "saved"], &rows);
 }
 
 /// Section-2-style reuse characterization of one application.
@@ -86,7 +138,8 @@ fn characterize(cfg: &ExperimentConfig, app_name: &str) {
         mix.merge(data.trace.stats());
         let mut llc =
             Llc::new(llc_cfg, registry::create("OPT", &llc_cfg).unwrap()).with_characterization();
-        llc.run_trace(&data.trace, Some(data.next_use().as_slice()));
+        llc.run_source(&mut data.trace.source_annotated(data.next_use()))
+            .expect("in-memory replay cannot fail");
         stats.merge(llc.stats());
         chars.merge(llc.characterization().expect("characterization enabled"));
     }
@@ -144,13 +197,7 @@ fn compare(cfg: &ExperimentConfig, policies: &[String]) {
     if !all.iter().any(|p| p == "DRRIP") {
         all.push("DRRIP".into());
     }
-    let opts = RunOptions {
-        policies: all,
-        characterize: false,
-        timing: None,
-        llc_paper_mb: 8,
-        threads: None,
-    };
+    let opts = RunOptions { policies: all, ..RunOptions::misses(&[]) };
     let r = run_workload(&opts, cfg);
     let mut head = vec!["app"];
     for p in policies {
@@ -188,7 +235,7 @@ fn sweep(cfg: &ExperimentConfig, policy: &str, sizes_mb: &[u64]) {
             for frame in 0..cfg.frames_for(app.frames).min(2) {
                 let data = framecache::frame_data(&app, frame, cfg.scale);
                 let mut llc = Llc::new(llc_cfg, registry::create(policy, &llc_cfg).unwrap());
-                llc.run_trace(&data.trace, None);
+                llc.run_source(&mut data.trace.source()).expect("in-memory replay cannot fail");
                 hits += llc.stats().total_hits();
                 total += llc.stats().total_accesses();
             }

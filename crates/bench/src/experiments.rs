@@ -104,13 +104,7 @@ pub fn fig04(cfg: &ExperimentConfig) {
 /// Figures 5–9: the characterization suite (hit rates, inter-stream reuse,
 /// epochs) under OPT, DRRIP, and NRU, plus DRRIP's distant-fill fractions.
 pub fn characterization(cfg: &ExperimentConfig) {
-    let opts = RunOptions {
-        policies: vec!["OPT".into(), "DRRIP".into(), "NRU".into()],
-        characterize: true,
-        timing: None,
-        llc_paper_mb: 8,
-        threads: None,
-    };
+    let opts = RunOptions { characterize: true, ..RunOptions::misses(&["OPT", "DRRIP", "NRU"]) };
     let r = run_workload(&opts, cfg);
 
     header("Figure 5: TEX / RT / Z hit rates (per policy, averaged over frames)");
@@ -221,8 +215,7 @@ pub const FIG12_POLICIES: [&str; 8] =
 pub fn fig12_fig13(cfg: &ExperimentConfig) {
     let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
-    let opts =
-        RunOptions { policies, characterize: true, timing: None, llc_paper_mb: 8, threads: None };
+    let opts = RunOptions { policies, characterize: true, ..RunOptions::misses(&[]) };
     let r = run_workload(&opts, cfg);
 
     header("Figure 12: LLC misses normalized to two-bit DRRIP");
@@ -259,16 +252,9 @@ pub fn fig14(cfg: &ExperimentConfig) {
 fn perf_table(cfg: &ExperimentConfig, gpu: GpuConfig, dram: TimingParams, llc_mb: u64) {
     // Per Section 5.2, the perf studies use the +UCD variants throughout.
     let opts = RunOptions {
-        policies: vec![
-            "NRU+UCD".into(),
-            "GS-DRRIP+UCD".into(),
-            "GSPC+UCD".into(),
-            "DRRIP+UCD".into(),
-        ],
-        characterize: false,
         timing: Some((gpu, dram)),
         llc_paper_mb: llc_mb,
-        threads: None,
+        ..RunOptions::misses(&["NRU+UCD", "GS-DRRIP+UCD", "GSPC+UCD", "DRRIP+UCD"])
     };
     let r = run_workload(&opts, cfg);
     let mut rows = Vec::new();
@@ -368,30 +354,26 @@ pub fn ablations(cfg: &ExperimentConfig) {
     // The paper simulates each frame with a cold LLC. Consecutive frames
     // share static textures and persistent surfaces, so a warm LLC saves
     // misses — and a stream-aware policy should preserve more of that
-    // cross-frame reuse.
+    // cross-frame reuse. The warm numbers come from the pipeline's
+    // first-class sequence mode: one persistent LLC driven by per-frame
+    // sources with no inter-frame flush.
     {
-        let llc_cfg = cfg.llc(8);
         let mut rows = Vec::new();
         for policy in ["DRRIP", "GSPC+UCD"] {
             let mut cold = 0u64;
             let mut warm = 0u64;
             for app in AppProfile::all().iter().take(4) {
-                let mut persistent = grcache::Llc::new(
-                    llc_cfg,
-                    gspc::registry::create(policy, &llc_cfg).expect("known policy"),
-                );
-                for frame in 0..cfg.frames_for(app.frames).min(3) {
-                    let t = crate::framecache::frame_data(app, frame, cfg.scale);
-                    let t = &*t.trace;
-                    let mut fresh = grcache::Llc::new(
-                        llc_cfg,
-                        gspc::registry::create(policy, &llc_cfg).expect("known policy"),
-                    );
-                    fresh.run_trace(t, None);
-                    cold += fresh.stats().total_misses();
-                    let before = persistent.stats().total_misses();
-                    persistent.run_trace(t, None);
-                    warm += persistent.stats().total_misses() - before;
+                let nframes = cfg.frames_for(app.frames).min(3);
+                warm += crate::runner::run_frame_sequence(policy, app, 0..nframes, 8, cfg)
+                    .last()
+                    .map_or(0, |s| s.total_misses());
+                for frame in 0..nframes {
+                    // A fresh one-frame sequence is exactly the paper's
+                    // cold-LLC methodology.
+                    cold +=
+                        crate::runner::run_frame_sequence(policy, app, frame..frame + 1, 8, cfg)
+                            .last()
+                            .map_or(0, |s| s.total_misses());
                 }
             }
             rows.push(vec![
@@ -414,12 +396,11 @@ pub fn ablations(cfg: &ExperimentConfig) {
         for app in AppProfile::all() {
             for frame in 0..cfg.frames_for(app.frames).min(1) {
                 let t = crate::framecache::frame_data(&app, frame, cfg.scale);
-                let t = &*t.trace;
                 let mut llc_sim = grcache::Llc::new(llc, gspc::Gspc::new(&llc));
-                llc_sim.run_trace(t, None);
+                llc_sim.run_source(&mut t.trace.source()).expect("in-memory replay");
                 misses += llc_sim.stats().total_misses();
                 let mut base = grcache::Llc::new(llc, gspc::Drrip::new(2));
-                base.run_trace(t, None);
+                base.run_source(&mut t.trace.source()).expect("in-memory replay");
                 drrip += base.stats().total_misses();
             }
         }

@@ -9,18 +9,28 @@
 //! all read the same immutable trace.
 //!
 //! An optional on-disk tier (`GR_TRACE_CACHE=<dir>`) persists traces in the
-//! [`grtrace::io`] binary format (plus a small `.work` sidecar carrying the
-//! frame's [`FrameWork`] counters) so repeated *processes* — e.g. `grsim`
-//! invocations or reruns of `all_experiments` — skip synthesis entirely.
+//! [`grtrace::io`] binary format — plus a small `.work` sidecar carrying the
+//! frame's [`FrameWork`] counters and a `.nu` sidecar carrying the Belady
+//! next-use annotation — so repeated *processes* — e.g. `grsim` invocations
+//! or reruns of `all_experiments` — skip both synthesis and the offline
+//! `annotate_next_use` pass entirely.
+//!
+//! The disk tier is also a *streaming* tier: [`ensure_on_disk`] synthesizes
+//! a frame band by band straight to the file (never materializing the
+//! trace), and [`disk_source`] replays it back through a bounded-memory
+//! [`ChunkedReader`], so even a full-scale `GR_SCALE=full` frame fits in a
+//! few megabytes of working set. `GR_STREAM_CHUNK` tunes the chunk size
+//! (accesses per read; default 65536).
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use grcache::annotate_next_use;
-use grsynth::{AppProfile, FrameRenderer, FrameWork, Scale};
-use grtrace::Trace;
+use grsynth::{AppProfile, FrameRenderer, FrameStream, FrameWork, Scale};
+use grtrace::io::{ChunkedReader, TraceWriter};
+use grtrace::{AccessSource, Trace};
 
 /// One synthesized frame: the LLC trace, the computational work counters,
 /// and the lazily computed Belady next-use annotation.
@@ -31,14 +41,46 @@ pub struct FrameData {
     /// Computational work of the frame (for the GPU timing model).
     pub work: FrameWork,
     next_use: OnceLock<Arc<Vec<u64>>>,
+    /// Where the `.nu` sidecar lives when the disk tier is active.
+    nu_path: Option<PathBuf>,
 }
 
 impl FrameData {
     /// The next-use annotation for Belady's OPT, computed once per frame
-    /// and shared by every OPT replay.
+    /// and shared by every OPT replay. With the disk tier active the
+    /// annotation is persisted in a `.nu` sidecar next to the `.grtr`
+    /// trace, so fresh processes load it instead of re-running
+    /// [`annotate_next_use`].
     pub fn next_use(&self) -> &Arc<Vec<u64>> {
-        self.next_use.get_or_init(|| Arc::new(annotate_next_use(self.trace.accesses())))
+        self.next_use.get_or_init(|| {
+            if let Some(path) = &self.nu_path {
+                if let Some(nu) = load_next_use(path, self.trace.len() as u64) {
+                    return Arc::new(nu);
+                }
+            }
+            let nu = annotate_next_use(self.trace.accesses());
+            if let Some(path) = &self.nu_path {
+                store_next_use(path, &nu);
+            }
+            Arc::new(nu)
+        })
     }
+}
+
+fn load_next_use(path: &Path, expected: u64) -> Option<Vec<u64>> {
+    let file = std::fs::File::open(path).ok()?;
+    let nu = grtrace::io::read_next_use(io::BufReader::new(file)).ok()?;
+    (nu.len() as u64 == expected).then_some(nu)
+}
+
+fn store_next_use(path: &Path, nu: &[u64]) {
+    // Sidecar write failures are never fatal — the in-memory annotation is
+    // already computed — so errors are dropped.
+    let _ = (|| -> io::Result<()> {
+        let mut writer = io::BufWriter::new(std::fs::File::create(path)?);
+        grtrace::io::write_next_use(&mut writer, nu)?;
+        writer.flush()
+    })();
 }
 
 type Key = (&'static str, u32, Scale);
@@ -76,10 +118,98 @@ pub fn frame_data(app: &AppProfile, frame: u32, scale: Scale) -> Arc<FrameData> 
             return Arc::new(data);
         }
         let (trace, work) = FrameRenderer::new(app, frame, scale).render_with_work();
-        let data = FrameData { trace: Arc::new(trace), work, next_use: OnceLock::new() };
+        let data = FrameData {
+            trace: Arc::new(trace),
+            work,
+            next_use: OnceLock::new(),
+            nu_path: nu_path(app, frame, scale),
+        };
         store_to_disk(app, frame, scale, &data);
         Arc::new(data)
     }))
+}
+
+/// Chunk capacity (accesses per read) for streaming replay, from
+/// `GR_STREAM_CHUNK` (default 65536). Bounds the streaming tier's peak
+/// memory: roughly 34 bytes per chunk slot.
+pub fn stream_chunk() -> usize {
+    std::env::var("GR_STREAM_CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(grtrace::io::DEFAULT_CHUNK)
+}
+
+/// Ensures frame `(app, frame, scale)` exists in the on-disk tier,
+/// synthesizing it *band by band* straight to the `.grtr` file (the frame
+/// is never materialized in memory). Returns the trace path, or `None`
+/// when `GR_TRACE_CACHE` is unset.
+pub fn ensure_on_disk(app: &AppProfile, frame: u32, scale: Scale) -> io::Result<Option<PathBuf>> {
+    let Some(dir) = disk_dir() else { return Ok(None) };
+    let stem = file_stem(app, frame, scale);
+    let trace_path = dir.join(format!("{stem}.grtr"));
+    let work_path = dir.join(format!("{stem}.work"));
+    let valid = std::fs::File::open(&trace_path)
+        .ok()
+        .and_then(|f| ChunkedReader::new(io::BufReader::new(f), 1).ok())
+        .is_some_and(|r| r.app() == app.name && r.frame() == frame);
+    if valid && work_path.exists() {
+        return Ok(Some(trace_path));
+    }
+    let mut stream = FrameStream::new(app, frame, scale);
+    let file = std::fs::File::create(&trace_path)?;
+    let mut writer = TraceWriter::new(io::BufWriter::new(file), app.name, frame)?;
+    while stream.advance()? {
+        for a in stream.chunk().accesses {
+            writer.push(a)?;
+        }
+    }
+    writer.finish()?.flush()?;
+    std::fs::write(&work_path, write_work(&stream.work()))?;
+    Ok(Some(trace_path))
+}
+
+/// A frame opened from the streaming disk tier: a bounded-memory
+/// [`AccessSource`] over the `.grtr` file plus the frame's work counters.
+#[derive(Debug)]
+pub struct DiskSource {
+    /// Chunked reader over the on-disk trace ([`stream_chunk`] accesses at
+    /// a time).
+    pub reader: ChunkedReader<io::BufReader<std::fs::File>>,
+    /// Computational work of the frame (for the GPU timing model).
+    pub work: FrameWork,
+}
+
+/// Opens frame `(app, frame, scale)` as a streaming [`AccessSource`] from
+/// the disk tier, synthesizing it first if absent (see [`ensure_on_disk`]).
+/// With `with_next_use` the `.nu` Belady sidecar is attached — computed and
+/// persisted on first use. Returns `None` when `GR_TRACE_CACHE` is unset.
+pub fn disk_source(
+    app: &AppProfile,
+    frame: u32,
+    scale: Scale,
+    with_next_use: bool,
+) -> io::Result<Option<DiskSource>> {
+    let Some(trace_path) = ensure_on_disk(app, frame, scale)? else { return Ok(None) };
+    let work_path = trace_path.with_extension("work");
+    let work = read_work(&std::fs::read(&work_path)?)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt .work sidecar"))?;
+    let file = std::fs::File::open(&trace_path)?;
+    let mut reader = ChunkedReader::new(io::BufReader::new(file), stream_chunk())?;
+    if with_next_use {
+        let nu = trace_path.with_extension("nu");
+        let valid = std::fs::File::open(&nu)
+            .ok()
+            .and_then(|f| grtrace::io::read_nu_header(&mut io::BufReader::new(f)).ok())
+            .is_some_and(|count| count == reader.remaining());
+        if !valid {
+            // Missing or stale sidecar: the annotation pass needs the whole
+            // trace once; frame_data computes and persists it.
+            frame_data(app, frame, scale).next_use();
+        }
+        reader = reader.with_next_use(io::BufReader::new(std::fs::File::open(&nu)?))?;
+    }
+    Ok(Some(DiskSource { reader, work }))
 }
 
 /// Drops every cached frame (tests use this to exercise cold paths).
@@ -93,6 +223,12 @@ fn file_stem(app: &AppProfile, frame: u32, scale: Scale) -> String {
 
 const WORK_MAGIC: &[u8; 4] = b"GRWK";
 
+/// The `.nu` sidecar path for a frame, when the disk tier is active.
+fn nu_path(app: &AppProfile, frame: u32, scale: Scale) -> Option<PathBuf> {
+    let dir = disk_dir()?;
+    Some(dir.join(format!("{}.nu", file_stem(app, frame, scale))))
+}
+
 fn load_from_disk(app: &AppProfile, frame: u32, scale: Scale) -> Option<FrameData> {
     let dir = disk_dir()?;
     let stem = file_stem(app, frame, scale);
@@ -102,7 +238,12 @@ fn load_from_disk(app: &AppProfile, frame: u32, scale: Scale) -> Option<FrameDat
         return None;
     }
     let work = read_work(&std::fs::read(dir.join(format!("{stem}.work"))).ok()?)?;
-    Some(FrameData { trace: Arc::new(trace), work, next_use: OnceLock::new() })
+    Some(FrameData {
+        trace: Arc::new(trace),
+        work,
+        next_use: OnceLock::new(),
+        nu_path: nu_path(app, frame, scale),
+    })
 }
 
 fn store_to_disk(app: &AppProfile, frame: u32, scale: Scale, data: &FrameData) {

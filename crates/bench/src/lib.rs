@@ -37,4 +37,4 @@ pub mod runner;
 pub mod table;
 
 pub use config::ExperimentConfig;
-pub use runner::{run_workload, AppAgg, RunOptions, RunPerf, WorkloadResults};
+pub use runner::{run_frame_sequence, run_workload, AppAgg, RunOptions, RunPerf, WorkloadResults};

@@ -21,10 +21,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use grcache::{CharReport, Llc, LlcConfig, LlcStats};
+use grcache::{CharReport, CharTracker, Llc, LlcConfig, LlcObserver, LlcStats, MemoryLog, Policy};
 use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
-use grsynth::AppProfile;
+use grsynth::{AppProfile, FrameWork};
 use gspc::registry;
 
 use crate::{framecache, ExperimentConfig};
@@ -44,6 +44,13 @@ pub struct RunOptions {
     /// Worker thread count. `None` falls back to `GR_THREADS`, then to
     /// `std::thread::available_parallelism()`.
     pub threads: Option<usize>,
+    /// Replay cells through the streaming disk tier
+    /// ([`framecache::disk_source`]) instead of the in-memory trace.
+    /// Results are bit-identical either way; the streamed path bounds peak
+    /// memory by the chunk size. Falls back to the in-memory trace when
+    /// `GR_TRACE_CACHE` is unset. Defaults to the `GR_STREAMED`
+    /// environment variable.
+    pub streamed: bool,
 }
 
 impl RunOptions {
@@ -55,8 +62,15 @@ impl RunOptions {
             timing: None,
             llc_paper_mb: 8,
             threads: None,
+            streamed: streamed_from_env(),
         }
     }
+}
+
+/// `true` when `GR_STREAMED` requests disk-tier streaming replay (any
+/// value other than unset, empty, or `0`).
+pub fn streamed_from_env() -> bool {
+    std::env::var("GR_STREAMED").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Per-(policy, application) aggregates.
@@ -294,36 +308,124 @@ fn run_cell(
     opts: &RunOptions,
     cfg: &ExperimentConfig,
 ) -> CellOut {
-    let data = framecache::frame_data(app, frame, cfg.scale);
     let policy = registry::create(policy_name, &llc_cfg)
         .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
-    let mut llc = Llc::new(llc_cfg, policy);
-    if opts.characterize {
-        llc = llc.with_characterization();
+    let needs_nu = registry::needs_next_use(policy_name);
+    if opts.streamed {
+        let disk = framecache::disk_source(app, frame, cfg.scale, needs_nu)
+            .expect("streaming disk tier failed");
+        if let Some(mut src) = disk {
+            return replay(llc_cfg, policy, &mut src.reader, &src.work, opts);
+        }
+        // `GR_TRACE_CACHE` unset: fall back to the in-memory trace (the
+        // results are identical either way).
     }
-    if opts.timing.is_some() {
-        llc = llc.with_memory_log();
+    let data = framecache::frame_data(app, frame, cfg.scale);
+    if needs_nu {
+        let ann = data.next_use().clone();
+        replay(llc_cfg, policy, &mut data.trace.source_annotated(&ann), &data.work, opts)
+    } else {
+        replay(llc_cfg, policy, &mut data.trace.source(), &data.work, opts)
     }
-    let ann = registry::needs_next_use(policy_name).then(|| data.next_use().clone());
-    llc.run_trace(&data.trace, ann.as_deref().map(|v| v.as_slice()));
+}
 
+/// Drains `source` through an LLC carrying exactly the observers the run
+/// options ask for. Each arm is its own monomorphization: the default
+/// misses-only path runs with [`grcache::NullObserver`] and carries zero
+/// per-access observer branches.
+fn replay<S: grtrace::AccessSource>(
+    llc_cfg: LlcConfig,
+    policy: Box<dyn Policy>,
+    source: &mut S,
+    work: &FrameWork,
+    opts: &RunOptions,
+) -> CellOut {
+    const ERR: &str = "streaming replay failed";
+    match (opts.characterize, opts.timing.is_some()) {
+        (false, false) => {
+            let mut llc = Llc::new(llc_cfg, policy);
+            let n = llc.run_source(source).expect(ERR);
+            finish_cell(&llc, n, work, opts)
+        }
+        (true, false) => {
+            let mut llc = Llc::new(llc_cfg, policy).with_characterization();
+            let n = llc.run_source(source).expect(ERR);
+            finish_cell(&llc, n, work, opts)
+        }
+        (false, true) => {
+            let mut llc = Llc::new(llc_cfg, policy).with_memory_log();
+            let n = llc.run_source(source).expect(ERR);
+            finish_cell(&llc, n, work, opts)
+        }
+        (true, true) => {
+            let observer = (CharTracker::new(&llc_cfg), MemoryLog::new());
+            let mut llc = Llc::with_observer(llc_cfg, policy, observer);
+            let n = llc.run_source(source).expect(ERR);
+            finish_cell(&llc, n, work, opts)
+        }
+    }
+}
+
+fn finish_cell<P: Policy, O: LlcObserver>(
+    llc: &Llc<P, O>,
+    accesses: u64,
+    work: &FrameWork,
+    opts: &RunOptions,
+) -> CellOut {
     let mut out = CellOut {
         stats: llc.stats().clone(),
         chars: llc.characterization().cloned(),
         frame_ns: 0.0,
-        accesses: data.trace.len() as u64,
+        accesses,
     };
     if let Some((gpu, dram)) = &opts.timing {
         let workload = Workload {
-            shaded_pixels: data.work.shaded_pixels,
-            texel_samples: data.work.texel_samples,
-            vertices: data.work.vertices,
-            llc_accesses: data.trace.len() as u64,
+            shaded_pixels: work.shaded_pixels,
+            texel_samples: work.texel_samples,
+            vertices: work.vertices,
+            llc_accesses: accesses,
         };
         let log = llc.memory_log().unwrap_or(&[]);
         out.frame_ns = grgpu::time_frame(gpu, *dram, &workload, log).frame_ns;
     }
     out
+}
+
+/// Replays the consecutive frames `frames` of `app` through **one
+/// persistent LLC** — no inter-frame flush — returning the cumulative
+/// [`LlcStats`] snapshot after each frame. This is the pipeline's
+/// first-class inter-frame mode: consecutive frames share static textures
+/// and persistent surfaces, so a warm LLC saves misses relative to the
+/// paper's per-frame cold-start methodology.
+///
+/// Belady-annotated policies receive per-frame annotations: the horizon of
+/// each "next use" ends at its frame boundary, a conservative model of
+/// cross-frame OPT.
+pub fn run_frame_sequence(
+    policy_name: &str,
+    app: &AppProfile,
+    frames: std::ops::Range<u32>,
+    llc_paper_mb: u64,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
+    let llc_cfg = cfg.llc(llc_paper_mb);
+    let policy = registry::create(policy_name, &llc_cfg)
+        .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+    let needs_nu = registry::needs_next_use(policy_name);
+    let mut llc = Llc::new(llc_cfg, policy);
+    let mut snapshots = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let data = framecache::frame_data(app, frame, cfg.scale);
+        let served = if needs_nu {
+            let ann = data.next_use().clone();
+            llc.run_source(&mut data.trace.source_annotated(&ann))
+        } else {
+            llc.run_source(&mut data.trace.source())
+        };
+        served.expect("in-memory replay cannot fail");
+        snapshots.push(llc.stats().clone());
+    }
+    snapshots
 }
 
 #[cfg(test)]
@@ -361,11 +463,8 @@ mod tests {
     #[test]
     fn timing_runs_produce_fps() {
         let opts = RunOptions {
-            policies: vec!["DRRIP".into()],
-            characterize: false,
             timing: Some((GpuConfig::baseline(), TimingParams::ddr3_1600())),
-            llc_paper_mb: 8,
-            threads: None,
+            ..RunOptions::misses(&["DRRIP"])
         };
         let r = run_workload(&opts, &tiny_cfg());
         assert!(r.overall_fps("DRRIP") > 0.0);
@@ -373,13 +472,7 @@ mod tests {
 
     #[test]
     fn characterization_collects_reports() {
-        let opts = RunOptions {
-            policies: vec!["DRRIP".into()],
-            characterize: true,
-            timing: None,
-            llc_paper_mb: 8,
-            threads: None,
-        };
+        let opts = RunOptions { characterize: true, ..RunOptions::misses(&["DRRIP"]) };
         let r = run_workload(&opts, &tiny_cfg());
         let agg = r.get("DRRIP", "BioShock");
         assert!(agg.chars.rt_produced > 0);

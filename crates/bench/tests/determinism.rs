@@ -40,3 +40,26 @@ fn thread_count_does_not_change_results() {
         );
     }
 }
+
+/// The streaming pipeline's guarantee: a `streamed: true` run (replay
+/// through the `GR_TRACE_CACHE` disk tier) is bit-identical to the
+/// materialized in-memory run. Without `GR_TRACE_CACHE` the streamed run
+/// falls back to the in-memory path, so the assertion holds everywhere; CI
+/// exports the cache directory to exercise the disk tier for real.
+#[test]
+fn streamed_run_is_bit_identical() {
+    let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(2) };
+    let policies = ["OPT", "GSPC", "DRRIP"];
+    let base = run_workload(&RunOptions { streamed: false, ..RunOptions::misses(&policies) }, &cfg);
+    let streamed =
+        run_workload(&RunOptions { streamed: true, ..RunOptions::misses(&policies) }, &cfg);
+    for policy in &policies {
+        for app in &base.apps {
+            assert_eq!(
+                base.get(policy, app).stats,
+                streamed.get(policy, app).stats,
+                "streamed stats diverged for ({policy}, {app})"
+            );
+        }
+    }
+}

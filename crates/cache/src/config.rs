@@ -182,10 +182,14 @@ impl LlcGeometry {
         let bank = (block & self.bank_mask) as usize;
         let tag = block >> (self.bank_bits + self.set_bits);
         let mut set = (block >> self.bank_bits) & self.set_mask;
-        let mut fold = tag;
-        while fold != 0 {
-            set ^= fold & self.set_mask;
-            fold >>= self.set_bits;
+        // With one set per bank there are no index bits to fold into (and
+        // `fold >>= 0` would never terminate); the set is always 0.
+        if self.set_bits > 0 {
+            let mut fold = tag;
+            while fold != 0 {
+                set ^= fold & self.set_mask;
+                fold >>= self.set_bits;
+            }
         }
         (bank, set as usize, tag)
     }
@@ -199,10 +203,12 @@ impl LlcGeometry {
     #[inline]
     pub fn unmap(&self, bank: usize, set_in_bank: usize, tag: u64) -> u64 {
         let mut low = set_in_bank as u64;
-        let mut fold = tag;
-        while fold != 0 {
-            low ^= fold & self.set_mask;
-            fold >>= self.set_bits;
+        if self.set_bits > 0 {
+            let mut fold = tag;
+            while fold != 0 {
+                low ^= fold & self.set_mask;
+                fold >>= self.set_bits;
+            }
         }
         (tag << (self.bank_bits + self.set_bits)) | (low << self.bank_bits) | bank as u64
     }

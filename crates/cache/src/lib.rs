@@ -13,6 +13,9 @@
 //!   (implemented by the `gspc` crate),
 //! * [`llc`] — the non-inclusive/non-exclusive banked LLC simulator with
 //!   GSPC sample-set identification and per-stream statistics,
+//! * [`observe`] — composable per-access event sinks (memory log,
+//!   characterization) the LLC is generic over; the default null observer
+//!   keeps the uninstrumented hot path branch-free,
 //! * [`chartrack`] — characterization instrumentation (texture epochs,
 //!   inter-stream reuse, render-target consumption) behind Figures 6–9,
 //! * [`optgen`] — the offline next-use annotator that enables Belady's
@@ -32,6 +35,7 @@ pub mod basic;
 pub mod chartrack;
 pub mod config;
 pub mod llc;
+pub mod observe;
 pub mod optgen;
 pub mod policy;
 pub mod render;
@@ -41,6 +45,7 @@ pub use basic::{Lookup, LruCache};
 pub use chartrack::{CharReport, CharTracker};
 pub use config::{CacheConfig, LlcConfig, LlcGeometry};
 pub use llc::{AccessResult, Llc};
+pub use observe::{LlcObserver, MemoryLog, NullObserver};
 pub use optgen::annotate_next_use;
 pub use policy::{AccessInfo, Block, FillInfo, Policy};
 pub use render::{RenderCaches, TextureHierarchyConfig};

@@ -5,10 +5,22 @@
 //! pluggable replacement [`Policy`]. A miss always fills the requested block
 //! (unless the policy bypasses the access, as with uncached displayable
 //! color); an eviction never invalidates the internal render caches.
+//!
+//! The simulator sits in the middle of the streaming pipeline: it pulls
+//! from any [`AccessSource`] ([`Llc::run_source`]) — a materialized trace,
+//! a chunked disk reader, or the renderer emitting band by band — and
+//! pushes events into one composable [`LlcObserver`] chosen at
+//! construction. The default [`NullObserver`] instantiation carries zero
+//! per-access instrumentation branches.
 
-use grtrace::{Access, Trace};
+use std::io;
 
-use crate::{AccessInfo, Block, CharTracker, LlcConfig, LlcGeometry, LlcStats, Policy};
+use grtrace::{Access, AccessSource, Chunk, Trace};
+
+use crate::{
+    AccessInfo, Block, CharTracker, LlcConfig, LlcGeometry, LlcObserver, LlcStats, MemoryLog,
+    NullObserver, Policy,
+};
 
 /// Outcome of one LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,53 +63,73 @@ pub enum AccessResult {
 /// assert_eq!(llc.stats().total_hits(), 1);
 /// ```
 #[derive(Debug)]
-pub struct Llc<P> {
+pub struct Llc<P, O = NullObserver> {
     cfg: LlcConfig,
     /// Precomputed mapping constants — keeps the division in
     /// [`LlcConfig::sets_per_bank`] out of the per-access path.
     geo: LlcGeometry,
     policy: P,
+    observer: O,
     blocks: Vec<Block>,
     stats: LlcStats,
-    chars: Option<CharTracker>,
-    /// When enabled, every memory-bound transfer: demand-miss fills
-    /// (`write = false`) and dirty-eviction writebacks (`write = true`).
-    memory_log: Option<Vec<(u64, bool)>>,
     seq: u64,
 }
 
-impl<P: Policy> Llc<P> {
-    /// Creates an empty LLC running `policy`.
+impl<P: Policy> Llc<P, NullObserver> {
+    /// Creates an empty LLC running `policy` with no instrumentation — the
+    /// zero-overhead configuration every plain miss sweep uses.
     pub fn new(cfg: LlcConfig, policy: P) -> Self {
-        Llc {
-            cfg,
-            geo: cfg.geometry(),
-            policy,
-            blocks: vec![Block::default(); cfg.total_blocks()],
-            stats: LlcStats::new(),
-            chars: None,
-            memory_log: None,
-            seq: 0,
-        }
+        Llc::with_observer(cfg, policy, NullObserver)
     }
 
     /// Enables the characterization tracker (Figures 6, 7, 9 bookkeeping).
-    pub fn with_characterization(mut self) -> Self {
-        self.chars = Some(CharTracker::new(&self.cfg));
-        self
+    pub fn with_characterization(self) -> Llc<P, CharTracker> {
+        let chars = CharTracker::new(&self.cfg);
+        self.replace_observer(chars)
     }
 
     /// Records every DRAM-bound transfer (miss fills and writebacks) so a
     /// memory timing model can replay them.
-    pub fn with_memory_log(mut self) -> Self {
-        self.memory_log = Some(Vec::new());
-        self
+    pub fn with_memory_log(self) -> Llc<P, MemoryLog> {
+        self.replace_observer(MemoryLog::new())
+    }
+}
+
+impl<P: Policy, O: LlcObserver> Llc<P, O> {
+    /// Creates an empty LLC running `policy` with `observer` attached as
+    /// the event sink. Compose observers with tuples and `Option`s, e.g.
+    /// `(Option<CharTracker>, Option<MemoryLog>)` for runtime-selected
+    /// instrumentation.
+    pub fn with_observer(cfg: LlcConfig, policy: P, observer: O) -> Self {
+        Llc {
+            cfg,
+            geo: cfg.geometry(),
+            policy,
+            observer,
+            blocks: vec![Block::default(); cfg.total_blocks()],
+            stats: LlcStats::new(),
+            seq: 0,
+        }
     }
 
-    /// The recorded DRAM-bound transfers, if enabled via
-    /// [`Llc::with_memory_log`]: `(block, is_write)` in issue order.
+    /// Swaps the observer type before any access has been serviced.
+    fn replace_observer<O2: LlcObserver>(self, observer: O2) -> Llc<P, O2> {
+        debug_assert_eq!(self.seq, 0, "observers must be attached before the first access");
+        Llc {
+            cfg: self.cfg,
+            geo: self.geo,
+            policy: self.policy,
+            observer,
+            blocks: self.blocks,
+            stats: self.stats,
+            seq: self.seq,
+        }
+    }
+
+    /// The recorded DRAM-bound transfers, if an attached observer keeps
+    /// them (see [`MemoryLog`]): `(block, is_write)` in issue order.
     pub fn memory_log(&self) -> Option<&[(u64, bool)]> {
-        self.memory_log.as_deref()
+        self.observer.memory_log()
     }
 
     /// The LLC geometry.
@@ -110,15 +142,20 @@ impl<P: Policy> Llc<P> {
         &self.policy
     }
 
+    /// The attached observer, for inspection.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &LlcStats {
         &self.stats
     }
 
-    /// Characterization report, if enabled via
-    /// [`Llc::with_characterization`].
+    /// Characterization report, if an attached observer builds one (see
+    /// [`CharTracker`]).
     pub fn characterization(&self) -> Option<&crate::CharReport> {
-        self.chars.as_ref().map(|c| c.report())
+        self.observer.char_report()
     }
 
     /// Services one access with no next-use annotation.
@@ -167,9 +204,7 @@ impl<P: Policy> Llc<P> {
             self.stats.record_hit(info.stream);
             set_blocks[way].dirty |= info.write;
             set_blocks[way].next_use = next_use;
-            if let Some(chars) = self.chars.as_mut() {
-                chars.on_hit(info.class, info.write, bank, set, way);
-            }
+            self.observer.observe_hit(&info, way);
             self.policy.on_hit(&info, set_blocks, way);
             return AccessResult::Hit;
         }
@@ -182,9 +217,7 @@ impl<P: Policy> Llc<P> {
             } else {
                 self.stats.bypassed_reads += 1;
             }
-            if let Some(log) = self.memory_log.as_mut() {
-                log.push((block, info.write));
-            }
+            self.observer.observe_bypass(&info);
             return AccessResult::Bypass;
         }
 
@@ -198,32 +231,27 @@ impl<P: Policy> Llc<P> {
                 debug_assert!(victim < ways, "victim out of range");
                 self.policy.on_evict(&info, set_blocks, victim);
                 self.stats.evictions += 1;
-                if set_blocks[victim].dirty {
+                dirty_eviction = set_blocks[victim].dirty;
+                if dirty_eviction {
                     self.stats.writebacks += 1;
-                    dirty_eviction = true;
-                    if let Some(log) = self.memory_log.as_mut() {
-                        // The writeback goes to the *victim's* address,
-                        // rebuilt from its tag and the shared (bank, set).
-                        let victim_block = self.geo.unmap(bank, set, set_blocks[victim].tag);
-                        log.push((victim_block, true));
-                    }
                 }
-                if let Some(chars) = self.chars.as_mut() {
-                    chars.on_evict(bank, set, victim);
-                }
+                // A writeback goes to the *victim's* address, rebuilt from
+                // its tag and the shared (bank, set); the rebuild is only
+                // paid when the attached observer declares it needs it.
+                let victim_block = if O::NEEDS_VICTIM_ADDR {
+                    self.geo.unmap(bank, set, set_blocks[victim].tag)
+                } else {
+                    0
+                };
+                self.observer.observe_evict(&info, victim, victim_block, dirty_eviction);
                 victim
             }
         };
 
-        if let Some(log) = self.memory_log.as_mut() {
-            log.push((block, false));
-        }
         set_blocks[way] = Block { valid: true, tag, dirty: info.write, meta: 0, next_use };
         let fill = self.policy.on_fill(&info, set_blocks, way);
         self.stats.record_fill(info.class, fill.distant);
-        if let Some(chars) = self.chars.as_mut() {
-            chars.on_fill(info.class, bank, set, way);
-        }
+        self.observer.observe_fill(&info, way);
         AccessResult::Miss { dirty_eviction }
     }
 
@@ -247,9 +275,45 @@ impl<P: Policy> Llc<P> {
         }
     }
 
+    /// Drains an [`AccessSource`] through the LLC, chunk by chunk, and
+    /// returns the number of accesses serviced. The per-access loop is the
+    /// same slice iteration as [`Llc::run_trace`], so streamed and
+    /// materialized replays are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from disk-backed sources; in-memory and
+    /// synthesized sources never fail.
+    pub fn run_source<S: AccessSource>(&mut self, source: &mut S) -> io::Result<u64> {
+        let mut serviced = 0u64;
+        while source.advance()? {
+            let Chunk { accesses, next_uses } = source.chunk();
+            serviced += accesses.len() as u64;
+            match next_uses {
+                Some(nu) => {
+                    debug_assert_eq!(nu.len(), accesses.len(), "annotation length mismatch");
+                    for (a, &next) in accesses.iter().zip(nu) {
+                        self.access_annotated(a, next);
+                    }
+                }
+                None => {
+                    for a in accesses {
+                        self.access(a);
+                    }
+                }
+            }
+        }
+        Ok(serviced)
+    }
+
     /// Consumes the LLC, returning `(stats, policy)`.
     pub fn into_parts(self) -> (LlcStats, P) {
         (self.stats, self.policy)
+    }
+
+    /// Consumes the LLC, returning the attached observer.
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 }
 
@@ -404,5 +468,63 @@ mod tests {
         let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
         assert!(cfg.is_sample_set(0));
         assert!(!cfg.is_sample_set(1));
+    }
+
+    #[test]
+    fn run_source_matches_run_trace() {
+        let mut t = Trace::new("t", 0);
+        for i in 0..500u64 {
+            t.push(Access::load((i % 23) * 64, StreamId::Texture));
+        }
+        let mut a = small_llc();
+        a.run_trace(&t, None);
+        let mut b = small_llc();
+        let n = b.run_source(&mut t.source()).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn run_source_carries_annotations() {
+        let mut t = Trace::new("t", 0);
+        for i in 0..100u64 {
+            t.push(Access::load((i % 5) * 64, StreamId::Z));
+        }
+        let nu = crate::annotate_next_use(t.accesses());
+        let mut a = small_llc();
+        a.run_trace(&t, Some(&nu));
+        let mut b = small_llc();
+        b.run_source(&mut t.source_annotated(&nu)).unwrap();
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn streamed_memory_log_is_bit_identical() {
+        let mut t = Trace::new("t", 0);
+        for i in 0..300u64 {
+            let addr = ((i * 7) % 40) * 64;
+            t.push(if i % 3 == 0 {
+                Access::store(addr, StreamId::RenderTarget)
+            } else {
+                Access::load(addr, StreamId::Texture)
+            });
+        }
+        let mut a = small_llc().with_memory_log();
+        a.run_trace(&t, None);
+        let mut b = small_llc().with_memory_log();
+        b.run_source(&mut t.source()).unwrap();
+        assert_eq!(a.memory_log(), b.memory_log());
+        assert!(!a.memory_log().unwrap().is_empty());
+    }
+
+    #[test]
+    fn composed_observer_collects_both_sinks() {
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        let obs = (CharTracker::new(&cfg), MemoryLog::new());
+        let mut llc = Llc::with_observer(cfg, TestLru { tick: 0 }, obs);
+        llc.access(&Access::store(0, StreamId::RenderTarget));
+        llc.access(&Access::load(0, StreamId::Texture));
+        assert_eq!(llc.characterization().unwrap().rt_consumed, 1);
+        assert_eq!(llc.memory_log().unwrap().len(), 1); // the fill
     }
 }

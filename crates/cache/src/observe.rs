@@ -1,0 +1,324 @@
+//! Composable LLC observers — the *sinks* of the streaming pipeline.
+//!
+//! The LLC simulator is generic over one [`LlcObserver`] chosen at
+//! construction. Observers are notified of hits, fills, evictions, and
+//! bypasses and accumulate whatever instrumentation they exist for; the
+//! default [`NullObserver`] compiles every notification away, so the
+//! plain-statistics hot path carries **zero per-access observer branches**
+//! (the old design tested two `Option` fields on every access).
+//!
+//! Provided observers:
+//!
+//! * [`NullObserver`] — nothing (the default),
+//! * [`MemoryLog`] — every DRAM-bound transfer, for the `grgpu` timing
+//!   model,
+//! * [`crate::CharTracker`] — the paper's characterization instrumentation
+//!   (Figures 6, 7, 9) implements the trait directly.
+//!
+//! Observers compose: a 2-tuple `(A, B)` notifies both members, and
+//! `Option<O>` selects an observer at runtime (`None` costs one
+//! predictable branch per event). The runner combines these to build
+//! exactly the instrumentation a run asks for.
+
+use crate::chartrack::CharTracker;
+use crate::policy::AccessInfo;
+use crate::CharReport;
+
+/// Receives notifications about every LLC event.
+///
+/// All methods default to no-ops so observers implement only what they
+/// need. The contract mirrors the simulator's event order per access:
+/// `observe_hit` *or* (`observe_bypass` | [`observe_evict`](Self::observe_evict)?
+/// then `observe_fill`). An eviction notification always precedes the fill
+/// that displaces the victim.
+pub trait LlcObserver {
+    /// Whether this observer needs the victim's rebuilt block address in
+    /// [`LlcObserver::observe_evict`]. Reconstructing it costs an
+    /// [`crate::LlcGeometry::unmap`] per eviction, so the simulator skips
+    /// the computation entirely when no observer asks for it.
+    const NEEDS_VICTIM_ADDR: bool = false;
+
+    /// The access hit way `way` of its set.
+    #[inline]
+    fn observe_hit(&mut self, info: &AccessInfo, way: usize) {
+        let _ = (info, way);
+    }
+
+    /// The access missed and went around the LLC straight to memory.
+    #[inline]
+    fn observe_bypass(&mut self, info: &AccessInfo) {
+        let _ = info;
+    }
+
+    /// A valid block in way `victim_way` is about to be displaced.
+    /// `victim_block` is the victim's block address when
+    /// [`LlcObserver::NEEDS_VICTIM_ADDR`] is set (0 otherwise); `dirty` is
+    /// whether the displacement writes the victim back to memory.
+    #[inline]
+    fn observe_evict(
+        &mut self,
+        info: &AccessInfo,
+        victim_way: usize,
+        victim_block: u64,
+        dirty: bool,
+    ) {
+        let _ = (info, victim_way, victim_block, dirty);
+    }
+
+    /// The missing block was installed in way `way`.
+    #[inline]
+    fn observe_fill(&mut self, info: &AccessInfo, way: usize) {
+        let _ = (info, way);
+    }
+
+    /// The recorded DRAM-bound transfers, if this observer keeps them.
+    fn memory_log(&self) -> Option<&[(u64, bool)]> {
+        None
+    }
+
+    /// The characterization report, if this observer builds one.
+    fn char_report(&self) -> Option<&CharReport> {
+        None
+    }
+}
+
+/// The default observer: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl LlcObserver for NullObserver {}
+
+/// Records every memory-bound transfer — demand-miss fills
+/// (`write = false`) and dirty-eviction writebacks (`write = true`) — in
+/// issue order, so a DRAM timing model can replay them.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryLog {
+    entries: Vec<(u64, bool)>,
+}
+
+impl MemoryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        MemoryLog::default()
+    }
+
+    /// The recorded `(block, is_write)` transfers in issue order.
+    pub fn entries(&self) -> &[(u64, bool)] {
+        &self.entries
+    }
+
+    /// Consumes the log, returning the transfers.
+    pub fn into_entries(self) -> Vec<(u64, bool)> {
+        self.entries
+    }
+}
+
+impl LlcObserver for MemoryLog {
+    /// Writebacks are logged against the *victim's* address, which must be
+    /// rebuilt from its stored tag.
+    const NEEDS_VICTIM_ADDR: bool = true;
+
+    #[inline]
+    fn observe_bypass(&mut self, info: &AccessInfo) {
+        self.entries.push((info.block, info.write));
+    }
+
+    #[inline]
+    fn observe_evict(&mut self, _info: &AccessInfo, _way: usize, victim_block: u64, dirty: bool) {
+        if dirty {
+            self.entries.push((victim_block, true));
+        }
+    }
+
+    #[inline]
+    fn observe_fill(&mut self, info: &AccessInfo, _way: usize) {
+        self.entries.push((info.block, false));
+    }
+
+    fn memory_log(&self) -> Option<&[(u64, bool)]> {
+        Some(&self.entries)
+    }
+}
+
+impl LlcObserver for CharTracker {
+    #[inline]
+    fn observe_hit(&mut self, info: &AccessInfo, way: usize) {
+        self.on_hit(info.class, info.write, info.bank, info.set_in_bank, way);
+    }
+
+    #[inline]
+    fn observe_evict(&mut self, info: &AccessInfo, victim_way: usize, _block: u64, _dirty: bool) {
+        self.on_evict(info.bank, info.set_in_bank, victim_way);
+    }
+
+    #[inline]
+    fn observe_fill(&mut self, info: &AccessInfo, way: usize) {
+        self.on_fill(info.class, info.bank, info.set_in_bank, way);
+    }
+
+    fn char_report(&self) -> Option<&CharReport> {
+        Some(self.report())
+    }
+}
+
+/// Composition: both members observe every event, `A` first.
+impl<A: LlcObserver, B: LlcObserver> LlcObserver for (A, B) {
+    const NEEDS_VICTIM_ADDR: bool = A::NEEDS_VICTIM_ADDR || B::NEEDS_VICTIM_ADDR;
+
+    #[inline]
+    fn observe_hit(&mut self, info: &AccessInfo, way: usize) {
+        self.0.observe_hit(info, way);
+        self.1.observe_hit(info, way);
+    }
+
+    #[inline]
+    fn observe_bypass(&mut self, info: &AccessInfo) {
+        self.0.observe_bypass(info);
+        self.1.observe_bypass(info);
+    }
+
+    #[inline]
+    fn observe_evict(
+        &mut self,
+        info: &AccessInfo,
+        victim_way: usize,
+        victim_block: u64,
+        dirty: bool,
+    ) {
+        self.0.observe_evict(info, victim_way, victim_block, dirty);
+        self.1.observe_evict(info, victim_way, victim_block, dirty);
+    }
+
+    #[inline]
+    fn observe_fill(&mut self, info: &AccessInfo, way: usize) {
+        self.0.observe_fill(info, way);
+        self.1.observe_fill(info, way);
+    }
+
+    fn memory_log(&self) -> Option<&[(u64, bool)]> {
+        self.0.memory_log().or_else(|| self.1.memory_log())
+    }
+
+    fn char_report(&self) -> Option<&CharReport> {
+        self.0.char_report().or_else(|| self.1.char_report())
+    }
+}
+
+/// Runtime selection: `None` observes nothing. The victim address is
+/// computed whenever `O` would need it (the `None` case wastes the unmap,
+/// but runtime-optional observers are only used on instrumented runs).
+impl<O: LlcObserver> LlcObserver for Option<O> {
+    const NEEDS_VICTIM_ADDR: bool = O::NEEDS_VICTIM_ADDR;
+
+    #[inline]
+    fn observe_hit(&mut self, info: &AccessInfo, way: usize) {
+        if let Some(o) = self {
+            o.observe_hit(info, way);
+        }
+    }
+
+    #[inline]
+    fn observe_bypass(&mut self, info: &AccessInfo) {
+        if let Some(o) = self {
+            o.observe_bypass(info);
+        }
+    }
+
+    #[inline]
+    fn observe_evict(
+        &mut self,
+        info: &AccessInfo,
+        victim_way: usize,
+        victim_block: u64,
+        dirty: bool,
+    ) {
+        if let Some(o) = self {
+            o.observe_evict(info, victim_way, victim_block, dirty);
+        }
+    }
+
+    #[inline]
+    fn observe_fill(&mut self, info: &AccessInfo, way: usize) {
+        if let Some(o) = self {
+            o.observe_fill(info, way);
+        }
+    }
+
+    fn memory_log(&self) -> Option<&[(u64, bool)]> {
+        self.as_ref().and_then(LlcObserver::memory_log)
+    }
+
+    fn char_report(&self) -> Option<&CharReport> {
+        self.as_ref().and_then(LlcObserver::char_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtrace::{PolicyClass, StreamId};
+
+    fn info(block: u64, write: bool) -> AccessInfo {
+        AccessInfo {
+            seq: 0,
+            block,
+            bank: 0,
+            set_in_bank: 0,
+            stream: StreamId::Texture,
+            class: PolicyClass::Tex,
+            write,
+            is_sample: false,
+            next_use: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn null_observer_reports_nothing() {
+        let o = NullObserver;
+        assert!(o.memory_log().is_none());
+        assert!(o.char_report().is_none());
+        const { assert!(!NullObserver::NEEDS_VICTIM_ADDR) };
+    }
+
+    #[test]
+    fn memory_log_orders_writeback_before_fill() {
+        let mut log = MemoryLog::new();
+        log.observe_evict(&info(5, false), 0, 99, true);
+        log.observe_fill(&info(5, false), 0);
+        assert_eq!(log.entries(), &[(99, true), (5, false)]);
+    }
+
+    #[test]
+    fn memory_log_skips_clean_evictions() {
+        let mut log = MemoryLog::new();
+        log.observe_evict(&info(5, false), 0, 99, false);
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn memory_log_records_bypasses_with_write_flag() {
+        let mut log = MemoryLog::new();
+        log.observe_bypass(&info(7, true));
+        log.observe_bypass(&info(8, false));
+        assert_eq!(log.into_entries(), vec![(7, true), (8, false)]);
+    }
+
+    #[test]
+    fn tuple_composes_flags_and_reports() {
+        type Combo = (Option<CharTracker>, Option<MemoryLog>);
+        const { assert!(Combo::NEEDS_VICTIM_ADDR) };
+        const { assert!(!<(NullObserver, NullObserver)>::NEEDS_VICTIM_ADDR) };
+
+        let mut combo: Combo = (None, Some(MemoryLog::new()));
+        combo.observe_fill(&info(3, false), 0);
+        assert_eq!(combo.memory_log(), Some(&[(3u64, false)][..]));
+        assert!(combo.char_report().is_none());
+    }
+
+    #[test]
+    fn optional_none_observes_nothing() {
+        let mut o: Option<MemoryLog> = None;
+        o.observe_fill(&info(1, false), 0);
+        assert!(o.memory_log().is_none());
+    }
+}

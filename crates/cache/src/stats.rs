@@ -7,7 +7,7 @@ use grtrace::{PolicyClass, StreamId};
 /// These back Figures 1, 5, 8, 12, 13, and 14 of the paper: per-stream hits
 /// and misses, per-class fill counts at the distant RRPV, bypasses, and
 /// dirty-eviction writebacks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LlcStats {
     hits: [u64; 9],
     misses: [u64; 9],

@@ -1,0 +1,77 @@
+//! Seeded property tests for the LLC address mapping: `unmap` must invert
+//! `map` for *every* geometry the configuration space admits, including the
+//! degenerate single-set-per-bank and single-bank corners.
+
+use grcache::LlcConfig;
+
+/// SplitMix64 — a tiny deterministic generator; the fixed seed keeps the
+/// sampled geometries reproducible across runs and platforms.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[(self.next() % options.len() as u64) as usize]
+    }
+}
+
+#[test]
+fn unmap_roundtrips_map_over_randomized_geometries() {
+    let mut rng = SplitMix64(0xC0FFEE);
+    for round in 0..200 {
+        let ways = rng.pick(&[1usize, 2, 4, 8, 16]);
+        let banks = rng.pick(&[1usize, 2, 4, 8]);
+        // 1 << 0 .. 1 << 11 sets per bank, including the degenerate single
+        // set (set_bits == 0) that exercises the no-fold path.
+        let sets_per_bank = 1u64 << (rng.next() % 12);
+        let cfg = LlcConfig {
+            size_bytes: 64 * ways as u64 * banks as u64 * sets_per_bank,
+            ways,
+            banks,
+            sample_period: rng.pick(&[1usize, 2, 64]),
+        };
+        assert_eq!(cfg.sets_per_bank() as u64, sets_per_bank);
+        let geo = cfg.geometry();
+        for _ in 0..500 {
+            let block = rng.next();
+            let (bank, set, tag) = geo.map(block);
+            assert!(bank < banks, "bank out of range (round {round})");
+            assert!(set < sets_per_bank as usize, "set out of range (round {round})");
+            assert_eq!(
+                geo.unmap(bank, set, tag),
+                block,
+                "roundtrip failed for block {block:#x} with ways={ways} banks={banks} \
+                 sets_per_bank={sets_per_bank} (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn map_is_injective_on_small_geometries() {
+    use std::collections::HashSet;
+    let mut rng = SplitMix64(0xBADC0DE);
+    for _ in 0..20 {
+        let ways = rng.pick(&[1usize, 2, 4]);
+        let banks = rng.pick(&[1usize, 2, 4]);
+        let sets_per_bank = 1u64 << (rng.next() % 6);
+        let cfg = LlcConfig {
+            size_bytes: 64 * ways as u64 * banks as u64 * sets_per_bank,
+            ways,
+            banks,
+            sample_period: 1,
+        };
+        let geo = cfg.geometry();
+        let mut seen = HashSet::new();
+        for block in 0..20_000u64 {
+            assert!(seen.insert(geo.map(block)), "collision for block {block}");
+        }
+    }
+}

@@ -186,9 +186,27 @@ impl<'a> FrameRenderer<'a> {
     /// Renders the frame, returning both the LLC trace and the shader /
     /// sampler / geometry work performed.
     pub fn render_with_work(mut self) -> (Trace, FrameWork) {
+        for s in 0..Self::STAGES {
+            self.run_stage(s);
+        }
+        (self.trace, self.work)
+    }
+
+    /// Number of [`FrameRenderer::run_stage`] steps in a frame: the eight
+    /// render bands plus the tail (final lighting, present, cache flush).
+    pub(crate) const STAGES: u32 = Self::BANDS + 1;
+    const BANDS: u32 = 8;
+
+    /// Runs pipeline stage `s` (`0..STAGES`), appending its accesses to the
+    /// internal trace. Stages must run in order, each exactly once;
+    /// [`FrameRenderer::render_with_work`] does exactly that, and the
+    /// streaming `FrameStream` interleaves [`FrameRenderer::take_emitted`]
+    /// between stages — both orders produce identical access sequences.
+    pub(crate) fn run_stage(&mut self, s: u32) {
+        debug_assert!(s < Self::STAGES, "stage out of range");
+        const BANDS: u32 = FrameRenderer::BANDS;
         let offscreen: Vec<Surface> = self.offscreen.clone();
-        const BANDS: u32 = 8;
-        for s in 0..BANDS {
+        if s < BANDS {
             for (i, target) in offscreen.iter().enumerate() {
                 self.offscreen_chunk(*target, s, BANDS);
                 // Lighting trails production by one band.
@@ -204,15 +222,30 @@ impl<'a> FrameRenderer<'a> {
             for p in 0..self.profile.post_passes {
                 self.post_pass(p, s, BANDS);
             }
+        } else {
+            // Consume the last lighting band of every target.
+            for target in &offscreen {
+                self.lighting_chunk(*target, BANDS - 1, BANDS);
+            }
+            self.present();
+            self.caches.flush(&mut self.trace);
         }
-        // Consume the last lighting band of every target.
-        for target in &offscreen {
-            self.lighting_chunk(*target, BANDS - 1, BANDS);
-        }
-        self.present();
-        let FrameRenderer { mut caches, mut trace, work, .. } = self;
-        caches.flush(&mut trace);
-        (trace, work)
+    }
+
+    /// Drains the accesses emitted so far (streaming hand-off between
+    /// stages); the trace keeps its identity and cumulative stats.
+    pub(crate) fn take_emitted(&mut self) -> Vec<Access> {
+        self.trace.take_accesses()
+    }
+
+    /// The work counters accumulated so far (complete once every stage ran).
+    pub(crate) fn work(&self) -> FrameWork {
+        self.work
+    }
+
+    /// The trace being accumulated (for stream-side stats access).
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     #[inline]

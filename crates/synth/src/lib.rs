@@ -36,11 +36,13 @@ mod frame;
 mod generator;
 mod profile;
 mod rng;
+mod stream;
 mod surface;
 
 pub use frame::{FrameRenderer, FrameWork};
 pub use generator::{generate_frame, workload_frames, FrameJob};
 pub use profile::{AppProfile, Scale};
+pub use stream::{collect_stream, FrameStream};
 pub use surface::{Surface, SurfaceAllocator, SurfaceKind};
 
 pub use grtrace::Trace;

@@ -1,0 +1,169 @@
+//! Band-by-band streaming frame synthesis.
+//!
+//! [`FrameStream`] drives a [`FrameRenderer`] one pipeline stage at a time
+//! and hands each stage's accesses out through the [`AccessSource`] chunk
+//! protocol, so a frame is never materialized as one giant `Vec`. Peak
+//! memory is bounded by the largest single stage's emission (roughly one
+//! render band) instead of the whole frame.
+//!
+//! The access sequence is bit-identical to [`generate_frame`]: the renderer
+//! runs the same stages in the same order; the stream merely drains the
+//! trace buffer between stages.
+//!
+//! [`generate_frame`]: crate::generate_frame
+
+use std::io;
+
+use grtrace::{Access, AccessSource, Chunk, StreamStats, Trace};
+
+use crate::frame::{FrameRenderer, FrameWork};
+use crate::{AppProfile, Scale};
+
+/// A pull-based [`AccessSource`] that synthesizes one frame band by band.
+///
+/// # Example
+///
+/// ```
+/// use grsynth::{AppProfile, FrameStream, Scale};
+/// use grtrace::AccessSource;
+///
+/// let profile = AppProfile::by_abbrev("BioShock").expect("profile");
+/// let mut stream = FrameStream::new(&profile, 0, Scale::Tiny);
+/// let mut total = 0u64;
+/// while stream.advance().unwrap() {
+///     total += stream.chunk().accesses.len() as u64;
+/// }
+/// assert!(total > 0);
+/// let work = stream.work(); // complete once the stream is exhausted
+/// assert!(work.shaded_pixels > 0);
+/// ```
+pub struct FrameStream<'a> {
+    renderer: FrameRenderer<'a>,
+    next_stage: u32,
+    buf: Vec<Access>,
+    emitted: u64,
+}
+
+impl<'a> FrameStream<'a> {
+    /// Prepares frame `frame_idx` of `profile` for streaming synthesis.
+    pub fn new(profile: &'a AppProfile, frame_idx: u32, scale: Scale) -> Self {
+        FrameStream {
+            renderer: FrameRenderer::new(profile, frame_idx, scale),
+            next_stage: 0,
+            buf: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    /// The shader / sampler / geometry work counters accumulated so far.
+    /// Complete (equal to [`generate_frame`]'s) once the stream is
+    /// exhausted.
+    ///
+    /// [`generate_frame`]: crate::generate_frame
+    pub fn work(&self) -> FrameWork {
+        self.renderer.work()
+    }
+
+    /// Per-stream access statistics accumulated so far. Complete once the
+    /// stream is exhausted.
+    pub fn stats(&self) -> &StreamStats {
+        self.renderer.trace().stats()
+    }
+
+    /// Accesses handed out through [`AccessSource::chunk`] so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl AccessSource for FrameStream<'_> {
+    fn advance(&mut self) -> io::Result<bool> {
+        loop {
+            if self.next_stage >= FrameRenderer::STAGES {
+                self.buf.clear();
+                return Ok(false);
+            }
+            self.renderer.run_stage(self.next_stage);
+            self.next_stage += 1;
+            self.buf = self.renderer.take_emitted();
+            if !self.buf.is_empty() {
+                self.emitted += self.buf.len() as u64;
+                return Ok(true);
+            }
+        }
+    }
+
+    fn chunk(&self) -> Chunk<'_> {
+        Chunk { accesses: &self.buf, next_uses: None }
+    }
+}
+
+impl std::fmt::Debug for FrameStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameStream")
+            .field("next_stage", &self.next_stage)
+            .field("buffered", &self.buf.len())
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+/// Collects a streamed frame back into a [`Trace`] (test / tooling helper;
+/// production paths should consume the stream chunk by chunk).
+pub fn collect_stream(mut stream: FrameStream<'_>, app: &str, frame: u32) -> (Trace, FrameWork) {
+    let mut trace = Trace::new(app, frame);
+    while stream.advance().expect("frame synthesis cannot fail") {
+        for a in stream.chunk().accesses {
+            trace.push(*a);
+        }
+    }
+    let work = stream.work();
+    (trace, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_matches_materialized_frame() {
+        let profile = AppProfile::by_abbrev("BioShock").expect("profile");
+        let (trace, work) = FrameRenderer::new(&profile, 3, Scale::Tiny).render_with_work();
+        let stream = FrameStream::new(&profile, 3, Scale::Tiny);
+        let (streamed, swork) = collect_stream(stream, trace.app(), 3);
+        assert_eq!(work, swork);
+        assert_eq!(trace.accesses(), streamed.accesses());
+        assert_eq!(trace.stats(), streamed.stats());
+    }
+
+    #[test]
+    fn stream_is_chunked_not_monolithic() {
+        let profile = AppProfile::by_abbrev("HAWX").expect("profile");
+        let mut stream = FrameStream::new(&profile, 0, Scale::Tiny);
+        let mut chunks = 0;
+        let mut total = 0usize;
+        while stream.advance().unwrap() {
+            chunks += 1;
+            let c = stream.chunk();
+            assert!(!c.accesses.is_empty());
+            assert!(c.next_uses.is_none());
+            total += c.accesses.len();
+        }
+        assert!(chunks > 1, "a frame must span several stages, got {chunks}");
+        assert_eq!(total as u64, stream.emitted());
+        // Exhausted stream stays exhausted.
+        assert!(!stream.advance().unwrap());
+        assert!(stream.chunk().accesses.is_empty());
+    }
+
+    #[test]
+    fn every_profile_streams_identically() {
+        for profile in AppProfile::all() {
+            let (trace, work) = FrameRenderer::new(&profile, 1, Scale::Tiny).render_with_work();
+            let stream = FrameStream::new(&profile, 1, Scale::Tiny);
+            let (streamed, swork) = collect_stream(stream, trace.app(), 1);
+            assert_eq!(trace.accesses(), streamed.accesses(), "app {}", profile.name);
+            assert_eq!(work, swork, "app {}", profile.name);
+        }
+    }
+}

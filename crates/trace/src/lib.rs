@@ -9,7 +9,9 @@
 //!   other) that the paper's LLC policies reason about,
 //! * [`Access`] — one load or store,
 //! * [`Trace`] — an ordered sequence of accesses for one rendered frame,
-//! * [`StreamStats`] — per-stream access accounting (Figure 4 of the paper).
+//! * [`StreamStats`] — per-stream access accounting (Figure 4 of the paper),
+//! * [`AccessSource`] — pull-based, chunked access streaming (in-memory
+//!   slices, the [`io`] disk format, or chained multi-frame sequences).
 //!
 //! # Example
 //!
@@ -26,12 +28,14 @@
 mod access;
 mod addr;
 pub mod io;
+mod source;
 mod stats;
 mod stream;
 mod trace;
 
 pub use access::Access;
 pub use addr::{block_addr, BLOCK_BYTES, BLOCK_SHIFT};
+pub use source::{AccessSource, ChainSource, Chunk, SliceSource};
 pub use stats::StreamStats;
 pub use stream::{PolicyClass, StreamId};
 pub use trace::Trace;

@@ -1,0 +1,284 @@
+//! Pull-based access sources — the head of the streaming pipeline.
+//!
+//! An [`AccessSource`] yields the LLC access stream in chunks instead of
+//! requiring the whole frame to exist as one giant `Vec`. The consumer
+//! (the LLC simulator) pulls with [`AccessSource::advance`] and reads the
+//! current chunk as plain slices, so the per-access hot loop is identical
+//! to replaying a materialized trace — chunking costs one bounds check per
+//! *chunk*, not per access.
+//!
+//! Three families of sources exist across the workspace:
+//!
+//! * [`SliceSource`] — in-memory replay of a materialized [`Trace`]
+//!   (one chunk: the whole slice),
+//! * [`crate::io::ChunkedReader`] — bounded-memory streaming over the
+//!   `GRTR` disk format (one chunk per refill),
+//! * `grsynth::FrameStream` — direct band-by-band emission from the
+//!   synthetic renderer (one chunk per pipeline stage).
+//!
+//! [`ChainSource`] concatenates sources back-to-back, which is how
+//! multi-frame sequences replay through one persistent LLC.
+//!
+//! # Example
+//!
+//! ```
+//! use grtrace::{Access, AccessSource, StreamId, Trace};
+//!
+//! let mut t = Trace::new("demo", 0);
+//! t.push(Access::load(0x40, StreamId::Texture));
+//! let mut src = t.source();
+//! let mut n = 0;
+//! while src.advance().unwrap() {
+//!     n += src.chunk().accesses.len();
+//! }
+//! assert_eq!(n, 1);
+//! ```
+
+use std::io;
+
+use crate::{Access, Trace};
+
+/// The chunk of accesses an [`AccessSource`] currently exposes.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    /// The accesses, in trace order.
+    pub accesses: &'a [Access],
+    /// Parallel Belady next-use annotation (`u64::MAX` = never reused),
+    /// same length as `accesses`, when the source carries one. Values are
+    /// absolute trace positions, exactly as `annotate_next_use` emits.
+    pub next_uses: Option<&'a [u64]>,
+}
+
+/// A pull-based producer of LLC accesses.
+///
+/// The protocol is a lending iterator over chunks: call
+/// [`advance`](AccessSource::advance) — `Ok(true)` means a fresh non-empty
+/// chunk is available via [`chunk`](AccessSource::chunk), `Ok(false)` means
+/// the stream is exhausted. Sources never expose an empty chunk.
+pub trait AccessSource {
+    /// Produces the next chunk. Returns `Ok(false)` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Disk-backed sources surface I/O errors; in-memory and synthesized
+    /// sources never fail.
+    fn advance(&mut self) -> io::Result<bool>;
+
+    /// The chunk produced by the last successful [`advance`](Self::advance).
+    ///
+    /// Only valid after `advance` returned `Ok(true)`; sources may return
+    /// an empty chunk otherwise.
+    fn chunk(&self) -> Chunk<'_>;
+
+    /// Total accesses this source will yield, when known up front.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: AccessSource + ?Sized> AccessSource for &mut S {
+    fn advance(&mut self) -> io::Result<bool> {
+        (**self).advance()
+    }
+    fn chunk(&self) -> Chunk<'_> {
+        (**self).chunk()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// In-memory replay of a materialized access slice: one chunk, zero copies.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::{Access, AccessSource, SliceSource, StreamId};
+///
+/// let accesses = [Access::load(0, StreamId::Z), Access::load(64, StreamId::Z)];
+/// let next_uses = [u64::MAX, u64::MAX];
+/// let mut src = SliceSource::new(&accesses, Some(&next_uses));
+/// assert!(src.advance().unwrap());
+/// assert_eq!(src.chunk().accesses.len(), 2);
+/// assert!(!src.advance().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    accesses: &'a [Access],
+    next_uses: Option<&'a [u64]>,
+    done: bool,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice (plus optional next-use annotation) as a source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_uses` is provided with a different length.
+    pub fn new(accesses: &'a [Access], next_uses: Option<&'a [u64]>) -> Self {
+        if let Some(nu) = next_uses {
+            assert_eq!(nu.len(), accesses.len(), "annotation length mismatch");
+        }
+        SliceSource { accesses, next_uses, done: false }
+    }
+}
+
+impl AccessSource for SliceSource<'_> {
+    fn advance(&mut self) -> io::Result<bool> {
+        if self.done || self.accesses.is_empty() {
+            return Ok(false);
+        }
+        self.done = true;
+        Ok(true)
+    }
+
+    fn chunk(&self) -> Chunk<'_> {
+        Chunk { accesses: self.accesses, next_uses: self.next_uses }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.accesses.len() as u64)
+    }
+}
+
+/// Concatenates sources back-to-back: frame 0, then frame 1, ... — the
+/// multi-frame persistent-LLC replay mode.
+///
+/// # Example
+///
+/// ```
+/// use grtrace::{Access, AccessSource, ChainSource, StreamId, Trace};
+///
+/// let mut f0 = Trace::new("app", 0);
+/// f0.push(Access::load(0, StreamId::Z));
+/// let mut f1 = Trace::new("app", 1);
+/// f1.push(Access::load(64, StreamId::Z));
+/// let mut chain = ChainSource::new(vec![f0.source(), f1.source()]);
+/// let mut total = 0;
+/// while chain.advance().unwrap() {
+///     total += chain.chunk().accesses.len();
+/// }
+/// assert_eq!(total, 2);
+/// ```
+#[derive(Debug)]
+pub struct ChainSource<S> {
+    sources: Vec<S>,
+    idx: usize,
+}
+
+impl<S: AccessSource> ChainSource<S> {
+    /// Chains `sources` in order.
+    pub fn new(sources: Vec<S>) -> Self {
+        ChainSource { sources, idx: 0 }
+    }
+}
+
+impl<S: AccessSource> AccessSource for ChainSource<S> {
+    fn advance(&mut self) -> io::Result<bool> {
+        while self.idx < self.sources.len() {
+            if self.sources[self.idx].advance()? {
+                return Ok(true);
+            }
+            self.idx += 1;
+        }
+        Ok(false)
+    }
+
+    fn chunk(&self) -> Chunk<'_> {
+        self.sources[self.idx].chunk()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.sources.iter().try_fold(0u64, |acc, s| s.len_hint().map(|n| acc + n))
+    }
+}
+
+impl Trace {
+    /// A source replaying this trace's accesses, unannotated.
+    pub fn source(&self) -> SliceSource<'_> {
+        SliceSource::new(self.accesses(), None)
+    }
+
+    /// A source replaying this trace with a Belady next-use annotation
+    /// (one entry per access, as `annotate_next_use` produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_uses.len() != self.len()`.
+    pub fn source_annotated<'a>(&'a self, next_uses: &'a [u64]) -> SliceSource<'a> {
+        SliceSource::new(self.accesses(), Some(next_uses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamId;
+
+    fn trace(frame: u32, n: u64) -> Trace {
+        let mut t = Trace::new("t", frame);
+        for i in 0..n {
+            t.push(Access::load(i * 64, StreamId::Texture));
+        }
+        t
+    }
+
+    fn drain(mut src: impl AccessSource) -> Vec<Access> {
+        let mut out = Vec::new();
+        while src.advance().unwrap() {
+            assert!(!src.chunk().accesses.is_empty(), "sources never expose empty chunks");
+            out.extend_from_slice(src.chunk().accesses);
+        }
+        out
+    }
+
+    #[test]
+    fn slice_source_yields_everything_once() {
+        let t = trace(0, 5);
+        assert_eq!(drain(t.source()), t.accesses());
+        assert_eq!(t.source().len_hint(), Some(5));
+    }
+
+    #[test]
+    fn empty_slice_source_is_exhausted_immediately() {
+        let t = trace(0, 0);
+        let mut src = t.source();
+        assert!(!src.advance().unwrap());
+    }
+
+    #[test]
+    fn annotated_source_carries_next_uses() {
+        let t = trace(0, 3);
+        let nu = vec![7u64, u64::MAX, 9];
+        let mut src = t.source_annotated(&nu);
+        assert!(src.advance().unwrap());
+        assert_eq!(src.chunk().next_uses, Some(&nu[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "annotation length mismatch")]
+    fn annotated_source_rejects_length_mismatch() {
+        let t = trace(0, 3);
+        let _ = t.source_annotated(&[1, 2]);
+    }
+
+    #[test]
+    fn chain_source_concatenates_in_order() {
+        let a = trace(0, 3);
+        let b = trace(1, 0); // empty sources are skipped transparently
+        let c = trace(2, 2);
+        let chain = ChainSource::new(vec![a.source(), b.source(), c.source()]);
+        assert_eq!(chain.len_hint(), Some(5));
+        let all = drain(chain);
+        assert_eq!(all.len(), 5);
+        assert_eq!(&all[..3], a.accesses());
+        assert_eq!(&all[3..], c.accesses());
+    }
+
+    #[test]
+    fn chain_of_nothing_is_empty() {
+        let mut chain: ChainSource<SliceSource<'_>> = ChainSource::new(Vec::new());
+        assert!(!chain.advance().unwrap());
+        assert_eq!(chain.len_hint(), Some(0));
+    }
+}

@@ -82,6 +82,16 @@ impl Trace {
     pub fn stats(&self) -> &StreamStats {
         &self.stats
     }
+
+    /// Drains the buffered accesses, leaving the trace empty but keeping
+    /// the app/frame identity and the cumulative [`Trace::stats`].
+    ///
+    /// This is the hand-off the streaming pipeline uses: a producer pushes
+    /// one band's worth of accesses, the consumer takes them, and the trace
+    /// keeps accounting for everything ever pushed.
+    pub fn take_accesses(&mut self) -> Vec<Access> {
+        std::mem::take(&mut self.accesses)
+    }
 }
 
 impl Extend<Access> for Trace {
