@@ -80,7 +80,10 @@ fn main() {
     perf.set("threads", r.perf.threads);
     perf.set("llc_accesses_simulated", r.perf.llc_accesses);
     perf.set("wall_seconds", r.perf.wall_seconds);
+    perf.set("replay_seconds", r.perf.replay_seconds);
+    perf.set("merge_seconds", r.perf.merge_seconds);
     perf.set("accesses_per_sec", r.perf.accesses_per_sec());
+    perf.set("replay_accesses_per_sec", r.perf.replay_accesses_per_sec());
     out.set("perf", perf);
     println!("{}", out.to_string_pretty());
 }

@@ -33,6 +33,7 @@ pub mod config;
 pub mod experiments;
 pub mod framecache;
 pub mod json;
+pub mod perfbench;
 pub mod runner;
 pub mod table;
 

@@ -17,6 +17,7 @@
 //! thread scheduling: `GR_THREADS=1` and `GR_THREADS=64` produce
 //! byte-identical figure output.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -26,6 +27,7 @@ use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
 use grsynth::{AppProfile, FrameWork};
 use gspc::registry;
+use gspc::registry::PolicyVisitor;
 
 use crate::{framecache, ExperimentConfig};
 
@@ -51,6 +53,13 @@ pub struct RunOptions {
     /// `GR_TRACE_CACHE` is unset. Defaults to the `GR_STREAMED`
     /// environment variable.
     pub streamed: bool,
+    /// Construct policies through the boxed [`registry::create`] fallback
+    /// instead of the monomorphized [`registry::with_policy`] visitor.
+    /// Results are bit-identical either way; the boxed path pays a virtual
+    /// call per policy event and exists as the dynamic-dispatch reference
+    /// the benchmark harness measures against. Defaults to the `GR_BOXED`
+    /// environment variable.
+    pub boxed: bool,
 }
 
 impl RunOptions {
@@ -63,6 +72,7 @@ impl RunOptions {
             llc_paper_mb: 8,
             threads: None,
             streamed: streamed_from_env(),
+            boxed: boxed_from_env(),
         }
     }
 }
@@ -70,7 +80,17 @@ impl RunOptions {
 /// `true` when `GR_STREAMED` requests disk-tier streaming replay (any
 /// value other than unset, empty, or `0`).
 pub fn streamed_from_env() -> bool {
-    std::env::var("GR_STREAMED").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    env_flag("GR_STREAMED")
+}
+
+/// `true` when `GR_BOXED` requests the dynamic-dispatch fallback path (any
+/// value other than unset, empty, or `0`).
+pub fn boxed_from_env() -> bool {
+    env_flag("GR_BOXED")
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Per-(policy, application) aggregates.
@@ -102,20 +122,41 @@ impl AppAgg {
 pub struct RunPerf {
     /// LLC accesses simulated across every (app, frame, policy) cell.
     pub llc_accesses: u64,
-    /// Wall-clock duration of the run, in seconds.
+    /// Wall-clock duration of the whole run, in seconds. This includes
+    /// first-run trace synthesis, Belady annotation, and the merge phase —
+    /// see [`RunPerf::replay_seconds`] for the replay-only figure.
     pub wall_seconds: f64,
+    /// Seconds spent inside the per-cell replay loops only, summed across
+    /// cells. Workers run in parallel, so this is CPU time, not wall
+    /// time; it excludes trace synthesis, annotation passes, and the
+    /// merge, which is what makes it the number benchmark trajectories
+    /// should track.
+    pub replay_seconds: f64,
+    /// Wall-clock seconds of the sequential merge phase.
+    pub merge_seconds: f64,
     /// Worker threads used.
     pub threads: usize,
 }
 
 impl RunPerf {
-    /// Simulated LLC accesses per wall-clock second.
+    /// Simulated LLC accesses per wall-clock second (whole run, including
+    /// synthesis and merge).
     pub fn accesses_per_sec(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
-            self.llc_accesses as f64 / self.wall_seconds
-        } else {
-            0.0
-        }
+        ratio(self.llc_accesses, self.wall_seconds)
+    }
+
+    /// Simulated LLC accesses per CPU-second of pure replay — unpolluted
+    /// by first-run trace synthesis or the merge phase.
+    pub fn replay_accesses_per_sec(&self) -> f64 {
+        ratio(self.llc_accesses, self.replay_seconds)
+    }
+}
+
+fn ratio(accesses: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        accesses as f64 / seconds
+    } else {
+        0.0
     }
 }
 
@@ -133,19 +174,54 @@ pub struct WorkloadResults {
     /// app_idx`. Dense indexing avoids the per-lookup key allocation a
     /// string-keyed map would need.
     data: Vec<AppAgg>,
+    /// Precomputed name → index maps, so the figure-generation loops
+    /// (24 policies × 12 apps per figure) never re-scan the name vectors.
+    policy_index: HashMap<String, usize>,
+    app_index: HashMap<String, usize>,
 }
 
 impl WorkloadResults {
+    /// Builds the result container, precomputing the name → index maps
+    /// [`WorkloadResults::get`] resolves names through.
+    fn new(apps: Vec<String>, policies: Vec<String>, perf: RunPerf, data: Vec<AppAgg>) -> Self {
+        debug_assert_eq!(data.len(), apps.len() * policies.len());
+        let index = |names: &[String]| -> HashMap<String, usize> {
+            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect()
+        };
+        WorkloadResults {
+            policy_index: index(&policies),
+            app_index: index(&apps),
+            apps,
+            policies,
+            perf,
+            data,
+        }
+    }
+
+    /// Index of `policy` in [`WorkloadResults::policies`], if it ran.
+    pub fn policy_index(&self, policy: &str) -> Option<usize> {
+        self.policy_index.get(policy).copied()
+    }
+
+    /// Index of `app` in [`WorkloadResults::apps`], if it ran.
+    pub fn app_index(&self, app: &str) -> Option<usize> {
+        self.app_index.get(app).copied()
+    }
+
+    /// The aggregate at `(policy_idx, app_idx)` — the allocation-free
+    /// accessor for loops that already hold indices.
+    pub fn get_indexed(&self, policy_idx: usize, app_idx: usize) -> &AppAgg {
+        &self.data[policy_idx * self.apps.len() + app_idx]
+    }
+
     /// The aggregate for `(policy, app)`.
     ///
     /// # Panics
     ///
     /// Panics if the pair was not part of the run.
     pub fn get(&self, policy: &str, app: &str) -> &AppAgg {
-        let pi = self.policies.iter().position(|p| p == policy);
-        let ai = self.apps.iter().position(|a| a == app);
-        match (pi, ai) {
-            (Some(pi), Some(ai)) => &self.data[pi * self.apps.len() + ai],
+        match (self.policy_index(policy), self.app_index(app)) {
+            (Some(pi), Some(ai)) => self.get_indexed(pi, ai),
             _ => panic!("no results for ({policy}, {app})"),
         }
     }
@@ -204,6 +280,9 @@ struct CellOut {
     chars: Option<CharReport>,
     frame_ns: f64,
     accesses: u64,
+    /// Seconds spent inside the replay loop only (synthesis and
+    /// annotation happen before the clock starts).
+    replay_seconds: f64,
 }
 
 fn resolve_threads(explicit: Option<usize>) -> usize {
@@ -260,6 +339,7 @@ pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResult
     // policy, so the flat index of (policy, app, frame) is computable from
     // per-app base offsets. Per (policy, app) pair, frames are folded in
     // ascending order — the same accumulation order as a serial sweep.
+    let merge_started = Instant::now();
     let app_base: Vec<usize> = frames
         .iter()
         .scan(0usize, |acc, &n| {
@@ -269,7 +349,7 @@ pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResult
         })
         .collect();
     let mut data = vec![AppAgg::default(); opts.policies.len() * apps.len()];
-    let mut perf = RunPerf { llc_accesses: 0, wall_seconds: 0.0, threads };
+    let mut perf = RunPerf { threads, ..RunPerf::default() };
     for pi in 0..opts.policies.len() {
         for (ai, &nframes) in frames.iter().enumerate() {
             let agg = &mut data[pi * apps.len() + ai];
@@ -287,17 +367,19 @@ pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResult
                     agg.chars.merge(chars);
                 }
                 perf.llc_accesses += out.accesses;
+                perf.replay_seconds += out.replay_seconds;
             }
         }
     }
+    perf.merge_seconds = merge_started.elapsed().as_secs_f64();
     perf.wall_seconds = started.elapsed().as_secs_f64();
 
-    WorkloadResults {
-        apps: apps.iter().map(|a| a.abbrev.to_string()).collect(),
-        policies: opts.policies.clone(),
+    WorkloadResults::new(
+        apps.iter().map(|a| a.abbrev.to_string()).collect(),
+        opts.policies.clone(),
         perf,
         data,
-    }
+    )
 }
 
 fn run_cell(
@@ -308,8 +390,57 @@ fn run_cell(
     opts: &RunOptions,
     cfg: &ExperimentConfig,
 ) -> CellOut {
-    let policy = registry::create(policy_name, &llc_cfg)
-        .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+    if opts.boxed {
+        // Dynamic-dispatch fallback: `Box<dyn Policy>` implements `Policy`,
+        // so the same generic cell body runs with one virtual call per
+        // policy event instead of inlined callbacks.
+        let policy = registry::create(policy_name, &llc_cfg)
+            .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+        return run_cell_with(policy, policy_name, app, frame, llc_cfg, opts, cfg);
+    }
+    struct Visit<'a> {
+        app: &'a AppProfile,
+        frame: u32,
+        policy_name: &'a str,
+        llc_cfg: LlcConfig,
+        opts: &'a RunOptions,
+        cfg: &'a ExperimentConfig,
+    }
+    impl PolicyVisitor for Visit<'_> {
+        type Output = CellOut;
+        fn visit<P: Policy + 'static>(self, policy: P) -> CellOut {
+            run_cell_with(
+                policy,
+                self.policy_name,
+                self.app,
+                self.frame,
+                self.llc_cfg,
+                self.opts,
+                self.cfg,
+            )
+        }
+    }
+    registry::with_policy(
+        policy_name,
+        &llc_cfg,
+        Visit { app, frame, policy_name, llc_cfg, opts, cfg },
+    )
+    .unwrap_or_else(|| panic!("unknown policy {policy_name}"))
+}
+
+/// The monomorphic cell body: `P` is the concrete policy type selected by
+/// the registry visitor (or `Box<dyn Policy>` on the fallback path), so
+/// the replay loop below compiles once per policy with the policy
+/// callbacks inlined.
+fn run_cell_with<P: Policy + 'static>(
+    policy: P,
+    policy_name: &str,
+    app: &AppProfile,
+    frame: u32,
+    llc_cfg: LlcConfig,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellOut {
     let needs_nu = registry::needs_next_use(policy_name);
     if opts.streamed {
         let disk = framecache::disk_source(app, frame, cfg.scale, needs_nu)
@@ -333,35 +464,38 @@ fn run_cell(
 /// options ask for. Each arm is its own monomorphization: the default
 /// misses-only path runs with [`grcache::NullObserver`] and carries zero
 /// per-access observer branches.
-fn replay<S: grtrace::AccessSource>(
+fn replay<P: Policy, S: grtrace::AccessSource>(
     llc_cfg: LlcConfig,
-    policy: Box<dyn Policy>,
+    policy: P,
     source: &mut S,
     work: &FrameWork,
     opts: &RunOptions,
 ) -> CellOut {
     const ERR: &str = "streaming replay failed";
+    // The clock starts here — after synthesis, annotation, and disk-tier
+    // setup — so `RunPerf::replay_seconds` measures pure replay.
+    let started = Instant::now();
     match (opts.characterize, opts.timing.is_some()) {
         (false, false) => {
             let mut llc = Llc::new(llc_cfg, policy);
             let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, work, opts)
+            finish_cell(&llc, n, started, work, opts)
         }
         (true, false) => {
             let mut llc = Llc::new(llc_cfg, policy).with_characterization();
             let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, work, opts)
+            finish_cell(&llc, n, started, work, opts)
         }
         (false, true) => {
             let mut llc = Llc::new(llc_cfg, policy).with_memory_log();
             let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, work, opts)
+            finish_cell(&llc, n, started, work, opts)
         }
         (true, true) => {
             let observer = (CharTracker::new(&llc_cfg), MemoryLog::new());
             let mut llc = Llc::with_observer(llc_cfg, policy, observer);
             let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, work, opts)
+            finish_cell(&llc, n, started, work, opts)
         }
     }
 }
@@ -369,6 +503,7 @@ fn replay<S: grtrace::AccessSource>(
 fn finish_cell<P: Policy, O: LlcObserver>(
     llc: &Llc<P, O>,
     accesses: u64,
+    replay_started: Instant,
     work: &FrameWork,
     opts: &RunOptions,
 ) -> CellOut {
@@ -377,6 +512,7 @@ fn finish_cell<P: Policy, O: LlcObserver>(
         chars: llc.characterization().cloned(),
         frame_ns: 0.0,
         accesses,
+        replay_seconds: replay_started.elapsed().as_secs_f64(),
     };
     if let Some((gpu, dram)) = &opts.timing {
         let workload = Workload {
@@ -409,8 +545,36 @@ pub fn run_frame_sequence(
     cfg: &ExperimentConfig,
 ) -> Vec<LlcStats> {
     let llc_cfg = cfg.llc(llc_paper_mb);
-    let policy = registry::create(policy_name, &llc_cfg)
-        .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+    if boxed_from_env() {
+        let policy = registry::create(policy_name, &llc_cfg)
+            .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+        return sequence_with(policy, policy_name, app, frames, llc_cfg, cfg);
+    }
+    struct Visit<'a> {
+        policy_name: &'a str,
+        app: &'a AppProfile,
+        frames: std::ops::Range<u32>,
+        llc_cfg: LlcConfig,
+        cfg: &'a ExperimentConfig,
+    }
+    impl PolicyVisitor for Visit<'_> {
+        type Output = Vec<LlcStats>;
+        fn visit<P: Policy + 'static>(self, policy: P) -> Vec<LlcStats> {
+            sequence_with(policy, self.policy_name, self.app, self.frames, self.llc_cfg, self.cfg)
+        }
+    }
+    registry::with_policy(policy_name, &llc_cfg, Visit { policy_name, app, frames, llc_cfg, cfg })
+        .unwrap_or_else(|| panic!("unknown policy {policy_name}"))
+}
+
+fn sequence_with<P: Policy>(
+    policy: P,
+    policy_name: &str,
+    app: &AppProfile,
+    frames: std::ops::Range<u32>,
+    llc_cfg: LlcConfig,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
     let needs_nu = registry::needs_next_use(policy_name);
     let mut llc = Llc::new(llc_cfg, policy);
     let mut snapshots = Vec::with_capacity(frames.len());
@@ -486,5 +650,65 @@ mod tests {
         assert!(r.perf.wall_seconds > 0.0);
         assert!(r.perf.threads >= 1);
         assert!(r.perf.accesses_per_sec() > 0.0);
+        assert!(r.perf.replay_seconds > 0.0);
+        assert!(r.perf.merge_seconds >= 0.0);
+        // Replay is a strict subset of the run: synthesis and merge are
+        // excluded, so on one thread replay time cannot exceed wall time.
+        if r.perf.threads == 1 {
+            assert!(r.perf.replay_seconds <= r.perf.wall_seconds);
+        }
+        assert!(r.perf.replay_accesses_per_sec() >= r.perf.accesses_per_sec());
+    }
+
+    #[test]
+    fn indexed_lookups_match_names() {
+        let opts = RunOptions::misses(&["DRRIP", "NRU"]);
+        let r = run_workload(&opts, &tiny_cfg());
+        let pi = r.policy_index("NRU").expect("NRU ran");
+        let ai = r.app_index("BioShock").expect("BioShock ran");
+        assert_eq!(
+            r.get_indexed(pi, ai).stats.total_misses(),
+            r.get("NRU", "BioShock").stats.total_misses()
+        );
+        assert!(r.policy_index("PLRU").is_none());
+        assert!(r.app_index("NotAnApp").is_none());
+    }
+
+    /// The map-backed `get` must keep the exact panic message of the old
+    /// linear-scan implementation for unknown pairs.
+    #[test]
+    fn unknown_pair_panics_with_stable_message() {
+        let opts = RunOptions::misses(&["NRU"]);
+        let r = run_workload(&opts, &tiny_cfg());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.get("PLRU", "BioShock");
+        }))
+        .expect_err("unknown policy must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert_eq!(msg, "no results for (PLRU, BioShock)");
+    }
+
+    /// The boxed fallback and the monomorphized visitor path must agree
+    /// bit for bit.
+    #[test]
+    fn boxed_run_is_bit_identical() {
+        let cfg = tiny_cfg();
+        let policies = ["OPT", "GSPC+UCD", "DRRIP"];
+        let mono = run_workload(&RunOptions::misses(&policies), &cfg);
+        let boxed =
+            run_workload(&RunOptions { boxed: true, ..RunOptions::misses(&policies) }, &cfg);
+        for policy in &policies {
+            for app in &mono.apps {
+                assert_eq!(
+                    mono.get(policy, app).stats,
+                    boxed.get(policy, app).stats,
+                    "boxed stats diverged for ({policy}, {app})"
+                );
+            }
+        }
     }
 }

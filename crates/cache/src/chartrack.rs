@@ -37,7 +37,7 @@ struct CharBlock {
 }
 
 /// Aggregated characterization counts for one LLC run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CharReport {
     /// Texture sampler hits that consumed a render-target block.
     pub tex_inter_hits: u64,

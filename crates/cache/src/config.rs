@@ -213,11 +213,18 @@ impl LlcGeometry {
         (tag << (self.bank_bits + self.set_bits)) | (low << self.bank_bits) | bank as u64
     }
 
+    /// Flat index of `(bank, set_in_bank)` across all banks — the index
+    /// into the simulator's per-set arrays (validity and dirty bitmasks).
+    #[inline]
+    pub fn set_index(&self, bank: usize, set_in_bank: usize) -> usize {
+        bank * self.sets_per_bank + set_in_bank
+    }
+
     /// Index of the first block of `(bank, set_in_bank)` in the flat
     /// block array.
     #[inline]
     pub fn set_base(&self, bank: usize, set_in_bank: usize) -> usize {
-        (bank * self.sets_per_bank + set_in_bank) * self.ways
+        self.set_index(bank, set_in_bank) * self.ways
     }
 }
 

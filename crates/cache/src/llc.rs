@@ -39,6 +39,22 @@ pub enum AccessResult {
 
 /// A banked last-level cache executing a replacement policy `P`.
 ///
+/// # Data layout
+///
+/// The probe — the only work every access pays — runs over a packed probe
+/// mirror: one `u64` tag word per way (`tags`) plus one validity bitmask
+/// `u64` per set (`valid`). A 16-way set's tag words span two cache
+/// lines, against the six lines of [`Block`] structs an
+/// array-of-structs probe walks, and the compare is branchless: every
+/// way's equality bit is OR-folded into a match mask, which vectorizes
+/// and never mispredicts. Free-way selection on the miss path is a
+/// single bit-scan of the inverted validity mask. The authoritative
+/// per-way state stays in one flat [`Block`] array, so the policy
+/// callbacks receive the stable `&mut [Block]` set slice with no
+/// per-access marshalling — the adapter is the mirror itself, which the
+/// simulator rewrites only on fills (the sole event that changes a way's
+/// tag or validity).
+///
 /// # Example
 ///
 /// ```
@@ -70,6 +86,12 @@ pub struct Llc<P, O = NullObserver> {
     geo: LlcGeometry,
     policy: P,
     observer: O,
+    /// Per-way tag words, probed before anything else is touched. A
+    /// probe mirror of `blocks`, rewritten on fills only.
+    tags: Vec<u64>,
+    /// One validity bitmask per set (bit `w` = way `w` holds a block).
+    valid: Vec<u64>,
+    /// Authoritative per-way state — the policy-facing view.
     blocks: Vec<Block>,
     stats: LlcStats,
     seq: u64,
@@ -100,12 +122,20 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
     /// the event sink. Compose observers with tuples and `Option`s, e.g.
     /// `(Option<CharTracker>, Option<MemoryLog>)` for runtime-selected
     /// instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured associativity exceeds 64 ways (the per-set
+    /// validity bitmask is a single `u64` word).
     pub fn with_observer(cfg: LlcConfig, policy: P, observer: O) -> Self {
+        assert!(cfg.ways <= 64, "set bitmasks support at most 64 ways");
         Llc {
             cfg,
             geo: cfg.geometry(),
             policy,
             observer,
+            tags: vec![0; cfg.total_blocks()],
+            valid: vec![0; cfg.total_sets()],
             blocks: vec![Block::default(); cfg.total_blocks()],
             stats: LlcStats::new(),
             seq: 0,
@@ -120,6 +150,8 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             geo: self.geo,
             policy: self.policy,
             observer,
+            tags: self.tags,
+            valid: self.valid,
             blocks: self.blocks,
             stats: self.stats,
             seq: self.seq,
@@ -166,6 +198,23 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
     /// Services one access carrying the trace position of the *next* access
     /// to the same block (`u64::MAX` if never; only Belady's policy uses it).
     pub fn access_annotated(&mut self, access: &Access, next_use: u64) -> AccessResult {
+        // The paper's LLC is 16-way in every configuration; routing the
+        // dominant associativity through a const-generic body gives the
+        // probe and fill paths compile-time trip counts (full unroll, no
+        // bounds checks). The branch is on a loop-invariant field, so the
+        // predictor never misses it.
+        if self.cfg.ways == 16 {
+            self.access_ways::<16>(access, next_use)
+        } else {
+            self.access_ways::<0>(access, next_use)
+        }
+    }
+
+    /// The access body, specialized per associativity: `WAYS` is the
+    /// compile-time way count, or 0 for the generic any-associativity
+    /// instantiation.
+    #[inline]
+    fn access_ways<const WAYS: usize>(&mut self, access: &Access, next_use: u64) -> AccessResult {
         let block = access.block();
         let (bank, set, tag) = self.geo.map(block);
         let info = AccessInfo {
@@ -181,27 +230,30 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         };
         self.seq += 1;
 
-        let ways = self.cfg.ways;
-        let base = self.geo.set_base(bank, set);
-        let set_blocks = &mut self.blocks[base..base + ways];
+        let ways = if WAYS > 0 { WAYS } else { self.cfg.ways };
+        let set_idx = self.geo.set_index(bank, set);
+        let base = set_idx * ways;
 
-        // One pass over the set finds both the hit way and (for the miss
-        // path) the first free way, so a miss never re-scans the set.
-        let mut hit_way = None;
-        let mut free_way = None;
-        for (i, b) in set_blocks.iter().enumerate() {
-            if !b.valid {
-                if free_way.is_none() {
-                    free_way = Some(i);
-                }
-            } else if b.tag == tag {
-                hit_way = Some(i);
-                break;
+        // Packed probe: the tag-match needs only the tag words, so the
+        // scan touches 8 bytes per way (two cache lines for a 16-way
+        // set). The compare is branchless — every way's equality bit is
+        // OR-folded into a match mask, which vectorizes and never
+        // mispredicts — and ANDing with the validity mask discards
+        // never-written tag words.
+        let vmask = self.valid[set_idx];
+        let hit_mask = {
+            let tags = &self.tags[base..base + ways];
+            let mut eq = 0u64;
+            for (i, &t) in tags.iter().enumerate() {
+                eq |= u64::from(t == tag) << i;
             }
-        }
+            eq & vmask
+        };
 
-        if let Some(way) = hit_way {
+        if hit_mask != 0 {
+            let way = hit_mask.trailing_zeros() as usize;
             self.stats.record_hit(info.stream);
+            let set_blocks = &mut self.blocks[base..base + ways];
             set_blocks[way].dirty |= info.write;
             set_blocks[way].next_use = next_use;
             self.observer.observe_hit(&info, way);
@@ -221,35 +273,41 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             return AccessResult::Bypass;
         }
 
-        // Fill the free way found during the probe, else ask the policy
-        // for a victim.
+        // Fill the first free way (one bit-scan of the inverted validity
+        // mask), else ask the policy for a victim.
+        let free = (!vmask).trailing_zeros() as usize;
+        let set_blocks = &mut self.blocks[base..base + ways];
         let mut dirty_eviction = false;
-        let way = match free_way {
-            Some(w) => w,
-            None => {
-                let victim = self.policy.choose_victim(&info, set_blocks);
-                debug_assert!(victim < ways, "victim out of range");
-                self.policy.on_evict(&info, set_blocks, victim);
-                self.stats.evictions += 1;
-                dirty_eviction = set_blocks[victim].dirty;
-                if dirty_eviction {
-                    self.stats.writebacks += 1;
-                }
-                // A writeback goes to the *victim's* address, rebuilt from
-                // its tag and the shared (bank, set); the rebuild is only
-                // paid when the attached observer declares it needs it.
-                let victim_block = if O::NEEDS_VICTIM_ADDR {
-                    self.geo.unmap(bank, set, set_blocks[victim].tag)
-                } else {
-                    0
-                };
-                self.observer.observe_evict(&info, victim, victim_block, dirty_eviction);
-                victim
+        let way = if free < ways {
+            free
+        } else {
+            let victim = self.policy.choose_victim(&info, set_blocks);
+            debug_assert!(victim < ways, "victim out of range");
+            self.policy.on_evict(&info, set_blocks, victim);
+            self.stats.evictions += 1;
+            dirty_eviction = set_blocks[victim].dirty;
+            if dirty_eviction {
+                self.stats.writebacks += 1;
             }
+            // A writeback goes to the *victim's* address, rebuilt from
+            // its tag and the shared (bank, set); the rebuild is only
+            // paid when the attached observer declares it needs it.
+            let victim_block = if O::NEEDS_VICTIM_ADDR {
+                self.geo.unmap(bank, set, self.tags[base + victim])
+            } else {
+                0
+            };
+            self.observer.observe_evict(&info, victim, victim_block, dirty_eviction);
+            victim
         };
 
-        set_blocks[way] = Block { valid: true, tag, dirty: info.write, meta: 0, next_use };
+        // Install the block, let the policy initialize its state, then
+        // refresh the probe mirror — a fill is the only event that changes
+        // a way's tag or validity.
+        set_blocks[way] = Block { valid: true, dirty: info.write, meta: 0, next_use };
         let fill = self.policy.on_fill(&info, set_blocks, way);
+        self.tags[base + way] = tag;
+        self.valid[set_idx] |= 1 << way;
         self.stats.record_fill(info.class, fill.distant);
         self.observer.observe_fill(&info, way);
         AccessResult::Miss { dirty_eviction }

@@ -35,12 +35,15 @@ pub struct AccessInfo {
 }
 
 /// One way of an LLC set, as seen by a policy.
+///
+/// Deliberately 16 bytes: victim scans walk every way of a set, so the
+/// whole 16-way slice spans four cache lines. The resident block's *tag*
+/// is not here — no policy consults it, and the simulator keeps tags in
+/// its packed probe mirror (see [`crate::Llc`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Block {
     /// `true` once the way holds a block.
     pub valid: bool,
-    /// Tag of the resident block.
-    pub tag: u64,
     /// `true` if the block has been written since the fill.
     pub dirty: bool,
     /// Policy-owned replacement state bits.

@@ -34,8 +34,16 @@ impl Policy for Nru {
     }
 
     fn choose_victim(&mut self, _a: &AccessInfo, set: &mut [Block]) -> usize {
-        if let Some(way) = set.iter().position(|b| b.meta & NRU_BIT == 0) {
-            return way;
+        // Branchless form of "first way with a clear bit": fold every
+        // way's test into a mask and bit-scan it, instead of an early-exit
+        // probe whose exit way is data-dependent (and so mispredicted on
+        // nearly every eviction).
+        let mut clear = 0u64;
+        for (i, b) in set.iter().enumerate() {
+            clear |= u64::from(b.meta & NRU_BIT == 0) << i;
+        }
+        if clear != 0 {
+            return clear.trailing_zeros() as usize;
         }
         for b in set.iter_mut() {
             b.meta &= !NRU_BIT;

@@ -1,4 +1,19 @@
 //! Policy registry: construct any evaluated policy by name (Table 6).
+//!
+//! The registry is one macro-expanded table with two front ends:
+//!
+//! * [`with_policy`] — the *monomorphized* visitor entry point. The caller
+//!   supplies a [`PolicyVisitor`] and the registry calls it with the
+//!   **concrete** policy type, so the compiler can inline `on_hit` /
+//!   `choose_victim` / `on_fill` into the caller's replay loop. This is
+//!   what the experiment runner's hot path uses.
+//! * [`create`] — the boxed fallback (`Box<dyn Policy>`), kept for callers
+//!   that need to store heterogeneous policies. It is implemented *as a
+//!   visitor* over the same table, so the two entry points can never
+//!   disagree about a name.
+//!
+//! Both accept the parameterized `"GSPZTC(t=N)"` spelling of the Figure 11
+//! threshold sweep in addition to the table names.
 
 use grcache::{LlcConfig, Policy};
 
@@ -11,47 +26,141 @@ use crate::{
 /// and 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyEntry {
-    /// Registry name, accepted by [`create`].
+    /// Registry name, accepted by [`create`] and [`with_policy`].
     pub name: &'static str,
     /// One-line description, as in Table 6.
     pub description: &'static str,
 }
 
-/// All policies the experiment harness knows how to build.
-pub const ALL_POLICIES: &[PolicyEntry] = &[
-    PolicyEntry { name: "DRRIP", description: "Dynamic re-reference interval prediction" },
-    PolicyEntry { name: "DRRIP-4", description: "Four-bit DRRIP (iso-overhead study)" },
-    PolicyEntry { name: "SRRIP", description: "Static re-reference interval prediction" },
-    PolicyEntry { name: "NRU", description: "Single-bit not-recently-used" },
-    PolicyEntry { name: "LRU", description: "True least-recently-used" },
-    PolicyEntry { name: "SHiP-mem", description: "Memory signature-based hit prediction" },
-    PolicyEntry { name: "GS-DRRIP", description: "Graphics stream-aware DRRIP" },
-    PolicyEntry { name: "GS-DRRIP-4", description: "Four-bit GS-DRRIP (iso-overhead study)" },
-    PolicyEntry {
-        name: "GSPZTC",
-        description: "Graphics stream-aware probabilistic Z and texture caching",
+/// Receives the concrete policy type selected by [`with_policy`].
+///
+/// Implementations are generic over the policy, so each registry entry
+/// instantiates `visit` with a different `P` — the monomorphization that
+/// lets the LLC replay loop inline the policy callbacks instead of paying
+/// a virtual call per event.
+pub trait PolicyVisitor {
+    /// What the visit produces (e.g. replay statistics).
+    type Output;
+
+    /// Called exactly once, with the freshly constructed policy.
+    fn visit<P: Policy + 'static>(self, policy: P) -> Self::Output;
+}
+
+/// The parameterized `"GSPZTC(t=N)"` spelling: `Some(t)` when `name` is a
+/// well-formed threshold sweep entry with a power-of-two `t`.
+fn parse_gspztc_threshold(name: &str) -> Option<u32> {
+    let t: u32 = name.strip_prefix("GSPZTC(t=")?.strip_suffix(')')?.parse().ok()?;
+    t.is_power_of_two().then_some(t)
+}
+
+/// Expands the registry table into [`ALL_POLICIES`] and [`with_policy`].
+///
+/// Each row is `{ "Name" | "Alias"... => "description", constructor }`;
+/// the leading identifier names the `&LlcConfig` binding the constructor
+/// expressions may use.
+macro_rules! define_registry {
+    ($cfg:ident; $({ $name:literal $(| $alias:literal)* => $desc:literal, $ctor:expr }),+ $(,)?) => {
+        /// All policies the experiment harness knows how to build.
+        pub const ALL_POLICIES: &[PolicyEntry] = &[
+            $(PolicyEntry { name: $name, description: $desc }),+
+        ];
+
+        /// Builds the named policy and hands the **concrete** type to
+        /// `visitor`. Returns `None` for unknown names without calling the
+        /// visitor.
+        ///
+        /// This is the registry's monomorphized entry point: every row of
+        /// the table (including the parameterized `"GSPZTC(t=N)"`)
+        /// instantiates `V::visit` with its own policy type, so downstream
+        /// replay loops compile with the policy callbacks inlined. Use
+        /// [`create`] when a `Box<dyn Policy>` is more convenient.
+        ///
+        /// # Example
+        ///
+        /// ```
+        /// use grcache::{LlcConfig, Policy};
+        /// use gspc::registry::{with_policy, PolicyVisitor};
+        ///
+        /// struct NameOf;
+        /// impl PolicyVisitor for NameOf {
+        ///     type Output = String;
+        ///     fn visit<P: Policy + 'static>(self, policy: P) -> String {
+        ///         policy.name().to_string()
+        ///     }
+        /// }
+        ///
+        /// let cfg = LlcConfig::mb(8);
+        /// assert_eq!(with_policy("NRU", &cfg, NameOf).as_deref(), Some("NRU"));
+        /// assert!(with_policy("NOT-A-POLICY", &cfg, NameOf).is_none());
+        /// ```
+        pub fn with_policy<V: PolicyVisitor>(
+            name: &str,
+            cfg: &LlcConfig,
+            visitor: V,
+        ) -> Option<V::Output> {
+            // Parameterized GSPZTC for the Figure 11 threshold sweep:
+            // "GSPZTC(t=N)" with N a power of two.
+            if let Some(t) = parse_gspztc_threshold(name) {
+                return Some(visitor.visit(Gspztc::with_threshold(cfg, t)));
+            }
+            let $cfg = cfg;
+            match name {
+                $($name $(| $alias)* => Some(visitor.visit($ctor)),)+
+                _ => None,
+            }
+        }
+    };
+}
+
+define_registry! { cfg;
+    { "DRRIP" | "DRRIP-2" => "Dynamic re-reference interval prediction", Drrip::new(2) },
+    { "DRRIP-4" => "Four-bit DRRIP (iso-overhead study)", Drrip::new(4) },
+    { "SRRIP" | "SRRIP-2" => "Static re-reference interval prediction", Srrip::new(2) },
+    { "NRU" => "Single-bit not-recently-used", Nru::new() },
+    { "LRU" => "True least-recently-used", Lru::new() },
+    { "SHiP-mem" => "Memory signature-based hit prediction", ShipMem::new(cfg) },
+    { "GS-DRRIP" | "GS-DRRIP-2" => "Graphics stream-aware DRRIP", GsDrrip::new(2) },
+    { "GS-DRRIP-4" => "Four-bit GS-DRRIP (iso-overhead study)", GsDrrip::new(4) },
+    {
+        "GSPZTC" => "Graphics stream-aware probabilistic Z and texture caching",
+        Gspztc::new(cfg)
     },
-    PolicyEntry { name: "GSPZTC+TSE", description: "GSPZTC with texture sampler epochs" },
-    PolicyEntry { name: "GSPC", description: "Graphics stream-aware probabilistic caching" },
-    PolicyEntry { name: "GSPC+UCD", description: "GSPC with uncached displayable color" },
-    PolicyEntry { name: "DRRIP+UCD", description: "DRRIP with uncached displayable color" },
-    PolicyEntry { name: "NRU+UCD", description: "NRU with uncached displayable color" },
-    PolicyEntry { name: "GS-DRRIP+UCD", description: "GS-DRRIP with uncached displayable color" },
-    PolicyEntry { name: "OPT", description: "Belady's optimal (offline oracle)" },
-    PolicyEntry { name: "DIP", description: "Dynamic insertion policy (LRU/BIP dueling)" },
-    PolicyEntry { name: "LIP", description: "LRU-insertion policy" },
-    PolicyEntry { name: "BIP", description: "Bimodal insertion policy" },
-    PolicyEntry { name: "Random", description: "Random replacement" },
-    PolicyEntry {
-        name: "WayPart",
-        description: "Static per-stream way partitioning (Z:2 TEX:6 RT:6 other:2)",
+    { "GSPZTC+TSE" => "GSPZTC with texture sampler epochs", GspztcTse::new(cfg) },
+    { "GSPC" => "Graphics stream-aware probabilistic caching", Gspc::new(cfg) },
+    { "GSPC+UCD" => "GSPC with uncached displayable color", Ucd::new(Gspc::new(cfg)) },
+    { "DRRIP+UCD" => "DRRIP with uncached displayable color", Ucd::new(Drrip::new(2)) },
+    { "NRU+UCD" => "NRU with uncached displayable color", Ucd::new(Nru::new()) },
+    { "GS-DRRIP+UCD" => "GS-DRRIP with uncached displayable color", Ucd::new(GsDrrip::new(2)) },
+    { "OPT" => "Belady's optimal (offline oracle)", Belady::new() },
+    { "DIP" => "Dynamic insertion policy (LRU/BIP dueling)", Dip::new() },
+    { "LIP" => "LRU-insertion policy", Lip::new() },
+    { "BIP" => "Bimodal insertion policy", Bip::new() },
+    { "Random" => "Random replacement", RandomRepl::new() },
+    {
+        "WayPart" => "Static per-stream way partitioning (Z:2 TEX:6 RT:6 other:2)",
+        StaticWayPartition::proportional(cfg)
     },
-    PolicyEntry { name: "UCP-lite", description: "Utility-based way repartitioning" },
-    PolicyEntry { name: "GSPC+BYP", description: "GSPC with dead-texture LLC bypass (extension)" },
-    PolicyEntry { name: "SLRU", description: "Segmented LRU (scan-resistant baseline)" },
-];
+    { "UCP-lite" => "Utility-based way repartitioning", UcpLite::new(cfg) },
+    { "GSPC+BYP" => "GSPC with dead-texture LLC bypass (extension)", Gspc::with_dead_texture_bypass(cfg) },
+    { "SLRU" => "Segmented LRU (scan-resistant baseline)", Slru::new(cfg.ways as u32 / 2) },
+}
+
+/// The boxing visitor behind [`create`].
+struct Boxer;
+
+impl PolicyVisitor for Boxer {
+    type Output = Box<dyn Policy>;
+    fn visit<P: Policy + 'static>(self, policy: P) -> Box<dyn Policy> {
+        Box::new(policy)
+    }
+}
 
 /// Builds a policy by registry name. Returns `None` for unknown names.
+///
+/// This is the dynamic-dispatch fallback: the returned box pays a virtual
+/// call per policy event. Hot replay loops should go through
+/// [`with_policy`] instead; both run over the same table, so any name
+/// accepted here is accepted there with an identically constructed policy.
 ///
 /// # Example
 ///
@@ -65,42 +174,7 @@ pub const ALL_POLICIES: &[PolicyEntry] = &[
 /// assert!(create("NOT-A-POLICY", &cfg).is_none());
 /// ```
 pub fn create(name: &str, cfg: &LlcConfig) -> Option<Box<dyn Policy>> {
-    // Parameterized GSPZTC for the Figure 11 threshold sweep:
-    // "GSPZTC(t=N)" with N a power of two.
-    if let Some(rest) = name.strip_prefix("GSPZTC(t=") {
-        let t: u32 = rest.strip_suffix(')')?.parse().ok()?;
-        if !t.is_power_of_two() {
-            return None;
-        }
-        return Some(Box::new(Gspztc::with_threshold(cfg, t)));
-    }
-    Some(match name {
-        "DRRIP" | "DRRIP-2" => Box::new(Drrip::new(2)),
-        "DRRIP-4" => Box::new(Drrip::new(4)),
-        "SRRIP" | "SRRIP-2" => Box::new(Srrip::new(2)),
-        "NRU" => Box::new(Nru::new()),
-        "LRU" => Box::new(Lru::new()),
-        "SHiP-mem" => Box::new(ShipMem::new(cfg)),
-        "GS-DRRIP" | "GS-DRRIP-2" => Box::new(GsDrrip::new(2)),
-        "GS-DRRIP-4" => Box::new(GsDrrip::new(4)),
-        "GSPZTC" => Box::new(Gspztc::new(cfg)),
-        "GSPZTC+TSE" => Box::new(GspztcTse::new(cfg)),
-        "GSPC" => Box::new(Gspc::new(cfg)),
-        "GSPC+UCD" => Box::new(Ucd::new(Gspc::new(cfg))),
-        "DRRIP+UCD" => Box::new(Ucd::new(Drrip::new(2))),
-        "NRU+UCD" => Box::new(Ucd::new(Nru::new())),
-        "GS-DRRIP+UCD" => Box::new(Ucd::new(GsDrrip::new(2))),
-        "OPT" => Box::new(Belady::new()),
-        "DIP" => Box::new(Dip::new()),
-        "LIP" => Box::new(Lip::new()),
-        "BIP" => Box::new(Bip::new()),
-        "Random" => Box::new(RandomRepl::new()),
-        "WayPart" => Box::new(StaticWayPartition::proportional(cfg)),
-        "UCP-lite" => Box::new(UcpLite::new(cfg)),
-        "GSPC+BYP" => Box::new(Gspc::with_dead_texture_bypass(cfg)),
-        "SLRU" => Box::new(Slru::new(cfg.ways as u32 / 2)),
-        _ => return None,
-    })
+    with_policy(name, cfg, Boxer)
 }
 
 /// `true` when the named policy requires next-use annotations
@@ -164,5 +238,30 @@ mod tests {
     fn only_opt_needs_annotations() {
         assert!(needs_next_use("OPT"));
         assert!(!needs_next_use("GSPC"));
+    }
+
+    /// The visitor entry point must agree with the boxed one on every
+    /// table name and on the parameterized spellings.
+    #[test]
+    fn with_policy_mirrors_create() {
+        struct NameOf;
+        impl PolicyVisitor for NameOf {
+            type Output = (String, u32);
+            fn visit<P: Policy + 'static>(self, policy: P) -> (String, u32) {
+                (policy.name().to_string(), policy.state_bits_per_block())
+            }
+        }
+        let cfg = LlcConfig::mb(8);
+        let mut names: Vec<&str> = ALL_POLICIES.iter().map(|e| e.name).collect();
+        names.extend(["GSPZTC(t=2)", "GSPZTC(t=64)", "DRRIP-2", "SRRIP-2", "GS-DRRIP-2"]);
+        for name in names {
+            let boxed = create(name, &cfg).unwrap_or_else(|| panic!("{name} boxed"));
+            let (mono_name, mono_bits) =
+                with_policy(name, &cfg, NameOf).unwrap_or_else(|| panic!("{name} visited"));
+            assert_eq!(boxed.name(), mono_name, "name mismatch for {name}");
+            assert_eq!(boxed.state_bits_per_block(), mono_bits, "bits mismatch for {name}");
+        }
+        assert!(with_policy("PLRU", &cfg, NameOf).is_none());
+        assert!(with_policy("GSPZTC(t=3)", &cfg, NameOf).is_none());
     }
 }

@@ -74,20 +74,38 @@ impl RripMeta {
         block.meta = (block.meta & !self.mask()) | u32::from(rrpv);
     }
 
-    /// The RRIP victim-selection loop: pick the minimum-way block whose
-    /// RRPV equals the distant value, incrementing every block's RRPV in
-    /// steps of one until such a block exists (Section 1 of the paper).
+    /// RRIP victim selection: pick the minimum-way block whose RRPV equals
+    /// the distant value, incrementing every block's RRPV in steps of one
+    /// until such a block exists (Section 1 of the paper).
+    ///
+    /// The textbook formulation is a scan-and-age loop that can walk the
+    /// set up to `2^n - 1` times; since every round increments all RRPVs
+    /// uniformly, it collapses to a closed form with identical results —
+    /// the victim is the first way holding the maximum RRPV, and the aging
+    /// rounds sum to one pass adding `distant - max` to every block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
     pub fn select_victim(self, set: &mut [Block]) -> usize {
-        let distant = self.distant();
-        loop {
-            if let Some(way) = set.iter().position(|b| self.get(b) == distant) {
-                return way;
-            }
-            for b in set.iter_mut() {
-                let v = self.get(b);
-                self.set(b, v + 1);
+        assert!(!set.is_empty(), "victim selection on an empty set");
+        let mut victim = 0;
+        let mut max = self.get(&set[0]);
+        for (i, b) in set.iter().enumerate().skip(1) {
+            let v = self.get(b);
+            if v > max {
+                max = v;
+                victim = i;
             }
         }
+        let delta = self.distant() - max;
+        if delta > 0 {
+            for b in set.iter_mut() {
+                let v = self.get(b);
+                self.set(b, v + delta);
+            }
+        }
+        victim
     }
 }
 
