@@ -67,6 +67,20 @@ impl FrameData {
     }
 }
 
+/// Full structural validation of a `.nu` sidecar: header parses, the
+/// declared count matches the trace, and the file actually holds that many
+/// entries (16-byte header + 8 bytes each), so a truncated body is caught
+/// before the streaming replay consumes garbage.
+fn nu_sidecar_valid(path: &Path, expected: u64) -> bool {
+    let check = || -> Option<()> {
+        let file = std::fs::File::open(path).ok()?;
+        let len = file.metadata().ok()?.len();
+        let count = grtrace::io::read_nu_header(&mut io::BufReader::new(file)).ok()?;
+        (count == expected && len == 16 + 8 * count).then_some(())
+    };
+    check().is_some()
+}
+
 fn load_next_use(path: &Path, expected: u64) -> Option<Vec<u64>> {
     let file = std::fs::File::open(path).ok()?;
     let nu = grtrace::io::read_next_use(io::BufReader::new(file)).ok()?;
@@ -198,14 +212,14 @@ pub fn disk_source(
     let mut reader = ChunkedReader::new(io::BufReader::new(file), stream_chunk())?;
     if with_next_use {
         let nu = trace_path.with_extension("nu");
-        let valid = std::fs::File::open(&nu)
-            .ok()
-            .and_then(|f| grtrace::io::read_nu_header(&mut io::BufReader::new(f)).ok())
-            .is_some_and(|count| count == reader.remaining());
+        let valid = nu_sidecar_valid(&nu, reader.remaining());
         if !valid {
-            // Missing or stale sidecar: the annotation pass needs the whole
-            // trace once; frame_data computes and persists it.
-            frame_data(app, frame, scale).next_use();
+            // Missing, truncated, or stale sidecar: recompute from the
+            // whole trace and rewrite it explicitly — the in-memory
+            // annotation may already exist, in which case `next_use()`
+            // alone would not re-persist it.
+            let data = frame_data(app, frame, scale);
+            store_next_use(&nu, data.next_use());
         }
         reader = reader.with_next_use(io::BufReader::new(std::fs::File::open(&nu)?))?;
     }

@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use grcache::{CharReport, CharTracker, Llc, LlcConfig, LlcObserver, LlcStats, MemoryLog, Policy};
+use grcache::{
+    CharReport, CharTracker, InvariantObserver, Llc, LlcConfig, LlcObserver, LlcStats, MemoryLog,
+    NullObserver, Policy,
+};
 use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
 use grsynth::{AppProfile, FrameWork};
@@ -60,6 +63,14 @@ pub struct RunOptions {
     /// the benchmark harness measures against. Defaults to the `GR_BOXED`
     /// environment variable.
     pub boxed: bool,
+    /// Attach the structural-invariant checker
+    /// ([`grcache::InvariantObserver`]) to every replay: mirror/Block
+    /// agreement, validity-mask consistency, metadata budgets, and
+    /// occupancy monotonicity are asserted after every hit and fill.
+    /// Results are unchanged; a violation panics with the offending
+    /// access's sequence number. Defaults to the `GR_CHECK` environment
+    /// variable.
+    pub check: bool,
 }
 
 impl RunOptions {
@@ -73,6 +84,7 @@ impl RunOptions {
             threads: None,
             streamed: streamed_from_env(),
             boxed: boxed_from_env(),
+            check: check_from_env(),
         }
     }
 }
@@ -87,6 +99,12 @@ pub fn streamed_from_env() -> bool {
 /// value other than unset, empty, or `0`).
 pub fn boxed_from_env() -> bool {
     env_flag("GR_BOXED")
+}
+
+/// `true` when `GR_CHECK` requests invariant-checked replay (any value
+/// other than unset, empty, or `0`).
+pub fn check_from_env() -> bool {
+    env_flag("GR_CHECK")
 }
 
 fn env_flag(name: &str) -> bool {
@@ -471,33 +489,60 @@ fn replay<P: Policy, S: grtrace::AccessSource>(
     work: &FrameWork,
     opts: &RunOptions,
 ) -> CellOut {
-    const ERR: &str = "streaming replay failed";
     // The clock starts here — after synthesis, annotation, and disk-tier
     // setup — so `RunPerf::replay_seconds` measures pure replay.
     let started = Instant::now();
-    match (opts.characterize, opts.timing.is_some()) {
-        (false, false) => {
-            let mut llc = Llc::new(llc_cfg, policy);
-            let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, started, work, opts)
+    // The invariant checker is composed at the type level (not through an
+    // `Option`) so unchecked runs keep a `WANTS_SET_STATE = false` observer
+    // and pay zero per-access snapshot work.
+    let inv = opts.check.then(|| InvariantObserver::new(&llc_cfg, policy.state_bits_per_block()));
+    match (opts.characterize, opts.timing.is_some(), inv) {
+        (false, false, None) => {
+            replay_with(llc_cfg, policy, NullObserver, source, started, work, opts)
         }
-        (true, false) => {
-            let mut llc = Llc::new(llc_cfg, policy).with_characterization();
-            let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, started, work, opts)
+        (true, false, None) => {
+            let obs = CharTracker::new(&llc_cfg);
+            replay_with(llc_cfg, policy, obs, source, started, work, opts)
         }
-        (false, true) => {
-            let mut llc = Llc::new(llc_cfg, policy).with_memory_log();
-            let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, started, work, opts)
+        (false, true, None) => {
+            replay_with(llc_cfg, policy, MemoryLog::new(), source, started, work, opts)
         }
-        (true, true) => {
-            let observer = (CharTracker::new(&llc_cfg), MemoryLog::new());
-            let mut llc = Llc::with_observer(llc_cfg, policy, observer);
-            let n = llc.run_source(source).expect(ERR);
-            finish_cell(&llc, n, started, work, opts)
+        (true, true, None) => {
+            let obs = (CharTracker::new(&llc_cfg), MemoryLog::new());
+            replay_with(llc_cfg, policy, obs, source, started, work, opts)
+        }
+        (false, false, Some(inv)) => {
+            replay_with(llc_cfg, policy, (inv, NullObserver), source, started, work, opts)
+        }
+        (true, false, Some(inv)) => {
+            let obs = (inv, CharTracker::new(&llc_cfg));
+            replay_with(llc_cfg, policy, obs, source, started, work, opts)
+        }
+        (false, true, Some(inv)) => {
+            let obs = (inv, MemoryLog::new());
+            replay_with(llc_cfg, policy, obs, source, started, work, opts)
+        }
+        (true, true, Some(inv)) => {
+            let obs = (inv, (CharTracker::new(&llc_cfg), MemoryLog::new()));
+            replay_with(llc_cfg, policy, obs, source, started, work, opts)
         }
     }
+}
+
+/// One monomorphized replay: drains `source` through an LLC carrying
+/// `observer` and folds the result into a [`CellOut`].
+fn replay_with<P: Policy, O: LlcObserver, S: grtrace::AccessSource>(
+    llc_cfg: LlcConfig,
+    policy: P,
+    observer: O,
+    source: &mut S,
+    started: Instant,
+    work: &FrameWork,
+    opts: &RunOptions,
+) -> CellOut {
+    let mut llc = Llc::with_observer(llc_cfg, policy, observer);
+    let n = llc.run_source(source).expect("streaming replay failed");
+    finish_cell(&llc, n, started, work, opts)
 }
 
 fn finish_cell<P: Policy, O: LlcObserver>(
@@ -575,8 +620,23 @@ fn sequence_with<P: Policy>(
     llc_cfg: LlcConfig,
     cfg: &ExperimentConfig,
 ) -> Vec<LlcStats> {
+    if check_from_env() {
+        let inv = InvariantObserver::new(&llc_cfg, policy.state_bits_per_block());
+        let llc = Llc::with_observer(llc_cfg, policy, (inv, NullObserver));
+        sequence_loop(llc, policy_name, app, frames, cfg)
+    } else {
+        sequence_loop(Llc::new(llc_cfg, policy), policy_name, app, frames, cfg)
+    }
+}
+
+fn sequence_loop<P: Policy, O: LlcObserver>(
+    mut llc: Llc<P, O>,
+    policy_name: &str,
+    app: &AppProfile,
+    frames: std::ops::Range<u32>,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
     let needs_nu = registry::needs_next_use(policy_name);
-    let mut llc = Llc::new(llc_cfg, policy);
     let mut snapshots = Vec::with_capacity(frames.len());
     for frame in frames {
         let data = framecache::frame_data(app, frame, cfg.scale);
@@ -690,6 +750,26 @@ mod tests {
             .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
             .expect("panic payload is a string");
         assert_eq!(msg, "no results for (PLRU, BioShock)");
+    }
+
+    /// Invariant-checked replay must not change results — the checker is
+    /// a pure observer.
+    #[test]
+    fn checked_run_is_bit_identical() {
+        let cfg = tiny_cfg();
+        let policies = ["DRRIP", "GSPC+UCD", "OPT"];
+        let plain = run_workload(&RunOptions::misses(&policies), &cfg);
+        let checked =
+            run_workload(&RunOptions { check: true, ..RunOptions::misses(&policies) }, &cfg);
+        for policy in &policies {
+            for app in &plain.apps {
+                assert_eq!(
+                    plain.get(policy, app).stats,
+                    checked.get(policy, app).stats,
+                    "checked stats diverged for ({policy}, {app})"
+                );
+            }
+        }
     }
 
     /// The boxed fallback and the monomorphized visitor path must agree

@@ -1,0 +1,64 @@
+//! End-to-end tests of the command-line binaries, spawned as real
+//! processes the way a user (or CI) runs them. Everything runs at
+//! `GR_SCALE=tiny GR_FRAMES=1` against the crate's own frame cache, so a
+//! whole invocation is a few hundred milliseconds.
+
+use grbench::json::Json;
+use std::process::Command;
+
+fn grsim() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_grsim"));
+    cmd.env("GR_SCALE", "tiny").env("GR_FRAMES", "1");
+    cmd
+}
+
+/// `grsim sequence` exits 0 and prints the persistent-LLC table with one
+/// row per frame plus the ALL summary row.
+#[test]
+fn grsim_sequence_runs_end_to_end() {
+    let out = grsim().args(["sequence", "GSPC", "BioShock", "2"]).output().expect("spawn grsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(stdout.contains("persistent LLC"), "missing header:\n{stdout}");
+    assert!(stdout.contains("warm misses"), "missing column:\n{stdout}");
+    assert!(stdout.contains("ALL"), "missing summary row:\n{stdout}");
+}
+
+/// No arguments is a usage error: exit code 2, usage text on stderr.
+#[test]
+fn grsim_without_arguments_shows_usage() {
+    let out = grsim().output().expect("spawn grsim");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+/// An unknown policy is a user error (exit 1), not a panic or a silent
+/// success.
+#[test]
+fn grsim_sequence_rejects_unknown_policy() {
+    let out = grsim().args(["sequence", "PLRU", "BioShock", "2"]).output().expect("spawn grsim");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+/// `export_json` emits a parseable document whose `interframe` section has
+/// the warm-vs-cold miss counts the persistent-LLC mode promises.
+#[test]
+fn export_json_interframe_section_parses() {
+    let out = Command::new(env!("CARGO_BIN_EXE_export_json"))
+        .env("GR_SCALE", "tiny")
+        .env("GR_FRAMES", "1")
+        .output()
+        .expect("spawn export_json");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(&String::from_utf8(out.stdout).expect("utf8 stdout"))
+        .expect("export_json output parses");
+
+    let interframe = doc.get("interframe").expect("interframe section");
+    let drrip = interframe.get("DRRIP").expect("DRRIP interframe entry");
+    let (_, first_app) = &drrip.entries().expect("per-app object")[0];
+    let warm = first_app.get("warm_misses").and_then(Json::as_f64).expect("warm_misses");
+    let cold = first_app.get("cold_misses").and_then(Json::as_f64).expect("cold_misses");
+    assert!(warm > 0.0 && cold > 0.0);
+    assert!(warm <= cold, "a persistent LLC cannot miss more than cold starts");
+}

@@ -1,0 +1,86 @@
+//! The `.nu` Belady sidecar must be self-healing: a corrupt, stale, or
+//! truncated sidecar is detected and regenerated, never silently replayed
+//! into wrong OPT numbers.
+//!
+//! A single `#[test]` covers every scenario because the disk tier's
+//! directory (`GR_TRACE_CACHE`) is latched process-wide on first use.
+
+use grbench::framecache;
+use grcache::Llc;
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+use std::path::Path;
+
+/// OPT misses replayed through the streaming disk tier.
+fn streamed_opt_misses(app: &AppProfile) -> u64 {
+    let mut source = framecache::disk_source(app, 0, Scale::Tiny, true)
+        .expect("disk tier usable")
+        .expect("GR_TRACE_CACHE is set")
+        .reader;
+    let cfg = grcache::LlcConfig { size_bytes: 64 * 1024, ways: 16, banks: 4, sample_period: 64 };
+    let mut llc = Llc::new(cfg, registry::create("OPT", &cfg).unwrap());
+    llc.run_source(&mut source).expect("streamed replay");
+    llc.stats().total_misses()
+}
+
+fn nu_file(dir: &Path) -> std::path::PathBuf {
+    let nu: Vec<_> = std::fs::read_dir(dir)
+        .expect("cache dir listable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "nu"))
+        .collect();
+    assert_eq!(nu.len(), 1, "expected exactly one .nu sidecar, found {nu:?}");
+    nu.into_iter().next().unwrap()
+}
+
+#[test]
+fn corrupt_or_truncated_sidecars_are_regenerated_not_trusted() {
+    let dir = std::env::temp_dir().join(format!("grnu-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    // Latch the disk tier to our private directory before any framecache
+    // call in this process.
+    std::env::set_var("GR_TRACE_CACHE", &dir);
+
+    let app = AppProfile::by_abbrev("BioShock").expect("profile exists");
+
+    // Baseline: in-memory replay, no disk tier involved in the numbers.
+    let data = framecache::frame_data(&app, 0, Scale::Tiny);
+    let cfg = grcache::LlcConfig { size_bytes: 64 * 1024, ways: 16, banks: 4, sample_period: 64 };
+    let mut llc = Llc::new(cfg, registry::create("OPT", &cfg).unwrap());
+    llc.run_source(&mut data.trace.source_annotated(data.next_use())).expect("replay");
+    let expected = llc.stats().total_misses();
+
+    // First streamed replay writes the trace and sidecar to disk.
+    assert_eq!(streamed_opt_misses(&app), expected, "pristine sidecar");
+    let nu = nu_file(&dir);
+    let good = std::fs::read(&nu).expect("read sidecar");
+
+    // Scenario 1: garbage magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(&nu, &bad).unwrap();
+    assert_eq!(streamed_opt_misses(&app), expected, "corrupt magic must heal");
+    assert_eq!(std::fs::read(&nu).unwrap(), good, "sidecar rewritten");
+
+    // Scenario 2: plausible header, wrong count.
+    let mut bad = good.clone();
+    bad[8..16].copy_from_slice(&1u64.to_le_bytes());
+    std::fs::write(&nu, &bad).unwrap();
+    assert_eq!(streamed_opt_misses(&app), expected, "stale count must heal");
+    assert_eq!(std::fs::read(&nu).unwrap(), good);
+
+    // Scenario 3: correct header, truncated body — the case a header-only
+    // check waves through.
+    std::fs::write(&nu, &good[..good.len() / 2]).unwrap();
+    assert_eq!(streamed_opt_misses(&app), expected, "truncated body must heal");
+    assert_eq!(std::fs::read(&nu).unwrap(), good);
+
+    // Scenario 4: sidecar deleted outright.
+    std::fs::remove_file(&nu).unwrap();
+    assert_eq!(streamed_opt_misses(&app), expected, "missing sidecar must heal");
+    assert_eq!(std::fs::read(&nu).unwrap(), good);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

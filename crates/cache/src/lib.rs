@@ -45,7 +45,7 @@ pub use basic::{Lookup, LruCache};
 pub use chartrack::{CharReport, CharTracker};
 pub use config::{CacheConfig, LlcConfig, LlcGeometry};
 pub use llc::{AccessResult, Llc};
-pub use observe::{LlcObserver, MemoryLog, NullObserver};
+pub use observe::{InvariantObserver, LlcObserver, MemoryLog, NullObserver, SetSnapshot};
 pub use optgen::annotate_next_use;
 pub use policy::{AccessInfo, Block, FillInfo, Policy};
 pub use render::{RenderCaches, TextureHierarchyConfig};

@@ -19,7 +19,7 @@ use grtrace::{Access, AccessSource, Chunk, Trace};
 
 use crate::{
     AccessInfo, Block, CharTracker, LlcConfig, LlcGeometry, LlcObserver, LlcStats, MemoryLog,
-    NullObserver, Policy,
+    NullObserver, Policy, SetSnapshot,
 };
 
 /// Outcome of one LLC access.
@@ -258,6 +258,18 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             set_blocks[way].next_use = next_use;
             self.observer.observe_hit(&info, way);
             self.policy.on_hit(&info, set_blocks, way);
+            if O::WANTS_SET_STATE {
+                self.observer.observe_set_state(
+                    &info,
+                    SetSnapshot {
+                        tags: &self.tags[base..base + ways],
+                        valid_mask: self.valid[set_idx],
+                        blocks: &self.blocks[base..base + ways],
+                        touched_way: way,
+                        hit: true,
+                    },
+                );
+            }
             return AccessResult::Hit;
         }
 
@@ -310,7 +322,40 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         self.valid[set_idx] |= 1 << way;
         self.stats.record_fill(info.class, fill.distant);
         self.observer.observe_fill(&info, way);
+        if O::WANTS_SET_STATE {
+            self.observer.observe_set_state(
+                &info,
+                SetSnapshot {
+                    tags: &self.tags[base..base + ways],
+                    valid_mask: self.valid[set_idx],
+                    blocks: &self.blocks[base..base + ways],
+                    touched_way: way,
+                    hit: false,
+                },
+            );
+        }
         AccessResult::Miss { dirty_eviction }
+    }
+
+    /// Flips one bit of the probe-mirror tag word currently holding
+    /// `block`, returning `true` if the block was resident. **Test-only
+    /// fault injection**: this desynchronizes the packed mirror from the
+    /// authoritative [`Block`] array exactly the way a buggy fill-path
+    /// refactor would, so the differential harness can prove it detects
+    /// and shrinks such bugs. Never call it outside a checking harness.
+    #[doc(hidden)]
+    pub fn corrupt_mirror_tag_for_test(&mut self, block: u64) -> bool {
+        let (bank, set, tag) = self.geo.map(block);
+        let set_idx = self.geo.set_index(bank, set);
+        let base = set_idx * self.cfg.ways;
+        let vmask = self.valid[set_idx];
+        for way in 0..self.cfg.ways {
+            if vmask >> way & 1 == 1 && self.tags[base + way] == tag {
+                self.tags[base + way] ^= 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Replays a whole trace. When `next_uses` is provided it must have one
@@ -573,6 +618,63 @@ mod tests {
         b.run_source(&mut t.source()).unwrap();
         assert_eq!(a.memory_log(), b.memory_log());
         assert!(!a.memory_log().unwrap().is_empty());
+    }
+
+    #[test]
+    fn invariant_observer_passes_clean_replay() {
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        let obs = crate::InvariantObserver::new(&cfg, 32);
+        let mut llc = Llc::with_observer(cfg, TestLru { tick: 0 }, obs);
+        for i in 0..500u64 {
+            let addr = ((i * 13) % 40) * 64;
+            if i % 4 == 0 {
+                llc.access(&Access::store(addr, StreamId::RenderTarget));
+            } else {
+                llc.access(&Access::load(addr, StreamId::Texture));
+            }
+        }
+        assert_eq!(llc.observer().checked(), 500);
+    }
+
+    /// A policy whose metadata overruns its declared one-bit budget.
+    struct MetaHog;
+    impl Policy for MetaHog {
+        fn name(&self) -> &str {
+            "META-HOG"
+        }
+        fn state_bits_per_block(&self) -> u32 {
+            1
+        }
+        fn on_hit(&mut self, _a: &AccessInfo, _s: &mut [Block], _w: usize) {}
+        fn choose_victim(&mut self, _a: &AccessInfo, _s: &mut [Block]) -> usize {
+            0
+        }
+        fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+            set[way].meta = 5; // needs 3 bits, declared 1
+            FillInfo::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the declared")]
+    fn invariant_observer_catches_meta_overrun() {
+        let cfg = LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 };
+        let obs = crate::InvariantObserver::new(&cfg, 1);
+        let mut llc = Llc::with_observer(cfg, MetaHog, obs);
+        llc.access(&Access::load(0, StreamId::Texture));
+    }
+
+    #[test]
+    fn mirror_fault_injector_flips_resident_tag_only() {
+        let mut llc = small_llc();
+        llc.access(&Access::load(0, StreamId::Texture));
+        assert!(!llc.corrupt_mirror_tag_for_test(999_999));
+        assert!(llc.corrupt_mirror_tag_for_test(0));
+        // The mirror no longer matches block 0: the re-access misses.
+        assert!(matches!(
+            llc.access(&Access::load(0, StreamId::Texture)),
+            AccessResult::Miss { .. }
+        ));
     }
 
     #[test]

@@ -22,7 +22,26 @@
 
 use crate::chartrack::CharTracker;
 use crate::policy::AccessInfo;
-use crate::CharReport;
+use crate::{Block, CharReport, LlcConfig, LlcGeometry};
+
+/// A read-only snapshot of one set's post-event state, handed to observers
+/// that opt in via [`LlcObserver::WANTS_SET_STATE`]. The simulator emits it
+/// after the policy callback of every hit and fill — the two events that
+/// mutate per-set state — so a checking observer can validate structural
+/// invariants without access to the simulator's private arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct SetSnapshot<'a> {
+    /// The probe mirror's per-way tag words for this set.
+    pub tags: &'a [u64],
+    /// The probe mirror's validity bitmask (bit `w` = way `w` valid).
+    pub valid_mask: u64,
+    /// The authoritative policy-facing per-way state.
+    pub blocks: &'a [Block],
+    /// The way the event touched (the hit way or the filled way).
+    pub touched_way: usize,
+    /// `true` for a hit, `false` for a fill.
+    pub hit: bool,
+}
 
 /// Receives notifications about every LLC event.
 ///
@@ -71,6 +90,20 @@ pub trait LlcObserver {
         let _ = (info, way);
     }
 
+    /// Whether this observer wants a [`SetSnapshot`] after every hit and
+    /// fill. Taking the snapshot re-borrows the touched set's mirror and
+    /// block slices, so the simulator skips it entirely (the flag is a
+    /// compile-time constant) unless an attached observer opts in.
+    const WANTS_SET_STATE: bool = false;
+
+    /// Post-event snapshot of the touched set. Emitted after the policy's
+    /// `on_hit` / `on_fill` callback returns, and only when
+    /// [`LlcObserver::WANTS_SET_STATE`] is set.
+    #[inline]
+    fn observe_set_state(&mut self, info: &AccessInfo, snap: SetSnapshot<'_>) {
+        let _ = (info, snap);
+    }
+
     /// The recorded DRAM-bound transfers, if this observer keeps them.
     fn memory_log(&self) -> Option<&[(u64, bool)]> {
         None
@@ -87,6 +120,116 @@ pub trait LlcObserver {
 pub struct NullObserver;
 
 impl LlcObserver for NullObserver {}
+
+/// Structural-invariant checker for the packed probe mirror.
+///
+/// Attached under `GR_CHECK=1`, it validates after every hit and fill that
+/// the simulator's two views of a set — the packed tag/validity mirror and
+/// the authoritative [`Block`] array — agree:
+///
+/// * the touched way's mirror tag unmaps to the accessed block address,
+/// * every validity-mask bit matches the corresponding `Block::valid`,
+/// * set occupancy is monotonic: a fill grows it by exactly one until the
+///   set is full, a hit never changes it,
+/// * policy metadata stays inside the policy's declared
+///   [`crate::Policy::state_bits_per_block`] budget,
+/// * a dirty block is always valid, and a write hit leaves the block dirty.
+///
+/// Violations panic with the offending access's sequence number, so a
+/// differential-fuzz harness can shrink the trace around it.
+#[derive(Debug, Clone)]
+pub struct InvariantObserver {
+    geo: LlcGeometry,
+    /// `2^state_bits`, or `None` when the policy's budget is ≥ 32 bits
+    /// (the whole `meta` word is fair game).
+    meta_limit: Option<u64>,
+    /// Tracked per-set occupancy (fills into free ways only ever grow it).
+    occupancy: Vec<u8>,
+    checked: u64,
+}
+
+impl InvariantObserver {
+    /// Creates a checker for an LLC with geometry `cfg` running a policy
+    /// that declared `state_bits` metadata bits per block.
+    pub fn new(cfg: &LlcConfig, state_bits: u32) -> Self {
+        InvariantObserver {
+            geo: cfg.geometry(),
+            meta_limit: (state_bits < 32).then(|| 1u64 << state_bits),
+            occupancy: vec![0; cfg.total_sets()],
+            checked: 0,
+        }
+    }
+
+    /// How many snapshots have been validated.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+}
+
+impl LlcObserver for InvariantObserver {
+    const WANTS_SET_STATE: bool = true;
+
+    fn observe_set_state(&mut self, info: &AccessInfo, snap: SetSnapshot<'_>) {
+        self.checked += 1;
+        let ways = snap.blocks.len();
+        let way = snap.touched_way;
+        let seq = info.seq;
+
+        // Mirror/Block agreement on the touched way: valid, and its mirror
+        // tag rebuilds the accessed block address.
+        assert!(
+            snap.valid_mask >> way & 1 == 1,
+            "seq {seq}: touched way {way} not valid in mirror mask {:#x}",
+            snap.valid_mask
+        );
+        assert!(snap.blocks[way].valid, "seq {seq}: touched way {way} invalid in Block array");
+        let mirrored = self.geo.unmap(info.bank, info.set_in_bank, snap.tags[way]);
+        assert_eq!(
+            mirrored, info.block,
+            "seq {seq}: mirror tag of way {way} unmaps to {mirrored:#x}, accessed {:#x}",
+            info.block
+        );
+
+        // Validity-bitmask consistency and metadata budget across the set.
+        for (w, b) in snap.blocks.iter().enumerate() {
+            assert_eq!(
+                snap.valid_mask >> w & 1 == 1,
+                b.valid,
+                "seq {seq}: validity mask bit {w} disagrees with Block::valid"
+            );
+            assert!(!b.dirty || b.valid, "seq {seq}: way {w} dirty but invalid");
+            if let (true, Some(limit)) = (b.valid, self.meta_limit) {
+                assert!(
+                    u64::from(b.meta) < limit,
+                    "seq {seq}: way {w} meta {:#x} exceeds the declared {limit}-value budget",
+                    b.meta
+                );
+            }
+        }
+
+        // Monotonic occupancy: hits preserve it, fills grow it by one until
+        // the set is full.
+        let set_idx = self.geo.set_index(info.bank, info.set_in_bank);
+        let pop = snap.valid_mask.count_ones() as u8;
+        let expected = if snap.hit {
+            self.occupancy[set_idx]
+        } else {
+            (self.occupancy[set_idx] + 1).min(ways as u8)
+        };
+        assert_eq!(
+            pop,
+            expected,
+            "seq {seq}: set {set_idx} occupancy {pop} (expected {expected} after {})",
+            if snap.hit { "hit" } else { "fill" }
+        );
+        self.occupancy[set_idx] = pop;
+
+        // A write that touched the block must leave it dirty.
+        if info.write {
+            assert!(snap.blocks[way].dirty, "seq {seq}: write left way {way} clean");
+        }
+    }
+}
 
 /// Records every memory-bound transfer — demand-miss fills
 /// (`write = false`) and dirty-eviction writebacks (`write = true`) — in
@@ -164,6 +307,13 @@ impl LlcObserver for CharTracker {
 /// Composition: both members observe every event, `A` first.
 impl<A: LlcObserver, B: LlcObserver> LlcObserver for (A, B) {
     const NEEDS_VICTIM_ADDR: bool = A::NEEDS_VICTIM_ADDR || B::NEEDS_VICTIM_ADDR;
+    const WANTS_SET_STATE: bool = A::WANTS_SET_STATE || B::WANTS_SET_STATE;
+
+    #[inline]
+    fn observe_set_state(&mut self, info: &AccessInfo, snap: SetSnapshot<'_>) {
+        self.0.observe_set_state(info, snap);
+        self.1.observe_set_state(info, snap);
+    }
 
     #[inline]
     fn observe_hit(&mut self, info: &AccessInfo, way: usize) {
@@ -209,6 +359,14 @@ impl<A: LlcObserver, B: LlcObserver> LlcObserver for (A, B) {
 /// but runtime-optional observers are only used on instrumented runs).
 impl<O: LlcObserver> LlcObserver for Option<O> {
     const NEEDS_VICTIM_ADDR: bool = O::NEEDS_VICTIM_ADDR;
+    const WANTS_SET_STATE: bool = O::WANTS_SET_STATE;
+
+    #[inline]
+    fn observe_set_state(&mut self, info: &AccessInfo, snap: SetSnapshot<'_>) {
+        if let Some(o) = self {
+            o.observe_set_state(info, snap);
+        }
+    }
 
     #[inline]
     fn observe_hit(&mut self, info: &AccessInfo, way: usize) {

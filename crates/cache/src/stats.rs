@@ -124,6 +124,11 @@ impl LlcStats {
         self.fills[class.index()]
     }
 
+    /// Fills of `class` inserted at the distant RRPV.
+    pub fn distant_fills(&self, class: PolicyClass) -> u64 {
+        self.distant_fills[class.index()]
+    }
+
     /// Merges another run's statistics into this one.
     pub fn merge(&mut self, other: &LlcStats) {
         for i in 0..9 {

@@ -1,0 +1,174 @@
+//! `grcheck` — the verification front end.
+//!
+//! ```text
+//! grcheck fuzz [--seed N] [--cases K] [--accesses M] [--policies A,B] [--out DIR]
+//! grcheck conformance [--apps N] [--mb MB]
+//! grcheck invariants
+//! ```
+//!
+//! * `fuzz` runs a deterministic differential campaign: synthesized traces
+//!   replayed through the fast path, a reference-model clone, and (where
+//!   one exists) an independent oracle. Divergences are shrunk and dumped
+//!   as `.gtrace` reproducers; the process exits 1 if any are found.
+//! * `conformance` replays cached frames and asserts paper-level numbers
+//!   (OPT agreement, Belady lower bound, pinned hit-rate goldens,
+//!   GSPC-vs-baseline miss ratios).
+//! * `invariants` replays the workload through every registry policy four
+//!   times (checked/unchecked x mono/boxed), asserts bit-identical stats,
+//!   and reports the checked-replay overhead (budget: 3x).
+//!
+//! `conformance` and `invariants` honour `GR_SCALE` / `GR_FRAMES`.
+
+use grbench::{run_workload, ExperimentConfig, RunOptions};
+use grcheck::{conform, fuzz};
+use gspc::registry;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: grcheck <fuzz [--seed N] [--cases K] [--accesses M] [--policies A,B] \
+         [--out DIR] | conformance [--apps N] [--mb MB] | invariants>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args.get(pos + 1).unwrap_or_else(|| usage());
+    Some(value.parse().unwrap_or_else(|_| usage()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("conformance") => run_conformance(&args[1..]),
+        Some("invariants") => run_invariants(),
+        _ => usage(),
+    }
+}
+
+fn run_fuzz(args: &[String]) {
+    let mut cfg = fuzz::FuzzConfig::smoke(1);
+    if let Some(seed) = parse_flag(args, "--seed") {
+        cfg.seed = seed;
+    }
+    if let Some(cases) = parse_flag(args, "--cases") {
+        cfg.cases = cases;
+    }
+    if let Some(accesses) = parse_flag(args, "--accesses") {
+        cfg.accesses_per_case = accesses;
+    }
+    if let Some(list) = parse_flag::<String>(args, "--policies") {
+        cfg.policies = list.split(',').map(str::to_string).collect();
+        for p in &cfg.policies {
+            if registry::create(p, &fuzz::fuzz_llc()).is_none() {
+                eprintln!("unknown policy {p}; try `grsim policies`");
+                std::process::exit(1);
+            }
+        }
+    }
+    cfg.out_dir = Some(
+        parse_flag::<PathBuf>(args, "--out")
+            .unwrap_or_else(|| std::env::temp_dir().join("grcheck-repro")),
+    );
+
+    let report = fuzz::run_campaign(&cfg);
+    println!(
+        "fuzz: seed {}, {} cases x {} policies, {} accesses replayed differentially",
+        cfg.seed,
+        report.cases,
+        cfg.policies.len(),
+        report.replayed_accesses
+    );
+    if report.failures.is_empty() {
+        println!("fuzz: no divergences");
+        return;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "DIVERGENCE {} case {} access {}: {} (shrunk to {} accesses{})",
+            f.policy,
+            f.case,
+            f.index,
+            f.detail,
+            f.reproducer_len,
+            f.artifact
+                .as_ref()
+                .map(|p| format!(", reproducer {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    eprintln!("fuzz: {} divergence(s)", report.failures.len());
+    std::process::exit(1);
+}
+
+fn run_conformance(args: &[String]) {
+    let cfg = ExperimentConfig::from_env();
+    let apps: usize = parse_flag(args, "--apps").unwrap_or(2);
+    let mb: u64 = parse_flag(args, "--mb").unwrap_or(8);
+    let report = conform::run(&cfg, apps, mb);
+    println!("conformance: {} checks, {} failure(s)", report.checks, report.failures.len());
+    if !report.is_pass() {
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Replays every registry policy checked and unchecked, through both the
+/// monomorphized and boxed dispatch paths, asserting identical stats and a
+/// bounded slowdown from the invariant observer.
+fn run_invariants() {
+    let cfg = ExperimentConfig::from_env();
+    let policies: Vec<String> = registry::ALL_POLICIES.iter().map(|e| e.name.to_string()).collect();
+    let mut runs = Vec::new();
+    for boxed in [false, true] {
+        let mut timings = [0.0f64; 2];
+        let mut results = Vec::new();
+        for check in [false, true] {
+            let opts = RunOptions {
+                policies: policies.clone(),
+                boxed,
+                check,
+                streamed: false,
+                ..RunOptions::misses(&[])
+            };
+            let r = run_workload(&opts, &cfg);
+            timings[check as usize] = r.perf.replay_seconds;
+            results.push(r);
+        }
+        let (plain, checked) = (&results[0], &results[1]);
+        for p in &policies {
+            for app in plain.apps.clone() {
+                assert_eq!(
+                    plain.get(p, &app).stats,
+                    checked.get(p, &app).stats,
+                    "{p}/{app}: checked replay changed the stats (boxed={boxed})"
+                );
+            }
+        }
+        let ratio = timings[1] / timings[0].max(1e-9);
+        let path = if boxed { "boxed" } else { "mono" };
+        println!(
+            "invariants[{path}]: {} policies x {} apps identical; \
+             checked replay {:.2}s vs {:.2}s unchecked ({ratio:.2}x)",
+            policies.len(),
+            plain.apps.len(),
+            timings[1],
+            timings[0]
+        );
+        runs.push((path, ratio));
+    }
+    let mut failed = false;
+    for (path, ratio) in runs {
+        if ratio > 3.0 {
+            eprintln!("FAIL invariants[{path}]: checked replay {ratio:.2}x > 3x budget");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

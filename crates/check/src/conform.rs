@@ -1,0 +1,174 @@
+//! Paper-fidelity conformance checks over cached synthesized frames.
+//!
+//! Where the fuzzer ([`crate::fuzz`]) asks "do the two implementations
+//! agree with each other?", this module asks "do the numbers still look
+//! like the paper's?". It replays real cached frames (via
+//! [`grbench::framecache`]) through a panel of policies and checks:
+//!
+//! * the production `OPT` replay matches the independent
+//!   [`crate::optcheck::opt_misses`] bound exactly;
+//! * no bypass-free policy ever beats that bound;
+//! * hits + misses account for every access (conservation);
+//! * GSPC-family policies still deliver their headline miss reduction
+//!   over the SRRIP/DRRIP baselines (figure-level fidelity);
+//! * at the pinned configuration (`Scale::Tiny`, frame 0 of the first
+//!   app), per-stream DRRIP hit rates match recorded goldens within a
+//!   small tolerance, so silent drift in the generator or replay loop
+//!   fails loudly.
+
+use grbench::{framecache, ExperimentConfig};
+use grcache::{Llc, LlcConfig, LlcStats};
+use grsynth::{AppProfile, Scale};
+use grtrace::StreamId;
+use gspc::registry;
+
+use crate::optcheck::opt_misses;
+
+/// Policies replayed by the conformance suite. A deliberate cross-section:
+/// the paper's baselines, the graphics-aware proposals, a bypassing
+/// variant, and the offline bound.
+pub const PANEL: &[&str] =
+    &["NRU", "LRU", "SRRIP", "DRRIP", "SHiP-mem", "GSPZTC", "GSPC", "GSPC+UCD", "OPT"];
+
+/// Per-stream DRRIP hit-rate goldens for `Scale::Tiny`, frame 0 of the
+/// first application profile, on the suite's quarter-size LLC. Recorded
+/// from a known-good build; the suite only applies them at exactly that
+/// configuration.
+const DRRIP_TINY_GOLDENS: &[(StreamId, f64)] =
+    &[(StreamId::Texture, 0.2203), (StreamId::Z, 0.0008), (StreamId::RenderTarget, 0.7122)];
+
+/// Absolute tolerance on golden hit rates.
+const GOLDEN_TOLERANCE: f64 = 0.02;
+
+/// Aggregate miss ratios (policy vs baseline) asserted by the suite.
+/// GSPC must not lose its edge over the memory-centric baselines:
+/// `misses(policy) <= factor * misses(baseline)` summed over every frame
+/// the suite replays.
+const MISS_RATIO_CEILINGS: &[(&str, &str, f64)] =
+    &[("GSPC", "DRRIP", 1.00), ("GSPC", "SRRIP", 1.00), ("GSPC+UCD", "DRRIP", 1.00)];
+
+/// Outcome of a conformance run.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Individual assertions evaluated.
+    pub checks: u64,
+    /// Human-readable description of every failed assertion.
+    pub failures: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// True when every check passed.
+    pub fn is_pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn check(&mut self, ok: bool, failure: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(failure());
+        }
+    }
+}
+
+/// Replays one cached frame through `name`, returning the final stats.
+fn replay(llc_cfg: LlcConfig, name: &str, data: &framecache::FrameData) -> LlcStats {
+    let mut llc = Llc::new(llc_cfg, registry::create(name, &llc_cfg).expect("panel policy"));
+    if registry::needs_next_use(name) {
+        llc.run_source(&mut data.trace.source_annotated(data.next_use()))
+            .expect("in-memory replay cannot fail");
+    } else {
+        llc.run_source(&mut data.trace.source()).expect("in-memory replay cannot fail");
+    }
+    llc.stats().clone()
+}
+
+/// Runs the conformance suite over the first `apps` application profiles
+/// at `cfg`'s scale, one frame each, on a `paper_mb`-equivalent LLC.
+pub fn run(cfg: &ExperimentConfig, apps: usize, paper_mb: u64) -> ConformanceReport {
+    let llc_cfg = cfg.llc(paper_mb);
+    let profiles = AppProfile::all();
+    let picked = &profiles[..apps.clamp(1, profiles.len())];
+    let mut report = ConformanceReport::default();
+    let mut totals: Vec<(&str, u64)> = PANEL.iter().map(|&p| (p, 0u64)).collect();
+
+    for (app_index, app) in picked.iter().enumerate() {
+        let data = framecache::frame_data(app, 0, cfg.scale);
+        let total = data.trace.len() as u64;
+        let bound = opt_misses(&llc_cfg, data.trace.accesses());
+
+        for (slot, &name) in PANEL.iter().enumerate() {
+            let stats = replay(llc_cfg, name, &data);
+            totals[slot].1 += stats.total_misses();
+
+            report.check(stats.total_accesses() == total, || {
+                format!(
+                    "{}/{name}: serviced {} of {total} accesses",
+                    app.abbrev,
+                    stats.total_accesses()
+                )
+            });
+
+            if name == "OPT" {
+                report.check(stats.total_misses() == bound, || {
+                    format!(
+                        "{}/OPT: production replay {} misses vs independent Belady {bound}",
+                        app.abbrev,
+                        stats.total_misses()
+                    )
+                });
+            } else if stats.bypassed_reads + stats.bypassed_writes == 0 {
+                report.check(stats.total_misses() >= bound, || {
+                    format!(
+                        "{}/{name}: {} misses beat the Belady bound {bound}",
+                        app.abbrev,
+                        stats.total_misses()
+                    )
+                });
+            }
+
+            // Golden per-stream rates, pinned to one exact configuration.
+            if name == "DRRIP" && app_index == 0 && cfg.scale == Scale::Tiny {
+                for &(stream, expected) in DRRIP_TINY_GOLDENS {
+                    let got = stats.hit_rate(stream);
+                    report.check((got - expected).abs() <= GOLDEN_TOLERANCE, || {
+                        format!(
+                            "{}/DRRIP {} hit rate {got:.4} drifted from golden {expected:.4}",
+                            app.abbrev,
+                            stream.label()
+                        )
+                    });
+                }
+            }
+        }
+    }
+
+    let misses_of = |name: &str| {
+        totals.iter().find(|(p, _)| *p == name).map(|&(_, m)| m).expect("panel member")
+    };
+    for &(policy, baseline, factor) in MISS_RATIO_CEILINGS {
+        let ours = misses_of(policy);
+        let theirs = misses_of(baseline);
+        report.check(ours as f64 <= factor * theirs as f64, || {
+            format!(
+                "{policy} lost its edge: {ours} misses vs {theirs} for {baseline} \
+                 (ceiling {factor:.2}x)"
+            )
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full suite at tiny scale over one app: every check green,
+    /// including the pinned goldens and the GSPC-vs-baseline ratios.
+    #[test]
+    fn tiny_conformance_is_green() {
+        let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(1) };
+        let report = run(&cfg, 1, 8);
+        assert!(report.checks > 10, "suite ran only {} checks", report.checks);
+        assert!(report.is_pass(), "conformance failures:\n{}", report.failures.join("\n"));
+    }
+}

@@ -240,4 +240,148 @@ mod tests {
         // "eight eight-bit and one seven-bit saturating counters per bank"
         assert_eq!(GspcCounters::BITS, 71);
     }
+
+    /// Tiny deterministic generator for the property tests below.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    /// Property: under any operation sequence, a [`SatCounter`] tracks an
+    /// unbounded reference model clamped to `[0, max]`, and never leaves
+    /// that range.
+    #[test]
+    fn random_op_sequences_match_a_clamped_reference() {
+        let mut rng = Lcg(0xC0FFEE);
+        for bits in [1u32, 3, 7, 8, 16] {
+            let mut c = SatCounter::new(bits);
+            let max = c.max() as i64;
+            let mut reference: i64 = 0;
+            for _ in 0..5000 {
+                match rng.next() % 3 {
+                    0 => {
+                        c.inc();
+                        reference = (reference + 1).min(max);
+                    }
+                    1 => {
+                        c.dec();
+                        reference = (reference - 1).max(0);
+                    }
+                    _ => {
+                        c.halve();
+                        reference /= 2;
+                    }
+                }
+                assert_eq!(c.get() as i64, reference, "{bits}-bit counter drifted");
+                assert!(c.get() <= c.max());
+                assert_eq!(c.is_saturated(), c.get() == c.max());
+            }
+        }
+    }
+
+    /// Property: `z_reuse_below(t)` flips exactly when `FILL(Z)` crosses
+    /// `t*HIT(Z)` — the paper's `1/(t+1)` reuse-probability threshold —
+    /// for every power-of-two `t` the registry accepts.
+    #[test]
+    fn z_threshold_flips_exactly_at_the_boundary() {
+        for t in [1u32, 2, 4, 8, 16, 64] {
+            for hits in 0u32..5 {
+                if t * hits + 1 > 255 {
+                    // FILL(Z) is 8-bit; the boundary must stay representable.
+                    continue;
+                }
+                let mut f = GspcCounters::new();
+                for _ in 0..hits {
+                    f.hit_z.inc();
+                }
+                for _ in 0..t * hits {
+                    f.fill_z.inc();
+                }
+                assert!(!f.z_reuse_below(t), "t={t} hits={hits}: FILL == t*HIT is not below");
+                f.fill_z.inc();
+                assert!(f.z_reuse_below(t), "t={t} hits={hits}: FILL == t*HIT+1 is below");
+            }
+        }
+    }
+
+    /// Property: the per-epoch texture thresholds are independent and flip
+    /// at exactly the same `FILL > t*HIT` boundary as Z.
+    #[test]
+    fn tex_threshold_flips_exactly_at_the_boundary() {
+        for t in [2u32, 8, 16] {
+            for e in 0..2usize {
+                let mut f = GspcCounters::new();
+                for _ in 0..3 {
+                    f.hit_tex[e].inc();
+                }
+                for _ in 0..3 * t {
+                    f.fill_tex[e].inc();
+                }
+                assert!(!f.tex_reuse_below(e, t));
+                f.fill_tex[e].inc();
+                assert!(f.tex_reuse_below(e, t));
+                let other = 1 - e;
+                assert!(!f.tex_reuse_below(other, t), "epoch {other} must be untouched");
+            }
+        }
+    }
+
+    /// Property: the PROD/CONS ratios used by the dynamic render-target
+    /// tiers cross exactly at 16x and 8x (mirroring `16*cons < prod` and
+    /// `8*cons < prod` in the TSE fill path).
+    #[test]
+    fn prod_cons_tier_boundaries_are_exact() {
+        for cons in 1u32..4 {
+            for factor in [8u32, 16] {
+                let mut f = GspcCounters::new();
+                for _ in 0..cons {
+                    f.cons.inc();
+                }
+                for _ in 0..factor * cons {
+                    f.prod.inc();
+                }
+                assert!(f.prod.get() <= factor * f.cons.get());
+                f.prod.inc();
+                assert!(f.prod.get() > factor * f.cons.get());
+            }
+        }
+    }
+
+    /// Property: `tick_access` halves every estimate counter exactly once
+    /// per 127 ticks, whatever the interleaving, and ACC(ALL) never shows
+    /// its saturated value to a caller.
+    #[test]
+    fn decay_period_is_exactly_acc_saturation() {
+        let mut rng = Lcg(7);
+        let mut f = GspcCounters::new();
+        let mut expected_halvings = 0u32;
+        let mut ticks = 0u32;
+        for _ in 0..1000 {
+            if rng.next().is_multiple_of(4) {
+                f.fill_z.inc();
+            }
+            f.tick_access();
+            ticks += 1;
+            if ticks.is_multiple_of(127) {
+                expected_halvings += 1;
+            }
+            assert!(f.acc.get() < 127, "ACC(ALL) must reset on saturation");
+            assert_eq!(f.acc.get(), ticks % 127);
+        }
+        assert!(expected_halvings > 0);
+        // A counter held at saturation decays to zero once ticking stops
+        // feeding it: 255 -> 127 -> 63 -> ... -> 0 in at most 8 halvings.
+        let mut g = GspcCounters::new();
+        for _ in 0..300 {
+            g.hit_z.inc();
+        }
+        assert_eq!(g.hit_z.get(), 255);
+        for _ in 0..8 * 127 {
+            g.tick_access();
+        }
+        assert_eq!(g.hit_z.get(), 0, "stale estimates must fully decay");
+    }
 }

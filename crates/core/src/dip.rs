@@ -23,14 +23,12 @@ fn touch(set: &mut [Block], way: usize) {
 
 fn insert_lru(set: &mut [Block], way: usize) {
     // Make the filled block the oldest without disturbing the others.
-    let max_other = set
-        .iter()
-        .enumerate()
-        .filter(|&(i, b)| i != way && b.valid)
-        .map(|(_, b)| b.meta)
-        .max()
-        .unwrap_or(0);
-    set[way].meta = max_other + 1;
+    // Resident ages form a dense zero-based permutation, so "oldest" is
+    // the count of other valid blocks — never more than ways-1, keeping
+    // the age inside the declared 4-bit budget even on the fill that
+    // completes a set.
+    let older = set.iter().enumerate().filter(|&(i, b)| i != way && b.valid).count() as u32;
+    set[way].meta = older;
 }
 
 fn lru_victim(set: &mut [Block]) -> usize {
@@ -112,7 +110,7 @@ impl Policy for Bip {
 
     fn on_fill(&mut self, _a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
         if self.mru_fill() {
-            set[way].meta = set.len() as u32;
+            insert_lru(set, way);
             touch(set, way);
             FillInfo { rrpv: None, distant: false }
         } else {
@@ -174,7 +172,7 @@ impl Policy for Dip {
             true
         };
         if mru {
-            set[way].meta = set.len() as u32;
+            insert_lru(set, way);
             touch(set, way);
             FillInfo { rrpv: None, distant: false }
         } else {

@@ -264,4 +264,41 @@ mod tests {
         assert!(with_policy("PLRU", &cfg, NameOf).is_none());
         assert!(with_policy("GSPZTC(t=3)", &cfg, NameOf).is_none());
     }
+
+    /// Both entry points accept exactly the same name set: every
+    /// `ALL_POLICIES` entry, the documented aliases, and the well-formed
+    /// `GSPZTC(t=N)` spellings — and both reject the same malformed ones.
+    /// A name accepted by one path and not the other would let the mono
+    /// and boxed replay matrices silently disagree on coverage.
+    #[test]
+    fn entry_points_accept_and_reject_the_same_names() {
+        struct Probe;
+        impl PolicyVisitor for Probe {
+            type Output = String;
+            fn visit<P: Policy + 'static>(self, policy: P) -> String {
+                policy.name().to_string()
+            }
+        }
+        let cfg = LlcConfig::mb(8);
+        let mut accepted: Vec<String> = ALL_POLICIES.iter().map(|e| e.name.to_string()).collect();
+        accepted.extend(["DRRIP-2", "SRRIP-2", "GS-DRRIP-2"].iter().map(|s| s.to_string()));
+        accepted.extend([2u32, 4, 8, 16, 64].iter().map(|t| format!("GSPZTC(t={t})")));
+        for name in &accepted {
+            let boxed = create(name, &cfg);
+            let mono = with_policy(name, &cfg, Probe);
+            match (boxed, mono) {
+                (Some(b), Some(m)) => assert_eq!(b.name(), m, "{name}: paths disagree"),
+                (b, m) => {
+                    panic!("{name}: create -> {}, with_policy -> {}", b.is_some(), m.is_some())
+                }
+            }
+        }
+        for name in ["GSPZTC(t=3)", "GSPZTC(t=0)", "GSPZTC(t=)", "GSPZTC(t=8) ", "GSPZTC", " DRRIP"]
+        {
+            // Bare "GSPZTC" IS valid; it anchors the loop against typos.
+            let expect = name == "GSPZTC";
+            assert_eq!(create(name, &cfg).is_some(), expect, "create({name:?})");
+            assert_eq!(with_policy(name, &cfg, Probe).is_some(), expect, "with_policy({name:?})");
+        }
+    }
 }

@@ -35,7 +35,7 @@
 mod frame;
 mod generator;
 mod profile;
-mod rng;
+pub mod rng;
 mod stream;
 mod surface;
 
