@@ -12,17 +12,32 @@
 //! All subcommands honour `GR_SCALE`, `GR_FRAMES`, `GR_TRACE_CACHE`,
 //! `GR_STREAM_CHUNK`, and `GR_STREAMED` (see the grbench crate docs).
 
-use grbench::{framecache, run_workload, table, ExperimentConfig, RunOptions};
+use grbench::{cli, framecache, run_workload, table, ExperimentConfig, RunOptions};
 use grcache::Llc;
 use grsynth::AppProfile;
 use grtrace::StreamId;
 use gspc::registry;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...|sequence POLICY APP NFRAMES>"
+    cli::usage_error(
+        "grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...|sequence POLICY APP NFRAMES>",
     );
-    std::process::exit(2);
+}
+
+/// Resolves a registry policy name or exits with the stable user-error
+/// code (1) — the one place every subcommand's unknown-policy path goes
+/// through.
+fn require_policy(cfg: &ExperimentConfig, policy: &str) {
+    if registry::create(policy, &cfg.llc(8)).is_none() {
+        cli::user_error(&format!("unknown policy {policy}; try `grsim policies`"));
+    }
+}
+
+/// Resolves an application abbreviation or exits with the stable
+/// user-error code (1).
+fn require_app(app_name: &str) -> AppProfile {
+    AppProfile::by_abbrev(app_name)
+        .unwrap_or_else(|| cli::user_error(&format!("unknown app {app_name}; try `grsim apps`")))
 }
 
 fn main() {
@@ -84,14 +99,8 @@ fn main() {
 /// Multi-frame replay through one persistent LLC (no inter-frame flush),
 /// against the paper's per-frame cold-start methodology.
 fn sequence(cfg: &ExperimentConfig, policy: &str, app_name: &str, nframes: u32) {
-    if registry::create(policy, &cfg.llc(8)).is_none() {
-        eprintln!("unknown policy {policy}; try `grsim policies`");
-        std::process::exit(1);
-    }
-    let app = AppProfile::by_abbrev(app_name).unwrap_or_else(|| {
-        eprintln!("unknown app {app_name}; try `grsim apps`");
-        std::process::exit(1);
-    });
+    require_policy(cfg, policy);
+    let app = require_app(app_name);
     let nframes = nframes.min(app.frames);
     let warm = grbench::run_frame_sequence(policy, &app, 0..nframes, 8, cfg);
     let mut rows = Vec::new();
@@ -125,10 +134,7 @@ fn sequence(cfg: &ExperimentConfig, policy: &str, app_name: &str, nframes: u32) 
 
 /// Section-2-style reuse characterization of one application.
 fn characterize(cfg: &ExperimentConfig, app_name: &str) {
-    let app = AppProfile::by_abbrev(app_name).unwrap_or_else(|| {
-        eprintln!("unknown app {app_name}; try `grsim apps`");
-        std::process::exit(1);
-    });
+    let app = require_app(app_name);
     let llc_cfg = cfg.llc(8);
     let mut stats = grcache::LlcStats::new();
     let mut chars = grcache::CharReport::default();
@@ -188,10 +194,7 @@ fn characterize(cfg: &ExperimentConfig, app_name: &str) {
 /// Workload-wide comparison of policies against DRRIP.
 fn compare(cfg: &ExperimentConfig, policies: &[String]) {
     for p in policies {
-        if registry::create(p, &cfg.llc(8)).is_none() {
-            eprintln!("unknown policy {p}; try `grsim policies`");
-            std::process::exit(1);
-        }
+        require_policy(cfg, p);
     }
     let mut all: Vec<String> = policies.to_vec();
     if !all.iter().any(|p| p == "DRRIP") {
@@ -222,10 +225,7 @@ fn compare(cfg: &ExperimentConfig, policies: &[String]) {
 
 /// Miss-rate curve of one policy over LLC capacities.
 fn sweep(cfg: &ExperimentConfig, policy: &str, sizes_mb: &[u64]) {
-    if registry::create(policy, &cfg.llc(8)).is_none() {
-        eprintln!("unknown policy {policy}; try `grsim policies`");
-        std::process::exit(1);
-    }
+    require_policy(cfg, policy);
     let mut rows = Vec::new();
     for &mb in sizes_mb {
         let llc_cfg = cfg.llc(mb);

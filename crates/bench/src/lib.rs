@@ -29,6 +29,7 @@
 //! `GR_TRACE_CACHE=<dir>` adds an on-disk tier that survives across
 //! processes. `examples/perf_compare.rs` measures the effect.
 
+pub mod cli;
 pub mod config;
 pub mod experiments;
 pub mod framecache;
@@ -38,4 +39,7 @@ pub mod runner;
 pub mod table;
 
 pub use config::ExperimentConfig;
-pub use runner::{run_frame_sequence, run_workload, AppAgg, RunOptions, RunPerf, WorkloadResults};
+pub use runner::{
+    run_frame_sequence, run_workload, simulate_cell, AppAgg, CellResult, RunOptions, RunPerf,
+    WorkloadResults,
+};

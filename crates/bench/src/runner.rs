@@ -35,6 +35,27 @@ use gspc::registry::PolicyVisitor;
 use crate::{framecache, ExperimentConfig};
 
 /// What to run and what to collect.
+///
+/// # Environment precedence
+///
+/// Four fields have environment-variable fallbacks (`threads` ←
+/// `GR_THREADS`, `streamed` ← `GR_STREAMED`, `boxed` ← `GR_BOXED`,
+/// `check` ← `GR_CHECK`). The precedence is, highest first:
+///
+/// 1. an explicit field value set by the caller (including struct-update
+///    syntax over a constructor),
+/// 2. the environment variable **as read by the constructor**
+///    ([`RunOptions::from_env`] and [`RunOptions::misses`] both snapshot
+///    at construction time),
+/// 3. the built-in default (`threads` additionally falls back to
+///    `GR_THREADS` at *run* time when left `None` — see below).
+///
+/// Long-lived processes (the `grserve` daemon) must construct options
+/// once at startup via [`RunOptions::from_env`] and clone them per job:
+/// `from_env` pins `threads` to `Some(..)`, so a later `run_workload`
+/// never re-reads the environment and a job can't observe mid-run env
+/// mutation. The legacy `threads: None` convention re-resolves
+/// `GR_THREADS` on every call and is only appropriate for one-shot CLIs.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Registry names of the policies to evaluate (see
@@ -75,13 +96,31 @@ pub struct RunOptions {
 
 impl RunOptions {
     /// Convenience constructor for a misses-only run on the 8 MB LLC.
+    ///
+    /// `streamed`/`boxed`/`check` are snapshotted from the environment
+    /// here; `threads` is left `None`, so `GR_THREADS` is re-read per
+    /// `run_workload` call (the one-shot-CLI convention). Long-lived
+    /// processes should use [`RunOptions::from_env`] instead.
     pub fn misses(policies: &[&str]) -> Self {
+        RunOptions { threads: None, ..Self::from_env(policies) }
+    }
+
+    /// Constructor that snapshots **every** environment fallback exactly
+    /// once, at the moment of the call: `GR_THREADS` (pinned into
+    /// `threads: Some(..)`), `GR_STREAMED`, `GR_BOXED`, and `GR_CHECK`.
+    ///
+    /// Runs driven by the returned options never consult the environment
+    /// again, so a daemon that constructs its base options at startup and
+    /// clones them per request serves every job with one consistent
+    /// configuration even if the environment mutates mid-run. See the
+    /// type-level docs for the full precedence rules.
+    pub fn from_env(policies: &[&str]) -> Self {
         RunOptions {
             policies: policies.iter().map(|s| s.to_string()).collect(),
             characterize: false,
             timing: None,
             llc_paper_mb: 8,
-            threads: None,
+            threads: Some(resolve_threads(None)),
             streamed: streamed_from_env(),
             boxed: boxed_from_env(),
             check: check_from_env(),
@@ -292,15 +331,48 @@ struct Cell {
     policy: usize,
 }
 
-/// What one cell produces; merged sequentially after the workers finish.
-struct CellOut {
-    stats: LlcStats,
-    chars: Option<CharReport>,
-    frame_ns: f64,
-    accesses: u64,
+/// What one grid cell produces — one policy replaying one frame.
+///
+/// `run_workload` merges these into per-(policy, app) aggregates; the
+/// `grserve` daemon consumes them directly via [`simulate_cell`], its
+/// workers doing their own canonical-order aggregation per job.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// LLC statistics of the replay.
+    pub stats: LlcStats,
+    /// Characterization report (when `opts.characterize` was set).
+    pub chars: Option<CharReport>,
+    /// Frame render time in nanoseconds (when `opts.timing` was set).
+    pub frame_ns: f64,
+    /// Accesses replayed.
+    pub accesses: u64,
     /// Seconds spent inside the replay loop only (synthesis and
     /// annotation happen before the clock starts).
-    replay_seconds: f64,
+    pub replay_seconds: f64,
+}
+
+/// Replays one `(policy, app, frame)` cell through the same monomorphized
+/// path as [`run_workload`] — [`gspc::registry::with_policy`] dispatch,
+/// shared [`crate::framecache`] traces, streamed or in-memory per
+/// `opts.streamed` — and returns the raw cell result.
+///
+/// This is the daemon-callable entry point: a long-lived server that wants
+/// slices of the (app, frame, policy) grid calls this per cell and
+/// aggregates in its own canonical order, instead of paying for the full
+/// 12-app sweep `run_workload` runs.
+///
+/// # Panics
+///
+/// Panics when `policy_name` is not in the registry — validate with
+/// [`gspc::registry::create`] first.
+pub fn simulate_cell(
+    policy_name: &str,
+    app: &AppProfile,
+    frame: u32,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellResult {
+    run_cell(app, frame, policy_name, cfg.llc(opts.llc_paper_mb), opts, cfg)
 }
 
 fn resolve_threads(explicit: Option<usize>) -> usize {
@@ -334,7 +406,7 @@ pub fn run_workload(opts: &RunOptions, cfg: &ExperimentConfig) -> WorkloadResult
 
     let threads = resolve_threads(opts.threads).min(cells.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellOut>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
 
     let worker = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -407,7 +479,7 @@ fn run_cell(
     llc_cfg: LlcConfig,
     opts: &RunOptions,
     cfg: &ExperimentConfig,
-) -> CellOut {
+) -> CellResult {
     if opts.boxed {
         // Dynamic-dispatch fallback: `Box<dyn Policy>` implements `Policy`,
         // so the same generic cell body runs with one virtual call per
@@ -425,8 +497,8 @@ fn run_cell(
         cfg: &'a ExperimentConfig,
     }
     impl PolicyVisitor for Visit<'_> {
-        type Output = CellOut;
-        fn visit<P: Policy + 'static>(self, policy: P) -> CellOut {
+        type Output = CellResult;
+        fn visit<P: Policy + 'static>(self, policy: P) -> CellResult {
             run_cell_with(
                 policy,
                 self.policy_name,
@@ -458,7 +530,7 @@ fn run_cell_with<P: Policy + 'static>(
     llc_cfg: LlcConfig,
     opts: &RunOptions,
     cfg: &ExperimentConfig,
-) -> CellOut {
+) -> CellResult {
     let needs_nu = registry::needs_next_use(policy_name);
     if opts.streamed {
         let disk = framecache::disk_source(app, frame, cfg.scale, needs_nu)
@@ -488,7 +560,7 @@ fn replay<P: Policy, S: grtrace::AccessSource>(
     source: &mut S,
     work: &FrameWork,
     opts: &RunOptions,
-) -> CellOut {
+) -> CellResult {
     // The clock starts here — after synthesis, annotation, and disk-tier
     // setup — so `RunPerf::replay_seconds` measures pure replay.
     let started = Instant::now();
@@ -530,7 +602,7 @@ fn replay<P: Policy, S: grtrace::AccessSource>(
 }
 
 /// One monomorphized replay: drains `source` through an LLC carrying
-/// `observer` and folds the result into a [`CellOut`].
+/// `observer` and folds the result into a [`CellResult`].
 fn replay_with<P: Policy, O: LlcObserver, S: grtrace::AccessSource>(
     llc_cfg: LlcConfig,
     policy: P,
@@ -539,7 +611,7 @@ fn replay_with<P: Policy, O: LlcObserver, S: grtrace::AccessSource>(
     started: Instant,
     work: &FrameWork,
     opts: &RunOptions,
-) -> CellOut {
+) -> CellResult {
     let mut llc = Llc::with_observer(llc_cfg, policy, observer);
     let n = llc.run_source(source).expect("streaming replay failed");
     finish_cell(&llc, n, started, work, opts)
@@ -551,8 +623,8 @@ fn finish_cell<P: Policy, O: LlcObserver>(
     replay_started: Instant,
     work: &FrameWork,
     opts: &RunOptions,
-) -> CellOut {
-    let mut out = CellOut {
+) -> CellResult {
+    let mut out = CellResult {
         stats: llc.stats().clone(),
         chars: llc.characterization().cloned(),
         frame_ns: 0.0,
@@ -770,6 +842,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// One daemon-style cell replay must agree bit for bit with the same
+    /// cell inside a full `run_workload` sweep (single frame, so the
+    /// workload aggregate *is* the cell).
+    #[test]
+    fn simulate_cell_matches_workload_cell() {
+        let cfg = tiny_cfg();
+        let opts = RunOptions::misses(&["GSPC+UCD"]);
+        let sweep = run_workload(&opts, &cfg);
+        let app = AppProfile::by_abbrev("BioShock").expect("known app");
+        let cell = simulate_cell("GSPC+UCD", &app, 0, &opts, &cfg);
+        assert_eq!(cell.stats, sweep.get("GSPC+UCD", "BioShock").stats);
+        assert!(cell.accesses > 0);
+        assert!(cell.chars.is_none(), "characterization off by default");
+    }
+
+    /// `from_env` pins the thread count so later runs never re-read
+    /// `GR_THREADS`; `misses` keeps the legacy per-run fallback.
+    #[test]
+    fn from_env_snapshots_thread_count() {
+        let snap = RunOptions::from_env(&["NRU"]);
+        assert!(snap.threads.is_some(), "from_env must pin threads");
+        assert_eq!(snap.policies, vec!["NRU".to_string()]);
+        assert!(RunOptions::misses(&["NRU"]).threads.is_none());
     }
 
     /// The boxed fallback and the monomorphized visitor path must agree

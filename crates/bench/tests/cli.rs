@@ -37,8 +37,34 @@ fn grsim_without_arguments_shows_usage() {
 #[test]
 fn grsim_sequence_rejects_unknown_policy() {
     let out = grsim().args(["sequence", "PLRU", "BioShock", "2"]).output().expect("spawn grsim");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(grbench::cli::EXIT_USER_ERROR));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+/// The unified exit helper gives every subcommand the same stable codes:
+/// 2 for malformed invocations, 1 for well-formed ones naming something
+/// unknown. Each line is (args, expected code, expected stderr fragment).
+#[test]
+fn grsim_exit_codes_are_stable_across_subcommands() {
+    let cases: &[(&[&str], i32, &str)] = &[
+        (&["frobnicate"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["characterize"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["compare"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["sweep", "GSPC"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["sweep", "GSPC", "eight"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["sequence", "GSPC", "BioShock"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["sequence", "GSPC", "BioShock", "many"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["characterize", "NotAnApp"], grbench::cli::EXIT_USER_ERROR, "unknown app"),
+        (&["sequence", "GSPC", "NotAnApp", "2"], grbench::cli::EXIT_USER_ERROR, "unknown app"),
+        (&["compare", "PLRU"], grbench::cli::EXIT_USER_ERROR, "unknown policy"),
+        (&["sweep", "PLRU", "8"], grbench::cli::EXIT_USER_ERROR, "unknown policy"),
+    ];
+    for (args, code, fragment) in cases {
+        let out = grsim().args(*args).output().expect("spawn grsim");
+        assert_eq!(out.status.code(), Some(*code), "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(fragment), "args {args:?}: stderr {stderr:?}");
+    }
 }
 
 /// `export_json` emits a parseable document whose `interframe` section has

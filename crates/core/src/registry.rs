@@ -30,6 +30,25 @@ pub struct PolicyEntry {
     pub name: &'static str,
     /// One-line description, as in Table 6.
     pub description: &'static str,
+    /// Alternate spellings [`create`] and [`with_policy`] also accept
+    /// (e.g. `"DRRIP-2"` for `"DRRIP"`). Empty for most entries.
+    pub aliases: &'static [&'static str],
+}
+
+impl PolicyEntry {
+    /// `true` when this policy needs Belady next-use annotations — the
+    /// same predicate as [`needs_next_use`], surfaced per entry so
+    /// listings (e.g. `grserve`'s `GET /v1/policies`) can report it.
+    pub fn needs_next_use(&self) -> bool {
+        needs_next_use(self.name)
+    }
+}
+
+/// The registry entry for `name`, matching canonical names and aliases
+/// (but not parameterized `"GSPZTC(t=N)"` spellings, which have no table
+/// row).
+pub fn find(name: &str) -> Option<&'static PolicyEntry> {
+    ALL_POLICIES.iter().find(|e| e.name == name || e.aliases.contains(&name))
 }
 
 /// Receives the concrete policy type selected by [`with_policy`].
@@ -62,7 +81,7 @@ macro_rules! define_registry {
     ($cfg:ident; $({ $name:literal $(| $alias:literal)* => $desc:literal, $ctor:expr }),+ $(,)?) => {
         /// All policies the experiment harness knows how to build.
         pub const ALL_POLICIES: &[PolicyEntry] = &[
-            $(PolicyEntry { name: $name, description: $desc }),+
+            $(PolicyEntry { name: $name, description: $desc, aliases: &[$($alias),*] }),+
         ];
 
         /// Builds the named policy and hands the **concrete** type to
@@ -238,6 +257,31 @@ mod tests {
     fn only_opt_needs_annotations() {
         assert!(needs_next_use("OPT"));
         assert!(!needs_next_use("GSPC"));
+        let opt = find("OPT").expect("OPT listed");
+        assert!(opt.needs_next_use());
+        assert_eq!(ALL_POLICIES.iter().filter(|e| e.needs_next_use()).count(), 1);
+    }
+
+    /// Every listed alias constructs the same policy as its canonical
+    /// name, and `find` resolves both spellings to the same entry.
+    #[test]
+    fn aliases_resolve_to_their_canonical_entry() {
+        let cfg = LlcConfig::mb(8);
+        let mut aliases_seen = 0;
+        for entry in ALL_POLICIES {
+            for alias in entry.aliases {
+                aliases_seen += 1;
+                let via_alias = create(alias, &cfg)
+                    .unwrap_or_else(|| panic!("alias {alias} not constructible"));
+                assert_eq!(via_alias.name(), entry.name, "alias {alias} built a different policy");
+                assert_eq!(find(alias).map(|e| e.name), Some(entry.name));
+            }
+            assert_eq!(find(entry.name).map(|e| e.name), Some(entry.name));
+        }
+        // The table currently carries the -2 spellings of the RRIP family.
+        assert!(aliases_seen >= 3, "expected the DRRIP-2/SRRIP-2/GS-DRRIP-2 aliases");
+        assert!(find("PLRU").is_none());
+        assert!(find("GSPZTC(t=2)").is_none(), "parameterized spellings have no table row");
     }
 
     /// The visitor entry point must agree with the boxed one on every

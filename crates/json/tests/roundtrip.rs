@@ -1,0 +1,97 @@
+//! Round-trip tests for the shared JSON codec: everything the builder can
+//! emit must parse back to an equal value, because the serving layer keys
+//! its content-addressed result cache on the serialized bytes.
+
+use grjson::Json;
+
+fn roundtrip(doc: &Json) -> Json {
+    let text = doc.to_string_pretty();
+    let back = Json::parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    // Serialization must be a fixed point: parse(print(x)) prints the same
+    // bytes again, the property the result cache relies on.
+    assert_eq!(back.to_string_pretty(), text, "serialization is not a fixed point");
+    back
+}
+
+#[test]
+fn deeply_nested_objects_round_trip() {
+    let mut leaf = Json::obj();
+    leaf.set("hits", 41u64).set("misses", 7u64).set("rate", 41.0 / 48.0);
+    let mut per_app = Json::obj();
+    per_app.set("BioShock", leaf.clone()).set("HAWX", leaf);
+    let mut per_policy = Json::obj();
+    per_policy.set("GSPC+UCD", per_app.clone()).set("DRRIP", per_app);
+    let mut doc = Json::obj();
+    doc.set("policies", per_policy)
+        .set("apps", Json::Arr(vec![Json::from("BioShock"), Json::from("HAWX")]))
+        .set("empty_obj", Json::obj())
+        .set("empty_arr", Json::Arr(vec![]));
+    assert_eq!(roundtrip(&doc), doc);
+}
+
+#[test]
+fn arrays_of_mixed_scalars_round_trip() {
+    let doc = Json::Arr(vec![
+        Json::Null,
+        Json::Bool(false),
+        Json::Bool(true),
+        Json::UInt(0),
+        Json::UInt(u64::MAX),
+        Json::Num(-1.5),
+        Json::Num(1e-9),
+        Json::from("plain"),
+        Json::Arr(vec![Json::Arr(vec![Json::UInt(1)])]),
+    ]);
+    assert_eq!(roundtrip(&doc), doc);
+}
+
+#[test]
+fn escape_heavy_strings_round_trip() {
+    for s in [
+        "quote \" backslash \\ slash /",
+        "newline\ntab\tcarriage\r",
+        "control \u{1} \u{1f} bell \u{7}",
+        "unicode: naïve — ‘curly’ 🎮",
+        "",
+        "ends with backslash \\",
+    ] {
+        let mut doc = Json::obj();
+        doc.set(s, Json::from(s));
+        let back = roundtrip(&doc);
+        assert_eq!(back.get(s).and_then(Json::as_str), Some(s), "string {s:?} mangled");
+    }
+}
+
+#[test]
+fn numbers_keep_integer_float_distinction() {
+    // u64 values survive exactly (no f64 rounding through the parser).
+    for n in [0u64, 1, 2_u64.pow(53) + 1, u64::MAX] {
+        let back = roundtrip(&Json::UInt(n));
+        assert_eq!(back, Json::UInt(n), "u64 {n} lost precision");
+    }
+    // Fractional floats stay floats and stay exact (shortest-repr `{x}`
+    // formatting is read back by the same std float parser).
+    for x in [0.5, -0.25, 1.0 / 3.0, 6.02e23, 5e-324] {
+        let back = roundtrip(&Json::Num(x));
+        assert_eq!(back.as_f64(), Some(x), "float {x} drifted");
+    }
+}
+
+#[test]
+fn large_document_round_trips() {
+    // A document shaped like a real job payload: 24 policies × 12 apps.
+    let mut doc = Json::obj();
+    for p in 0..24u64 {
+        let mut apps = Json::obj();
+        for a in 0..12u64 {
+            let mut entry = Json::obj();
+            // Rates stay strictly fractional: integral floats print as
+            // integers and intentionally reparse as `UInt` (covered by the
+            // unit tests), which would break value-level equality here.
+            entry.set("misses", p * 1000 + a).set("rate", (a as f64 + 1.0) / 24.0);
+            apps.set(format!("app{a}"), entry);
+        }
+        doc.set(format!("policy{p}"), apps);
+    }
+    assert_eq!(roundtrip(&doc), doc);
+}

@@ -1,0 +1,114 @@
+//! `grserved` — the simulation-as-a-service daemon.
+//!
+//! ```text
+//! grserved [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!          [--result-cache DIR] [--port-file PATH] [--linger-ms N]
+//!          [--allow-http-shutdown]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints `grserved listening on http://ADDR`,
+//! and serves until SIGTERM or ctrl-C, then drains: queued and running
+//! jobs complete, new submissions get 503, and the process exits 0.
+//! `--port-file` writes the resolved `HOST:PORT` so supervisors and the
+//! CI smoke test can discover an ephemeral port without parsing stdout.
+//!
+//! Execution knobs come from the environment once, at startup
+//! (`GR_THREADS`, `GR_STREAMED`, `GR_BOXED`, `GR_CHECK`, `GR_SCALE`) via
+//! [`grbench::RunOptions::from_env`]; per-job fields come from each
+//! request.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use grbench::cli;
+use grserve::ServerConfig;
+
+const USAGE: &str = "grserved [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+[--result-cache DIR] [--port-file PATH] [--linger-ms N] [--allow-http-shutdown]";
+
+/// Set from the signal handler; polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std links libc, so `signal(2)` is reachable without a crate. The
+    // handler only stores to an atomic — async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| match argv.next() {
+            Some(v) => v,
+            None => cli::usage_error(&format!("{USAGE}\n{flag} requires a value")),
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => cli::user_error("--workers must be a positive integer"),
+            },
+            "--queue-cap" => match value("--queue-cap").parse() {
+                Ok(n) if n > 0 => cfg.queue_cap = n,
+                _ => cli::user_error("--queue-cap must be a positive integer"),
+            },
+            "--linger-ms" => match value("--linger-ms").parse() {
+                Ok(ms) => cfg.linger = Duration::from_millis(ms),
+                Err(_) => cli::user_error("--linger-ms must be an integer"),
+            },
+            "--result-cache" => cfg.result_cache_dir = Some(PathBuf::from(value("--result-cache"))),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            "--allow-http-shutdown" => cfg.allow_http_shutdown = true,
+            _ => cli::usage_error(USAGE),
+        }
+    }
+
+    install_signal_handlers();
+
+    let handle = match grserve::start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => cli::user_error(&format!("failed to bind: {e}")),
+    };
+    let addr = handle.addr();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            cli::user_error(&format!("failed to write port file {}: {e}", path.display()));
+        }
+    }
+    println!("grserved listening on http://{addr}");
+
+    // Block until a signal or an HTTP-initiated drain, then wait for the
+    // drain to complete before exiting 0.
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("grserved: draining");
+            handle.begin_shutdown();
+            break;
+        }
+        if handle.is_drained() {
+            break;
+        }
+    }
+    handle.join();
+    eprintln!("grserved: drained, exiting");
+}

@@ -1,0 +1,249 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net` — just enough protocol
+//! for the serving layer: request-line + headers + `Content-Length`
+//! bodies in, status + headers + body out, one request per connection
+//! (`Connection: close`).
+//!
+//! Deliberately not implemented: chunked transfer encoding, keep-alive,
+//! pipelining, TLS. Clients that speak plain `curl` work; the point is a
+//! dependency-free front end, not a general web server.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers), bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body, bytes. Job specs are tiny; anything
+/// bigger is a client bug.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) exactly as sent.
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; [`write_error_response`] maps each
+/// variant to a status code.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header, or length field → 400.
+    Malformed(String),
+    /// Head or body over the hard limits → 413.
+    TooLarge(String),
+    /// Socket error or EOF mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`. Applies a read timeout so a stalled
+/// client cannot pin a connection thread forever.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    read_limited_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("bad request line: {line:?}")));
+    }
+    // Strip any query string; the API is entirely path + body driven.
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        read_limited_line(&mut reader, &mut header)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header: {header:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length: {v:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge(format!("body of {content_length} bytes refused")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// Reads one CRLF-terminated line without letting a hostile peer grow the
+/// buffer past [`MAX_HEAD_BYTES`].
+fn read_limited_line<R: BufRead>(reader: &mut R, out: &mut String) -> Result<(), ParseError> {
+    let mut bytes = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            break;
+        }
+        bytes.push(byte[0]);
+        if bytes.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request line too long".into()));
+        }
+    }
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    out.push_str(
+        std::str::from_utf8(&bytes)
+            .map_err(|_| ParseError::Malformed("non-UTF-8 request head".into()))?,
+    );
+    Ok(())
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status and an empty body.
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A 200 response carrying a JSON body.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response::new(200).with_json(body)
+    }
+
+    /// Sets a JSON body (and content type).
+    pub fn with_json(mut self, body: impl Into<String>) -> Response {
+        self.body = body.into().into_bytes();
+        self.headers.push(("Content-Type".into(), "application/json".into()));
+        self
+    }
+
+    /// Sets a plain-text body (and content type) — `/metrics` uses this.
+    pub fn with_text(mut self, body: impl Into<String>) -> Response {
+        self.body = body.into().into_bytes();
+        self.headers.push(("Content-Type".into(), "text/plain; version=0.0.4".into()));
+        self
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The status code (tests use this).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serializes the response to `w` with `Connection: close` semantics.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, status_text(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Writes the error response for a failed parse; returns `false` when the
+/// connection is beyond saving (I/O error), so the caller just drops it.
+pub fn write_error_response(stream: &mut TcpStream, err: &ParseError) -> bool {
+    let response = match err {
+        ParseError::Malformed(msg) => {
+            Response::new(400).with_json(format!("{{\"error\": \"{msg}\"}}"))
+        }
+        ParseError::TooLarge(msg) => {
+            Response::new(413).with_json(format!("{{\"error\": \"{msg}\"}}"))
+        }
+        ParseError::Io(_) => return false,
+    };
+    response.write_to(stream).is_ok()
+}
+
+/// Reason phrases for every status the server emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\": true}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+
+    #[test]
+    fn status_texts_cover_served_codes() {
+        for code in [200, 202, 400, 404, 405, 413, 429, 500, 503] {
+            assert_ne!(status_text(code), "Unknown", "missing reason for {code}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Job execution: turning a canonical [`JobSpec`] into its result payload.
+//!
+//! This is the one function both the daemon's worker pool and `grload`'s
+//! offline verification call, so "service result == direct run" is
+//! bit-for-bit checkable: same [`grbench::simulate_cell`] replay path,
+//! same canonical (policy, app) aggregation order, same [`grjson`]
+//! serialization. The payload deliberately carries **no wall-clock
+//! fields** — every byte is a pure function of the spec, which is what
+//! makes content-addressed caching sound.
+
+use grbench::{simulate_cell, RunOptions};
+use grcache::{CharReport, LlcStats};
+use grjson::Json;
+use grsynth::AppProfile;
+use grtrace::{PolicyClass, StreamId};
+
+use crate::spec::JobSpec;
+
+/// The result of executing one job.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The JSON payload served back to clients and stored in the result
+    /// cache. Deterministic for a given spec.
+    pub payload: String,
+    /// LLC accesses replayed while producing the payload (metrics fodder;
+    /// not part of the payload).
+    pub accesses: u64,
+    /// Seconds spent inside replay loops (metrics fodder).
+    pub replay_seconds: f64,
+}
+
+/// Executes `spec` and builds its payload. `base` supplies the execution
+/// knobs the spec does not own (threads, streamed/boxed/check) — the
+/// daemon snapshots these once at startup via [`RunOptions::from_env`].
+pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
+    let cfg = spec.config();
+    let opts = RunOptions {
+        policies: Vec::new(),
+        characterize: spec.characterize,
+        timing: None,
+        llc_paper_mb: spec.llc_mb,
+        ..base.clone()
+    };
+
+    let mut accesses = 0u64;
+    let mut replay_seconds = 0.0f64;
+    let mut per_policy = Json::obj();
+    for policy in &spec.policies {
+        let mut apps_obj = Json::obj();
+        for abbrev in &spec.apps {
+            let app = AppProfile::by_abbrev(abbrev).expect("spec apps were validated");
+            let mut stats = LlcStats::new();
+            let mut chars = CharReport::default();
+            for frame in 0..cfg.frames_for(app.frames) {
+                let cell = simulate_cell(policy, &app, frame, &opts, &cfg);
+                stats.merge(&cell.stats);
+                if let Some(c) = &cell.chars {
+                    chars.merge(c);
+                }
+                accesses += cell.accesses;
+                replay_seconds += cell.replay_seconds;
+            }
+
+            let mut entry = Json::obj();
+            entry
+                .set("accesses", stats.total_accesses())
+                .set("hits", stats.total_hits())
+                .set("misses", stats.total_misses())
+                .set("writebacks", stats.writebacks)
+                .set("tex_hit_rate", stats.class_hit_rate(PolicyClass::Tex))
+                .set("rt_hit_rate", stats.hit_rate(StreamId::RenderTarget))
+                .set("z_hit_rate", stats.hit_rate(StreamId::Z));
+            if spec.characterize {
+                entry.set("rt_consumption", chars.rt_consumption_rate());
+            }
+            apps_obj.set(abbrev.clone(), entry);
+        }
+        per_policy.set(policy.clone(), apps_obj);
+    }
+
+    let mut doc = Json::obj();
+    doc.set("id", spec.id()).set("spec", spec.canonical_json()).set("results", per_policy);
+
+    JobOutput { payload: doc.to_string_pretty(), accesses, replay_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grsynth::Scale;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::parse(body, Scale::Tiny).expect("valid spec")
+    }
+
+    /// The keystone property of the result cache: payloads are a pure
+    /// function of the spec — two executions yield identical bytes.
+    #[test]
+    fn payload_is_deterministic() {
+        let s = spec(r#"{"policies": ["NRU"], "apps": ["HAWX"]}"#);
+        let base = RunOptions::from_env(&[]);
+        let a = execute(&s, &base);
+        let b = execute(&s, &base);
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.accesses, b.accesses);
+        assert!(a.accesses > 0);
+    }
+
+    /// The payload must agree with the offline `run_workload` aggregation
+    /// path cell for cell.
+    #[test]
+    fn payload_matches_run_workload() {
+        let s = spec(r#"{"policies": ["DRRIP"], "apps": ["HAWX"], "characterize": true}"#);
+        let out = execute(&s, &RunOptions::from_env(&[]));
+
+        let opts = RunOptions { characterize: true, ..RunOptions::from_env(&["DRRIP"]) };
+        let r = grbench::run_workload(&opts, &s.config());
+        let agg = r.get("DRRIP", "HAWX");
+
+        let doc = Json::parse(&out.payload).unwrap();
+        let entry = doc
+            .get("results")
+            .and_then(|p| p.get("DRRIP"))
+            .and_then(|p| p.get("HAWX"))
+            .expect("payload entry");
+        assert_eq!(
+            entry.get("misses").and_then(Json::as_f64),
+            Some(agg.stats.total_misses() as f64)
+        );
+        assert_eq!(entry.get("hits").and_then(Json::as_f64), Some(agg.stats.total_hits() as f64));
+        assert_eq!(
+            entry.get("rt_consumption").and_then(Json::as_f64),
+            Some(agg.chars.rt_consumption_rate())
+        );
+    }
+
+    /// `characterize: false` keeps the observer detached and the field out
+    /// of the payload.
+    #[test]
+    fn characterization_is_opt_in() {
+        let s = spec(r#"{"policies": ["NRU"], "apps": ["HAWX"]}"#);
+        let out = execute(&s, &RunOptions::from_env(&[]));
+        let doc = Json::parse(&out.payload).unwrap();
+        let entry = doc
+            .get("results")
+            .and_then(|p| p.get("NRU"))
+            .and_then(|p| p.get("HAWX"))
+            .expect("payload entry");
+        assert!(entry.get("rt_consumption").is_none());
+        assert!(entry.get("misses").is_some());
+    }
+}

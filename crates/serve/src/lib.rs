@@ -1,0 +1,45 @@
+//! `grserve` — simulation-as-a-service for the LLC replay harness.
+//!
+//! A long-lived daemon (`grserved`) exposes the monomorphized replay path
+//! over a hand-rolled HTTP/1.1 API, turning the one-shot CLI workflow
+//! into a shared, cached service:
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a job spec (apps × frames × policies × geometry) |
+//! | `GET /v1/jobs/{id}` | Lifecycle state + parsed result |
+//! | `GET /v1/jobs/{id}/result` | Raw payload bytes (bit-for-bit surface) |
+//! | `GET /v1/policies`, `/v1/apps` | Discoverable vocabulary |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /v1/shutdown` | Graceful drain (opt-in) |
+//!
+//! Three properties hold the design together:
+//!
+//! 1. **Canonical specs** ([`spec`]): requests normalize before hashing,
+//!    so textual variation never defeats deduplication.
+//! 2. **Content-addressed results** ([`resultcache`]): the job id is the
+//!    SHA-256 of the canonical spec, so cached payloads need no
+//!    invalidation — memory tier for the process, disk tier across
+//!    restarts.
+//! 3. **Deterministic payloads** ([`job`]): no wall-clock fields, same
+//!    replay path and aggregation order as the offline tools, so the
+//!    service answer is bit-identical to a direct run — `grload smoke`
+//!    asserts exactly that.
+//!
+//! Admission control is a bounded queue: beyond `queue_cap` pending jobs
+//! the server answers 429 with `Retry-After` instead of accumulating
+//! unbounded work. Shutdown (SIGTERM / ctrl-C in `grserved`) drains:
+//! accepted jobs finish, new submissions get 503, reads keep working
+//! through a short linger window.
+
+pub mod hash;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod resultcache;
+pub mod server;
+pub mod spec;
+
+pub use job::{execute, JobOutput};
+pub use server::{start, ExecuteFn, ServerConfig, ServerHandle};
+pub use spec::JobSpec;

@@ -1,0 +1,247 @@
+//! Service counters and their Prometheus text exposition.
+//!
+//! Everything is a monotonic `AtomicU64` bumped with relaxed ordering —
+//! the counters feed dashboards, not control flow, so cross-counter
+//! consistency is not required. Gauges (queue depth, in-flight jobs) are
+//! *not* stored here; they are read from the live queue state at scrape
+//! time and passed into [`Metrics::render`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The endpoints the server distinguishes in per-endpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/jobs`
+    SubmitJob,
+    /// `GET /v1/jobs/{id}`
+    GetJob,
+    /// `GET /v1/policies`
+    Policies,
+    /// `GET /v1/apps`
+    Apps,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/shutdown`
+    Shutdown,
+    /// Anything else (404s, bad methods, parse failures).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 7] = [
+        Endpoint::SubmitJob,
+        Endpoint::GetJob,
+        Endpoint::Policies,
+        Endpoint::Apps,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::SubmitJob => 0,
+            Endpoint::GetJob => 1,
+            Endpoint::Policies => 2,
+            Endpoint::Apps => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Shutdown => 5,
+            Endpoint::Other => 6,
+        }
+    }
+
+    /// The `endpoint` label value in the exposition.
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::SubmitJob => "jobs_post",
+            Endpoint::GetJob => "jobs_get",
+            Endpoint::Policies => "policies",
+            Endpoint::Apps => "apps",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Which cache tier satisfied a result lookup (label value in
+/// `grserve_result_cache_hits_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-process memory tier.
+    Memory,
+    /// On-disk tier beside the trace cache.
+    Disk,
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    latency_nanos: AtomicU64,
+}
+
+/// All service counters. One instance lives inside the server and is
+/// shared by every connection and worker thread.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointStats; 7],
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Submissions that joined an already queued/running job.
+    pub jobs_coalesced: AtomicU64,
+    /// Jobs whose execution finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs whose execution panicked.
+    pub jobs_failed: AtomicU64,
+    /// Submissions refused with 429 because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Executions started by workers (a cache hit never increments this).
+    pub executions: AtomicU64,
+    result_cache_hits_memory: AtomicU64,
+    result_cache_hits_disk: AtomicU64,
+    /// LLC accesses replayed by completed executions.
+    pub replay_accesses: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one handled request against its endpoint.
+    pub fn record_request(&self, endpoint: Endpoint, latency: Duration) {
+        let slot = &self.endpoints[endpoint.index()];
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        slot.latency_nanos.fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a result-cache hit on the given tier.
+    pub fn record_cache_hit(&self, tier: CacheTier) {
+        match tier {
+            CacheTier::Memory => &self.result_cache_hits_memory,
+            CacheTier::Disk => &self.result_cache_hits_disk,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience: relaxed increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition. `queue_depth` and
+    /// `inflight` are sampled from the queue state by the caller at
+    /// scrape time.
+    pub fn render(&self, queue_depth: usize, inflight: usize, jobs_tracked: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter(
+            "grserve_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            self.jobs_submitted.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_jobs_coalesced_total",
+            "Submissions coalesced onto an in-flight job.",
+            self.jobs_coalesced.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_jobs_completed_total",
+            "Jobs completed successfully.",
+            self.jobs_completed.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_jobs_failed_total",
+            "Jobs that failed during execution.",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_jobs_rejected_total",
+            "Submissions rejected with 429 (queue full).",
+            self.jobs_rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_executions_total",
+            "Replay executions started (cache hits never execute).",
+            self.executions.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_replay_accesses_total",
+            "LLC accesses replayed by completed executions.",
+            self.replay_accesses.load(Ordering::Relaxed),
+        );
+
+        out.push_str("# HELP grserve_result_cache_hits_total Result-cache hits by tier.\n");
+        out.push_str("# TYPE grserve_result_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "grserve_result_cache_hits_total{{tier=\"memory\"}} {}\n",
+            self.result_cache_hits_memory.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "grserve_result_cache_hits_total{{tier=\"disk\"}} {}\n",
+            self.result_cache_hits_disk.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP grserve_http_requests_total Requests handled by endpoint.\n");
+        out.push_str("# TYPE grserve_http_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            out.push_str(&format!(
+                "grserve_http_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                self.endpoints[ep.index()].requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP grserve_http_request_seconds_sum Total request handling time by endpoint.\n",
+        );
+        out.push_str("# TYPE grserve_http_request_seconds_sum counter\n");
+        for ep in Endpoint::ALL {
+            let nanos = self.endpoints[ep.index()].latency_nanos.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "grserve_http_request_seconds_sum{{endpoint=\"{}\"}} {:.9}\n",
+                ep.label(),
+                nanos as f64 / 1e9
+            ));
+        }
+
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
+        };
+        gauge("grserve_queue_depth", "Jobs waiting in the queue.", queue_depth as u64);
+        gauge("grserve_jobs_inflight", "Jobs currently executing.", inflight as u64);
+        gauge("grserve_jobs_tracked", "Jobs known to the job table.", jobs_tracked as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_all_series() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::SubmitJob, Duration::from_millis(2));
+        m.record_cache_hit(CacheTier::Memory);
+        Metrics::bump(&m.jobs_submitted);
+        let text = m.render(3, 1, 7);
+        for series in [
+            "grserve_jobs_submitted_total 1",
+            "grserve_result_cache_hits_total{tier=\"memory\"} 1",
+            "grserve_result_cache_hits_total{tier=\"disk\"} 0",
+            "grserve_http_requests_total{endpoint=\"jobs_post\"} 1",
+            "grserve_http_request_seconds_sum{endpoint=\"jobs_post\"} 0.002",
+            "grserve_queue_depth 3",
+            "grserve_jobs_inflight 1",
+            "grserve_jobs_tracked 7",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+        // Every series line is either a comment or name{labels}? value.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Content-addressed result cache: a memory tier over an optional disk
+//! tier.
+//!
+//! Keys are job ids — SHA-256 digests of the canonical spec
+//! ([`crate::spec::JobSpec::id`]) — so a payload stored under a key is
+//! valid forever: the key commits to every input that shaped the bytes.
+//! There is consequently no invalidation and no TTL; the memory tier
+//! lives as long as the process, the disk tier (one `<id>.json` per
+//! result, in the style of `GR_TRACE_CACHE`'s sidecar files) survives
+//! daemon restarts.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::CacheTier;
+
+/// The result cache shared by workers and request handlers.
+pub struct ResultCache {
+    memory: Mutex<HashMap<String, Arc<String>>>,
+    disk: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// Creates a cache; `disk` enables the persistent tier rooted at that
+    /// directory (created on first store).
+    pub fn new(disk: Option<PathBuf>) -> ResultCache {
+        ResultCache { memory: Mutex::new(HashMap::new()), disk }
+    }
+
+    fn disk_path(&self, id: &str) -> Option<PathBuf> {
+        // Ids are validated hex elsewhere, but never trust a request-derived
+        // string as a path component.
+        if !id.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.disk.as_ref().map(|dir| dir.join(format!("{id}.json")))
+    }
+
+    /// Looks `id` up, reporting which tier answered. A disk hit is
+    /// promoted into the memory tier on the way out.
+    pub fn get(&self, id: &str) -> Option<(Arc<String>, CacheTier)> {
+        if let Some(hit) = self.memory.lock().expect("cache lock").get(id) {
+            return Some((Arc::clone(hit), CacheTier::Memory));
+        }
+        let path = self.disk_path(id)?;
+        let payload = Arc::new(fs::read_to_string(path).ok()?);
+        self.memory.lock().expect("cache lock").insert(id.to_string(), Arc::clone(&payload));
+        Some((payload, CacheTier::Disk))
+    }
+
+    /// Stores a payload in both tiers. Disk write failures are swallowed:
+    /// the disk tier is an optimization, never a correctness dependency.
+    pub fn put(&self, id: &str, payload: Arc<String>) {
+        if let Some(path) = self.disk_path(id) {
+            if let Some(dir) = path.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            // Write-then-rename so a concurrent reader never sees a torn
+            // payload file.
+            let tmp = path.with_extension("json.tmp");
+            if fs::write(&tmp, payload.as_bytes()).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            }
+        }
+        self.memory.lock().expect("cache lock").insert(id.to_string(), payload);
+    }
+
+    /// Entries resident in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique temp dir per test without any randomness source.
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("grserve-rc-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_tier_round_trips() {
+        let cache = ResultCache::new(None);
+        assert!(cache.get("aa").is_none());
+        cache.put("aa", Arc::new("payload".to_string()));
+        let (hit, tier) = cache.get("aa").unwrap();
+        assert_eq!(*hit, "payload");
+        assert_eq!(tier, CacheTier::Memory);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = temp_dir("persist");
+        let first = ResultCache::new(Some(dir.clone()));
+        first.put("beef", Arc::new("{\"x\": 1}".to_string()));
+        drop(first);
+
+        // A fresh instance (fresh memory tier) must find it on disk, then
+        // serve the promotion from memory.
+        let second = ResultCache::new(Some(dir.clone()));
+        let (hit, tier) = second.get("beef").unwrap();
+        assert_eq!(*hit, "{\"x\": 1}");
+        assert_eq!(tier, CacheTier::Disk);
+        let (_, tier) = second.get("beef").unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn non_hex_ids_never_touch_the_filesystem() {
+        let cache = ResultCache::new(Some(PathBuf::from("/nonexistent-grserve-dir")));
+        assert!(cache.get("../../etc/passwd").is_none());
+        cache.put("../escape", Arc::new("x".to_string()));
+        assert!(!Path::new("/nonexistent-grserve-dir").exists());
+        // Memory tier still works for the odd key.
+        assert!(cache.get("../escape").is_some());
+    }
+}

@@ -1,0 +1,526 @@
+//! The daemon core: TCP accept loop, request routing, bounded job queue
+//! with admission control, coalescing worker pool, and graceful drain.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! POST /v1/jobs ──► canonical id ──┬─ known job? ─── queued/running ─► 200 coalesced
+//!                                  │                 done ──────────► 200 cached
+//!                                  ├─ result cache hit (mem/disk) ──► 200 cached
+//!                                  ├─ draining ─────────────────────► 503
+//!                                  ├─ queue full ──────────────────►  429 + Retry-After
+//!                                  └─ else: enqueue ───────────────►  202
+//! ```
+//!
+//! Coalescing falls out of content addressing: the job table is keyed by
+//! the canonical spec digest, so concurrent identical submissions land on
+//! the same entry and share one execution.
+//!
+//! # Threads and locks
+//!
+//! One accept thread, one detached thread per connection, `workers`
+//! executor threads. Two mutexes — the job table and the queue state —
+//! always taken in that order (connection threads); workers take them one
+//! at a time, never nested. Counters live in [`Metrics`] atomics.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use grbench::{ExperimentConfig, RunOptions};
+use grjson::Json;
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+
+use crate::http::{self, Request, Response};
+use crate::job::{self, JobOutput};
+use crate::metrics::{CacheTier, Endpoint, Metrics};
+use crate::resultcache::ResultCache;
+use crate::spec::{scale_name, JobSpec};
+
+/// The execution hook: maps a spec to its output. The default wraps
+/// [`job::execute`]; tests inject blocking stand-ins to make coalescing,
+/// 429, and drain behavior deterministic.
+pub type ExecuteFn = Arc<dyn Fn(&JobSpec) -> Result<JobOutput, String> + Send + Sync>;
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`] for the resolved one).
+    pub addr: String,
+    /// Executor threads.
+    pub workers: usize,
+    /// Queued-job bound; submissions beyond it get 429.
+    pub queue_cap: usize,
+    /// Scale assumed when a spec omits `"scale"`.
+    pub default_scale: Scale,
+    /// Root of the disk result-cache tier; `None` keeps memory only.
+    pub result_cache_dir: Option<PathBuf>,
+    /// Honor `POST /v1/shutdown` (tests and supervised deployments).
+    pub allow_http_shutdown: bool,
+    /// How long the listener keeps answering reads after the drain
+    /// completes, so clients can collect final states and metrics.
+    pub linger: Duration,
+    /// Execution knobs shared by every job (threads, streamed, boxed,
+    /// check); per-spec fields are overridden per job.
+    pub run: RunOptions,
+    /// Execution hook override; `None` uses the real replay path.
+    pub executor: Option<ExecuteFn>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            queue_cap: 64,
+            default_scale: ExperimentConfig::from_env().scale,
+            result_cache_dir: std::env::var_os("GR_RESULT_CACHE").map(PathBuf::from),
+            allow_http_shutdown: false,
+            linger: Duration::from_millis(300),
+            run: RunOptions::from_env(&[]),
+            executor: None,
+        }
+    }
+}
+
+/// Where a tracked job is in its lifecycle.
+enum JobState {
+    Queued,
+    Running,
+    Done { payload: Arc<String>, from_cache: bool },
+    Failed(String),
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+struct Job {
+    spec: Arc<JobSpec>,
+    state: JobState,
+}
+
+struct QueueState {
+    queue: VecDeque<String>,
+    running: usize,
+    draining: bool,
+}
+
+struct Inner {
+    queue_cap: usize,
+    default_scale: Scale,
+    allow_http_shutdown: bool,
+    executor: ExecuteFn,
+    jobs: Mutex<HashMap<String, Job>>,
+    queue: Mutex<QueueState>,
+    /// Wakes workers (new job or drain started).
+    work_cv: Condvar,
+    cache: ResultCache,
+    metrics: Metrics,
+}
+
+impl Inner {
+    /// Drained = drain requested, queue empty, nothing executing.
+    fn is_drained(&self) -> bool {
+        let q = self.queue.lock().expect("queue lock");
+        q.draining && q.queue.is_empty() && q.running == 0
+    }
+
+    fn begin_shutdown(&self) {
+        self.queue.lock().expect("queue lock").draining = true;
+        self.work_cv.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown_and_join`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The resolved bind address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: new submissions get 503, queued and
+    /// running jobs complete, reads keep working. Returns immediately.
+    pub fn begin_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// True once the drain has finished (queue empty, nothing running).
+    pub fn is_drained(&self) -> bool {
+        self.inner.is_drained()
+    }
+
+    /// Waits for the accept loop and every worker to exit. Only returns
+    /// after a shutdown was initiated (or the process would wait forever).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+    }
+
+    /// [`Self::begin_shutdown`] then [`Self::join`].
+    pub fn shutdown_and_join(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Binds, spawns the worker pool and accept loop, and returns.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+
+    let base = cfg.run.clone();
+    let executor = cfg.executor.unwrap_or_else(|| {
+        Arc::new(move |spec: &JobSpec| {
+            catch_unwind(AssertUnwindSafe(|| job::execute(spec, &base)))
+                .map_err(|_| "execution panicked".to_string())
+        })
+    });
+
+    let inner = Arc::new(Inner {
+        queue_cap: cfg.queue_cap,
+        default_scale: cfg.default_scale,
+        allow_http_shutdown: cfg.allow_http_shutdown,
+        executor,
+        jobs: Mutex::new(HashMap::new()),
+        queue: Mutex::new(QueueState { queue: VecDeque::new(), running: 0, draining: false }),
+        work_cv: Condvar::new(),
+        cache: ResultCache::new(cfg.result_cache_dir),
+        metrics: Metrics::default(),
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || worker_loop(&inner))
+        })
+        .collect();
+
+    let accept = {
+        let inner = Arc::clone(&inner);
+        let linger = cfg.linger;
+        thread::spawn(move || accept_loop(&listener, &inner, linger))
+    };
+
+    Ok(ServerHandle { inner, addr, accept: Some(accept), workers })
+}
+
+/// Pops and executes jobs until the drain completes.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let id = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(id) = q.queue.pop_front() {
+                    q.running += 1;
+                    break id;
+                }
+                if q.draining {
+                    return;
+                }
+                q = inner.work_cv.wait(q).expect("queue lock");
+            }
+        };
+
+        let spec = {
+            let mut jobs = inner.jobs.lock().expect("jobs lock");
+            let entry = jobs.get_mut(&id).expect("queued job is tracked");
+            entry.state = JobState::Running;
+            Arc::clone(&entry.spec)
+        };
+        Metrics::bump(&inner.metrics.executions);
+        let result = (inner.executor)(&spec);
+
+        let state = match result {
+            Ok(out) => {
+                let payload = Arc::new(out.payload);
+                inner.cache.put(&id, Arc::clone(&payload));
+                inner.metrics.replay_accesses.fetch_add(out.accesses, Ordering::Relaxed);
+                Metrics::bump(&inner.metrics.jobs_completed);
+                JobState::Done { payload, from_cache: false }
+            }
+            Err(msg) => {
+                Metrics::bump(&inner.metrics.jobs_failed);
+                JobState::Failed(msg)
+            }
+        };
+        inner.jobs.lock().expect("jobs lock").get_mut(&id).expect("running job is tracked").state =
+            state;
+
+        let mut q = inner.queue.lock().expect("queue lock");
+        q.running -= 1;
+    }
+}
+
+/// Accepts connections until the drain completes, then serves a short
+/// linger window (final polls, metrics scrapes) and exits.
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>, linger: Duration) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    let mut linger_deadline: Option<Instant> = None;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                thread::spawn(move || handle_connection(stream, &inner));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                match linger_deadline {
+                    Some(deadline) => {
+                        if Instant::now() >= deadline {
+                            return;
+                        }
+                    }
+                    None => {
+                        if inner.is_drained() {
+                            linger_deadline = Some(Instant::now() + linger);
+                        }
+                    }
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut doc = Json::obj();
+    doc.set("error", message);
+    doc.to_string_pretty()
+}
+
+/// Reads one request, routes it, records per-endpoint metrics, responds.
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let started = Instant::now();
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(err) => {
+            http::write_error_response(&mut stream, &err);
+            inner.metrics.record_request(Endpoint::Other, started.elapsed());
+            return;
+        }
+    };
+    let (endpoint, response) = route(&request, inner);
+    let _ = response.write_to(&mut stream);
+    inner.metrics.record_request(endpoint, started.elapsed());
+}
+
+fn route(request: &Request, inner: &Arc<Inner>) -> (Endpoint, Response) {
+    let method = request.method.as_str();
+    match request.path.as_str() {
+        "/v1/jobs" => match method {
+            "POST" => (Endpoint::SubmitJob, submit(request, inner)),
+            _ => (Endpoint::SubmitJob, method_not_allowed("POST")),
+        },
+        "/v1/policies" => match method {
+            "GET" => (Endpoint::Policies, policies_response()),
+            _ => (Endpoint::Policies, method_not_allowed("GET")),
+        },
+        "/v1/apps" => match method {
+            "GET" => (Endpoint::Apps, apps_response()),
+            _ => (Endpoint::Apps, method_not_allowed("GET")),
+        },
+        "/metrics" => match method {
+            "GET" => (Endpoint::Metrics, metrics_response(inner)),
+            _ => (Endpoint::Metrics, method_not_allowed("GET")),
+        },
+        "/v1/shutdown" => match method {
+            "POST" => (Endpoint::Shutdown, shutdown_response(inner)),
+            _ => (Endpoint::Shutdown, method_not_allowed("POST")),
+        },
+        path => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                if method != "GET" {
+                    return (Endpoint::GetJob, method_not_allowed("GET"));
+                }
+                let response = match rest.strip_suffix("/result") {
+                    Some(id) => raw_result(id, inner),
+                    None => job_status(rest, inner),
+                };
+                return (Endpoint::GetJob, response);
+            }
+            (Endpoint::Other, Response::new(404).with_json(error_body("no such endpoint")))
+        }
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::new(405).with_json(error_body("method not allowed")).with_header("Allow", allowed)
+}
+
+/// `POST /v1/jobs`: parse, canonicalize, coalesce/serve-from-cache/admit.
+fn submit(request: &Request, inner: &Arc<Inner>) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return Response::new(400).with_json(error_body("body must be UTF-8")),
+    };
+    let spec = match JobSpec::parse(body, inner.default_scale) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::new(400).with_json(error_body(&msg)),
+    };
+    let id = spec.id();
+
+    let mut response = Json::obj();
+    response.set("id", id.clone());
+
+    let mut jobs = inner.jobs.lock().expect("jobs lock");
+    if let Some(entry) = jobs.get(&id) {
+        return match &entry.state {
+            JobState::Done { .. } => {
+                // A completed job resubmitted: the tracked payload *is* the
+                // memory tier of the result cache.
+                inner.metrics.record_cache_hit(CacheTier::Memory);
+                response.set("state", "done").set("cached", true);
+                Response::json(response.to_string_pretty())
+            }
+            state => {
+                Metrics::bump(&inner.metrics.jobs_coalesced);
+                response.set("state", state.name()).set("coalesced", true);
+                Response::json(response.to_string_pretty())
+            }
+        };
+    }
+
+    if let Some((payload, tier)) = inner.cache.get(&id) {
+        inner.metrics.record_cache_hit(tier);
+        jobs.insert(
+            id,
+            Job { spec: Arc::new(spec), state: JobState::Done { payload, from_cache: true } },
+        );
+        response.set("state", "done").set("cached", true);
+        return Response::json(response.to_string_pretty());
+    }
+
+    let mut q = inner.queue.lock().expect("queue lock");
+    if q.draining {
+        return Response::new(503).with_json(error_body("server is draining"));
+    }
+    if q.queue.len() >= inner.queue_cap {
+        Metrics::bump(&inner.metrics.jobs_rejected);
+        return Response::new(429)
+            .with_json(error_body("job queue is full"))
+            .with_header("Retry-After", "1");
+    }
+    q.queue.push_back(id.clone());
+    let depth = q.queue.len();
+    drop(q);
+    jobs.insert(id, Job { spec: Arc::new(spec), state: JobState::Queued });
+    drop(jobs);
+    inner.work_cv.notify_one();
+    Metrics::bump(&inner.metrics.jobs_submitted);
+
+    response.set("state", "queued").set("queue_depth", depth as u64);
+    Response::new(202).with_json(response.to_string_pretty())
+}
+
+/// `GET /v1/jobs/{id}`: lifecycle state, plus the parsed result when done.
+fn job_status(id: &str, inner: &Arc<Inner>) -> Response {
+    let jobs = inner.jobs.lock().expect("jobs lock");
+    let Some(entry) = jobs.get(id) else {
+        return Response::new(404).with_json(error_body("unknown job"));
+    };
+    let mut doc = Json::obj();
+    doc.set("id", id).set("state", entry.state.name());
+    match &entry.state {
+        JobState::Done { payload, from_cache } => {
+            doc.set("cached", *from_cache);
+            let result = Json::parse(payload).expect("stored payloads are valid JSON");
+            doc.set("result", result);
+        }
+        JobState::Failed(msg) => {
+            doc.set("error", msg.as_str());
+        }
+        _ => {}
+    }
+    Response::json(doc.to_string_pretty())
+}
+
+/// `GET /v1/jobs/{id}/result`: the raw payload bytes, exactly as an
+/// offline [`job::execute`] would produce them — the bit-for-bit
+/// verification surface.
+fn raw_result(id: &str, inner: &Arc<Inner>) -> Response {
+    let jobs = inner.jobs.lock().expect("jobs lock");
+    match jobs.get(id).map(|entry| &entry.state) {
+        Some(JobState::Done { payload, .. }) => Response::json(payload.as_str()),
+        Some(_) => Response::new(404).with_json(error_body("result not ready")),
+        None => Response::new(404).with_json(error_body("unknown job")),
+    }
+}
+
+fn policies_response() -> Response {
+    let mut list = Vec::new();
+    for entry in registry::ALL_POLICIES {
+        let mut item = Json::obj();
+        item.set("name", entry.name)
+            .set("description", entry.description)
+            .set("aliases", Json::Arr(entry.aliases.iter().map(|&a| Json::from(a)).collect()))
+            .set("needs_next_use", entry.needs_next_use());
+        list.push(item);
+    }
+    let mut doc = Json::obj();
+    doc.set("policies", Json::Arr(list))
+        .set("parameterized", Json::Arr(vec![Json::from("GSPZTC(t=N)")]));
+    Response::json(doc.to_string_pretty())
+}
+
+fn apps_response() -> Response {
+    let mut list = Vec::new();
+    for app in AppProfile::all() {
+        let mut item = Json::obj();
+        item.set("name", app.name)
+            .set("abbrev", app.abbrev)
+            .set("dx_version", app.dx_version)
+            .set("width", app.width)
+            .set("height", app.height)
+            .set("frames", app.frames);
+        list.push(item);
+    }
+    let mut doc = Json::obj();
+    doc.set("apps", Json::Arr(list));
+    Response::json(doc.to_string_pretty())
+}
+
+fn metrics_response(inner: &Arc<Inner>) -> Response {
+    let (depth, running) = {
+        let q = inner.queue.lock().expect("queue lock");
+        (q.queue.len(), q.running)
+    };
+    let tracked = inner.jobs.lock().expect("jobs lock").len();
+    Response::new(200).with_text(inner.metrics.render(depth, running, tracked))
+}
+
+fn shutdown_response(inner: &Arc<Inner>) -> Response {
+    if !inner.allow_http_shutdown {
+        return Response::new(404).with_json(error_body("shutdown endpoint disabled"));
+    }
+    inner.begin_shutdown();
+    let mut doc = Json::obj();
+    doc.set("draining", true).set("default_scale", scale_name(inner.default_scale));
+    Response::json(doc.to_string_pretty())
+}

@@ -1,0 +1,282 @@
+//! Job specifications: request parsing, validation, canonicalization, and
+//! content addressing.
+//!
+//! A job names a slice of the (app, frame, policy) grid plus the LLC
+//! geometry to replay it against. Two textually different requests that
+//! mean the same slice (reordered apps, duplicate policies, defaulted
+//! fields) normalize to one **canonical spec**; the SHA-256 digest of the
+//! canonical JSON — covering the resolved app list, frame count, policy
+//! list, derived LLC geometry, scale, and observer set — is the job id
+//! and the result-cache key. Identical work therefore dedupes across
+//! requests, processes, and (through the disk tier) daemon restarts.
+
+use grbench::ExperimentConfig;
+use grjson::Json;
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+
+use crate::hash;
+
+/// Spec format version, embedded in the canonical encoding so a future
+/// payload change invalidates old cache entries instead of serving them.
+const SPEC_VERSION: u64 = 1;
+
+/// A validated, canonicalized job specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Application abbreviations, deduplicated, in Table 1 order.
+    pub apps: Vec<String>,
+    /// Frames per application (each app clamped to its captured count).
+    pub frames: u32,
+    /// Policy registry names, deduplicated, in request order.
+    pub policies: Vec<String>,
+    /// LLC capacity in paper-equivalent megabytes.
+    pub llc_mb: u64,
+    /// Rendering scale (shrinks the LLC by the square of the divisor, as
+    /// everywhere else in the harness).
+    pub scale: Scale,
+    /// Attach the characterization observer and include its report.
+    pub characterize: bool,
+}
+
+/// The environment-variable spelling of a scale, inverse of
+/// [`Scale::from_name`].
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Full => "full",
+        Scale::Half => "half",
+        Scale::Quarter => "quarter",
+        Scale::Tiny => "tiny",
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a `POST /v1/jobs` body. `default_scale` fills
+    /// a missing `"scale"` field (the daemon passes its startup scale).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field; the server
+    /// returns it in a 400 body.
+    pub fn parse(body: &str, default_scale: Scale) -> Result<JobSpec, String> {
+        let doc = Json::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+        let entries = doc.entries().ok_or("job spec must be a JSON object")?;
+
+        for (key, _) in entries {
+            if !matches!(
+                key.as_str(),
+                "apps" | "frames" | "policies" | "llc_mb" | "scale" | "characterize"
+            ) {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+
+        let policies = match doc.get("policies") {
+            Some(Json::Arr(items)) if !items.is_empty() => {
+                let mut out: Vec<String> = Vec::new();
+                for item in items {
+                    let name = item.as_str().ok_or("policies entries must be strings")?;
+                    if registry::create(name, &grcache::LlcConfig::mb(8)).is_none() {
+                        return Err(format!("unknown policy {name:?}; see GET /v1/policies"));
+                    }
+                    if !out.iter().any(|p| p == name) {
+                        out.push(name.to_string());
+                    }
+                }
+                out
+            }
+            Some(_) => return Err("policies must be a non-empty array".into()),
+            None => return Err("missing required field \"policies\"".into()),
+        };
+
+        let all_apps = AppProfile::all();
+        let apps = match doc.get("apps") {
+            None => all_apps.iter().map(|a| a.abbrev.to_string()).collect(),
+            Some(Json::Arr(items)) if items.is_empty() => {
+                all_apps.iter().map(|a| a.abbrev.to_string()).collect()
+            }
+            Some(Json::Arr(items)) => {
+                let mut requested = Vec::new();
+                for item in items {
+                    let name = item.as_str().ok_or("apps entries must be strings")?;
+                    if AppProfile::by_abbrev(name).is_none() {
+                        return Err(format!("unknown app {name:?}; see GET /v1/apps"));
+                    }
+                    requested.push(name);
+                }
+                // Canonical order is Table 1 order, regardless of request
+                // order — reordered requests hash identically.
+                all_apps
+                    .iter()
+                    .filter(|a| requested.contains(&a.abbrev))
+                    .map(|a| a.abbrev.to_string())
+                    .collect()
+            }
+            Some(_) => return Err("apps must be an array of abbreviations".into()),
+        };
+
+        let frames = match doc.get("frames") {
+            None => 1,
+            Some(Json::UInt(n @ 1..=52)) => *n as u32,
+            Some(_) => return Err("frames must be an integer in 1..=52".into()),
+        };
+
+        let llc_mb = match doc.get("llc_mb") {
+            None => 8,
+            Some(Json::UInt(n @ 1..=64)) => *n,
+            Some(_) => return Err("llc_mb must be an integer in 1..=64".into()),
+        };
+
+        let scale = match doc.get("scale") {
+            None => default_scale,
+            Some(Json::Str(s)) => Scale::from_name(s)
+                .ok_or_else(|| format!("unknown scale {s:?} (full|half|quarter|tiny)"))?,
+            Some(_) => return Err("scale must be a string".into()),
+        };
+
+        let characterize = match doc.get("characterize") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("characterize must be a boolean".into()),
+        };
+
+        Ok(JobSpec { apps, frames, policies, llc_mb, scale, characterize })
+    }
+
+    /// The experiment configuration this spec runs under.
+    pub fn config(&self) -> ExperimentConfig {
+        ExperimentConfig { scale: self.scale, frames_per_app: Some(self.frames) }
+    }
+
+    /// The canonical JSON encoding — the content that is addressed.
+    ///
+    /// Includes the *derived* LLC geometry, not just `llc_mb`: if the
+    /// scale→geometry rule ever changes, every cache key changes with it
+    /// and stale results can never be served.
+    pub fn canonical_json(&self) -> Json {
+        let llc = self.config().llc(self.llc_mb);
+        let mut geometry = Json::obj();
+        geometry
+            .set("size_bytes", llc.size_bytes)
+            .set("ways", llc.ways as u64)
+            .set("banks", llc.banks as u64)
+            .set("sample_period", llc.sample_period as u64);
+        let mut doc = Json::obj();
+        doc.set("version", SPEC_VERSION)
+            .set("scale", scale_name(self.scale))
+            .set("apps", Json::Arr(self.apps.iter().map(|a| Json::from(a.as_str())).collect()))
+            .set("frames", self.frames)
+            .set(
+                "policies",
+                Json::Arr(self.policies.iter().map(|p| Json::from(p.as_str())).collect()),
+            )
+            .set("llc_mb", self.llc_mb)
+            .set("characterize", self.characterize)
+            .set("geometry", geometry);
+        doc
+    }
+
+    /// The job id: SHA-256 over the canonical JSON bytes, lowercase hex.
+    pub fn id(&self) -> String {
+        hash::sha256_hex(self.canonical_json().to_string_pretty().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_fills_defaults() {
+        let spec = JobSpec::parse(r#"{"policies": ["NRU"]}"#, Scale::Tiny).unwrap();
+        assert_eq!(spec.apps.len(), 12, "missing apps = whole workload");
+        assert_eq!(spec.frames, 1);
+        assert_eq!(spec.llc_mb, 8);
+        assert_eq!(spec.scale, Scale::Tiny);
+        assert!(!spec.characterize);
+    }
+
+    #[test]
+    fn equivalent_requests_share_one_id() {
+        let a = JobSpec::parse(
+            r#"{"policies": ["NRU", "DRRIP", "NRU"], "apps": ["HAWX", "BioShock"]}"#,
+            Scale::Tiny,
+        )
+        .unwrap();
+        let b = JobSpec::parse(
+            r#"{"apps": ["BioShock", "HAWX", "BioShock"], "frames": 1,
+                "policies": ["NRU", "DRRIP"], "llc_mb": 8, "scale": "tiny",
+                "characterize": false}"#,
+            Scale::Full,
+        )
+        .unwrap();
+        assert_eq!(a, b, "defaults, duplicates, and app order must normalize away");
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.id().len(), 64);
+    }
+
+    #[test]
+    fn policy_order_is_significant_but_duplicates_are_not() {
+        let ab = JobSpec::parse(r#"{"policies": ["NRU", "DRRIP"]}"#, Scale::Tiny).unwrap();
+        let ba = JobSpec::parse(r#"{"policies": ["DRRIP", "NRU"]}"#, Scale::Tiny).unwrap();
+        // Policy order shapes the payload, so it stays in the identity.
+        assert_ne!(ab.id(), ba.id());
+    }
+
+    #[test]
+    fn every_knob_changes_the_id() {
+        let base = JobSpec::parse(r#"{"policies": ["NRU"]}"#, Scale::Tiny).unwrap();
+        let variants = [
+            r#"{"policies": ["LRU"]}"#,
+            r#"{"policies": ["NRU"], "apps": ["HAWX"]}"#,
+            r#"{"policies": ["NRU"], "frames": 2}"#,
+            r#"{"policies": ["NRU"], "llc_mb": 16}"#,
+            r#"{"policies": ["NRU"], "scale": "quarter"}"#,
+            r#"{"policies": ["NRU"], "characterize": true}"#,
+        ];
+        for body in variants {
+            let spec = JobSpec::parse(body, Scale::Tiny).unwrap();
+            assert_ne!(spec.id(), base.id(), "variant {body} collided with base");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let cases = [
+            ("not json", "valid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            ("{}", "missing required field"),
+            (r#"{"policies": []}"#, "non-empty"),
+            (r#"{"policies": ["PLRU"]}"#, "unknown policy"),
+            (r#"{"policies": [1]}"#, "must be strings"),
+            (r#"{"policies": ["NRU"], "apps": ["NotAnApp"]}"#, "unknown app"),
+            (r#"{"policies": ["NRU"], "frames": 0}"#, "1..=52"),
+            (r#"{"policies": ["NRU"], "frames": 53}"#, "1..=52"),
+            (r#"{"policies": ["NRU"], "llc_mb": 0}"#, "1..=64"),
+            (r#"{"policies": ["NRU"], "scale": "huge"}"#, "unknown scale"),
+            (r#"{"policies": ["NRU"], "characterize": "yes"}"#, "boolean"),
+            (r#"{"policies": ["NRU"], "color": "red"}"#, "unknown field"),
+        ];
+        for (body, fragment) in cases {
+            let err = JobSpec::parse(body, Scale::Tiny).expect_err(body);
+            assert!(err.contains(fragment), "{body}: error {err:?} missing {fragment:?}");
+        }
+    }
+
+    #[test]
+    fn parameterized_gspztc_is_accepted() {
+        let spec = JobSpec::parse(r#"{"policies": ["GSPZTC(t=2)"]}"#, Scale::Tiny).unwrap();
+        assert_eq!(spec.policies, vec!["GSPZTC(t=2)".to_string()]);
+    }
+
+    #[test]
+    fn canonical_json_embeds_derived_geometry() {
+        let spec =
+            JobSpec::parse(r#"{"policies": ["NRU"], "scale": "tiny"}"#, Scale::Half).unwrap();
+        let doc = spec.canonical_json();
+        let geometry = doc.get("geometry").expect("geometry object");
+        // tiny = divisor 8 → 8 MB / 64 = 128 KB.
+        assert_eq!(geometry.get("size_bytes").and_then(Json::as_f64), Some(131072.0));
+        assert_eq!(geometry.get("ways").and_then(Json::as_f64), Some(16.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Direct edge-case coverage for [`ChainSource`], which until now was only
+//! exercised indirectly through `run_frame_sequence`: empty sources at any
+//! position, single-chunk sub-sources, chained `.nu` annotations, and
+//! mixed annotated/unannotated chains.
+
+use grtrace::{Access, AccessSource, ChainSource, SliceSource, StreamId, Trace};
+
+fn trace(frame: u32, n: u64) -> Trace {
+    let mut t = Trace::new("chain-test", frame);
+    for i in 0..n {
+        t.push(Access::load(frame as u64 * 0x1_0000 + i * 64, StreamId::Texture));
+    }
+    t
+}
+
+/// Drains a source, collecting one `(accesses, next_uses)` pair per chunk
+/// so tests can assert on chunk *boundaries*, not just the concatenation.
+fn drain_chunks(mut src: impl AccessSource) -> Vec<(Vec<Access>, Option<Vec<u64>>)> {
+    let mut out = Vec::new();
+    while src.advance().expect("in-memory sources cannot fail") {
+        let c = src.chunk();
+        assert!(!c.accesses.is_empty(), "sources never expose empty chunks");
+        if let Some(nu) = c.next_uses {
+            assert_eq!(nu.len(), c.accesses.len(), "annotation must stay parallel");
+        }
+        out.push((c.accesses.to_vec(), c.next_uses.map(<[u64]>::to_vec)));
+    }
+    out
+}
+
+#[test]
+fn empty_sources_are_skipped_at_every_position() {
+    // Leading, inner, consecutive-inner, and trailing empties: the chain
+    // must skip them without ever exposing an empty chunk.
+    let e0 = trace(0, 0);
+    let a = trace(1, 3);
+    let e1 = trace(2, 0);
+    let e2 = trace(3, 0);
+    let b = trace(4, 2);
+    let e3 = trace(5, 0);
+    let chain = ChainSource::new(vec![
+        e0.source(),
+        a.source(),
+        e1.source(),
+        e2.source(),
+        b.source(),
+        e3.source(),
+    ]);
+    assert_eq!(chain.len_hint(), Some(5));
+    let chunks = drain_chunks(chain);
+    assert_eq!(chunks.len(), 2, "only the two non-empty sources yield chunks");
+    assert_eq!(chunks[0].0, a.accesses());
+    assert_eq!(chunks[1].0, b.accesses());
+}
+
+#[test]
+fn chain_of_only_empty_sources_is_exhausted_immediately() {
+    let e0 = trace(0, 0);
+    let e1 = trace(1, 0);
+    let mut chain = ChainSource::new(vec![e0.source(), e1.source()]);
+    assert_eq!(chain.len_hint(), Some(0));
+    assert!(!chain.advance().unwrap());
+    // Exhaustion is sticky: advancing again still reports end-of-stream.
+    assert!(!chain.advance().unwrap());
+}
+
+#[test]
+fn single_chunk_sources_keep_their_boundaries() {
+    // SliceSource is a single-chunk source; a chain of N of them yields
+    // exactly N chunks in order, never coalescing or splitting.
+    let frames: Vec<Trace> = (0..4).map(|f| trace(f, u64::from(f) + 1)).collect();
+    let chain = ChainSource::new(frames.iter().map(Trace::source).collect());
+    let chunks = drain_chunks(chain);
+    assert_eq!(chunks.len(), frames.len());
+    for (chunk, frame) in chunks.iter().zip(&frames) {
+        assert_eq!(chunk.0, frame.accesses());
+        assert_eq!(chunk.1, None, "unannotated sources carry no next-use");
+    }
+}
+
+#[test]
+fn chained_annotations_stay_with_their_frame() {
+    // Per-frame `.nu` annotations (the persistent-LLC sequence mode):
+    // each chunk must expose exactly its own frame's annotation slice.
+    let f0 = trace(0, 3);
+    let f1 = trace(1, 2);
+    let nu0 = vec![2u64, u64::MAX, 5];
+    let nu1 = vec![u64::MAX, u64::MAX];
+    let chain = ChainSource::new(vec![f0.source_annotated(&nu0), f1.source_annotated(&nu1)]);
+    let chunks = drain_chunks(chain);
+    assert_eq!(chunks.len(), 2);
+    assert_eq!(chunks[0].1.as_deref(), Some(&nu0[..]));
+    assert_eq!(chunks[1].1.as_deref(), Some(&nu1[..]));
+}
+
+#[test]
+fn mixed_annotated_and_plain_sources_chain() {
+    // An annotated frame followed by a plain one: the annotation must not
+    // leak across the boundary in either direction.
+    let f0 = trace(0, 2);
+    let f1 = trace(1, 3);
+    let nu0 = vec![9u64, u64::MAX];
+    let chain = ChainSource::new(vec![
+        SliceSource::new(f0.accesses(), Some(&nu0)),
+        SliceSource::new(f1.accesses(), None),
+    ]);
+    let chunks = drain_chunks(chain);
+    assert_eq!(chunks[0].1.as_deref(), Some(&nu0[..]));
+    assert_eq!(chunks[1].1, None);
+}
+
+#[test]
+fn nested_chains_flatten_transparently() {
+    // A chain of chains is itself a valid source — run_frame_sequence
+    // composes sources this way when batching frame ranges.
+    let a = trace(0, 1);
+    let b = trace(1, 2);
+    let c = trace(2, 3);
+    let inner0 = ChainSource::new(vec![a.source(), b.source()]);
+    let inner1 = ChainSource::new(vec![c.source()]);
+    let outer = ChainSource::new(vec![inner0, inner1]);
+    assert_eq!(outer.len_hint(), Some(6));
+    let all: Vec<Access> = drain_chunks(outer).into_iter().flat_map(|(acc, _)| acc).collect();
+    let want: Vec<Access> = [a.accesses(), b.accesses(), c.accesses()].concat();
+    assert_eq!(all, want);
+}

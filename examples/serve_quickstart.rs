@@ -1,0 +1,98 @@
+//! Quickstart for the serving layer: boot an in-process daemon on an
+//! ephemeral port, submit a policy-comparison job over HTTP, poll it to
+//! completion, and show the result-cache answering the resubmission.
+//!
+//! ```text
+//! GR_SCALE=tiny cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The same API is reachable from outside the process via the `grserved`
+//! binary and plain `curl`; see the README "Serving" section.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gpu_llc_repro::json::Json;
+use gpu_llc_repro::serve::{self, ServerConfig};
+use gpu_llc_repro::synth::Scale;
+
+/// A minimal `Connection: close` HTTP exchange; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("response head");
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, payload.to_string())
+}
+
+fn main() {
+    // An in-process server: ephemeral port, tiny scale for a fast demo.
+    let server = serve::start(ServerConfig {
+        default_scale: Scale::Tiny,
+        result_cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr().to_string();
+    println!("serving on http://{addr}");
+
+    // Submit: DRRIP vs GSPC+UCD on one HAWX frame.
+    let spec = r#"{"policies": ["DRRIP", "GSPC+UCD"], "apps": ["HAWX"]}"#;
+    let (status, body) = http(&addr, "POST", "/v1/jobs", spec);
+    let doc = Json::parse(&body).expect("submit response");
+    let id = doc.get("id").and_then(Json::as_str).expect("job id").to_string();
+    println!("submitted ({status}): job {}…", &id[..16]);
+
+    // Poll the job to completion.
+    let result = loop {
+        let (_, body) = http(&addr, "GET", &format!("/v1/jobs/{id}"), "");
+        let doc = Json::parse(&body).expect("status response");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => break doc,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+
+    let misses = |policy: &str| {
+        result
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(|r| r.get(policy))
+            .and_then(|r| r.get("HAWX"))
+            .and_then(|r| r.get("misses"))
+            .and_then(Json::as_f64)
+            .expect("miss count")
+    };
+    let drrip = misses("DRRIP");
+    let gspc = misses("GSPC+UCD");
+    println!("DRRIP    misses: {drrip}");
+    println!("GSPC+UCD misses: {gspc}");
+    println!("GSPC+UCD saves {:.1}% of LLC misses", 100.0 * (drrip - gspc) / drrip);
+
+    // Submit the identical spec again: the content-addressed result cache
+    // answers without replaying anything.
+    let (status, body) = http(&addr, "POST", "/v1/jobs", spec);
+    let doc = Json::parse(&body).expect("resubmit response");
+    println!(
+        "resubmission ({status}): state={} cached={}",
+        doc.get("state").and_then(Json::as_str).unwrap_or("?"),
+        doc.get("cached").map(|c| c.to_string_pretty()).unwrap_or_default()
+    );
+
+    server.shutdown_and_join();
+    println!("drained cleanly");
+}

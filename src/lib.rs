@@ -8,11 +8,15 @@
 //! * [`cache`] — render caches and the banked LLC simulator,
 //! * [`policies`] — the GSPC family and all baselines,
 //! * [`dram`] — the DDR3 timing model,
-//! * [`gpu`] — the GPU interval timing model.
+//! * [`gpu`] — the GPU interval timing model,
+//! * [`json`] — the dependency-free JSON codec,
+//! * [`serve`] — the simulation-as-a-service daemon layer.
 
 pub use grcache as cache;
 pub use grdram as dram;
 pub use grgpu as gpu;
+pub use grjson as json;
+pub use grserve as serve;
 pub use grsynth as synth;
 pub use grtrace as trace;
 pub use gspc as policies;
