@@ -3,26 +3,31 @@
 //! ```text
 //! grbench perf                                   # default sweep -> BENCH_replay.json
 //! grbench perf --policies NRU,SRRIP --min-secs 1
+//! grbench perf --scales tiny --lanes 8
 //! grbench perf --baseline BENCH_baseline.json    # regression gate (exit 1)
 //! ```
 //!
-//! `perf` times the LLC replay loop per policy through both registry front
-//! ends (monomorphized visitor vs boxed fallback) on one cached synthesized
-//! frame and writes the rates to a JSON document (see
-//! [`grbench::perfbench`]). With `--baseline` it compares the normalized
-//! per-policy rates against a committed run and exits non-zero when any
-//! policy regresses more than the tolerance.
+//! `perf` times the LLC replay loop per policy through four modes —
+//! scalar-pinned mono, batched mono, boxed fallback, and interleaved
+//! lanes — on cached synthesized frames at every requested scale, and
+//! writes the rates to a JSON document (see [`grbench::perfbench`]). With
+//! `--baseline` it compares the normalized per-policy rates (mono *and*
+//! scalar path, per scale) against a committed run and exits non-zero
+//! when anything regresses more than the tolerance.
 //!
-//! Honours `GR_SCALE` and `GR_TRACE_CACHE`; run with `GR_THREADS=1` for
-//! the least noisy numbers (the benchmark itself is single-threaded).
+//! Honours `GR_SIMD` (probe-kernel selection for the non-scalar modes)
+//! and `GR_TRACE_CACHE`; run with `GR_THREADS=1` for the least noisy
+//! numbers (the benchmark itself is single-threaded).
 
-use grbench::perfbench::{self, PerfOptions};
+use grbench::perfbench::{self, scale_name, PerfOptions};
 use grbench::{json::Json, ExperimentConfig};
+use grsynth::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: grbench perf [--policies A,B,...] [--app APP] [--frame N] [--mb MB]\n\
-         \x20                [--min-secs S] [--out PATH] [--baseline PATH] [--tolerance F]"
+         \x20                [--min-secs S] [--scales tiny,quarter,...] [--lanes K]\n\
+         \x20                [--out PATH] [--baseline PATH] [--tolerance F]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,13 @@ fn perf(args: &[String]) {
             "--frame" => opts.frame = value().parse().unwrap_or_else(|_| usage()),
             "--mb" => opts.llc_paper_mb = value().parse().unwrap_or_else(|_| usage()),
             "--min-secs" => opts.min_secs = value().parse().unwrap_or_else(|_| usage()),
+            "--scales" => {
+                opts.scales = value()
+                    .split(',')
+                    .map(|s| Scale::from_name(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--lanes" => opts.lanes = value().parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = value(),
             "--baseline" => baseline_path = Some(value()),
             "--tolerance" => tolerance = value().parse().unwrap_or_else(|_| usage()),
@@ -63,26 +75,37 @@ fn perf(args: &[String]) {
     let report = perfbench::run(&opts, &cfg);
     let doc = report.to_json(&perfbench::git_rev());
 
-    for rate in &report.rates {
+    for sr in &report.scales {
         println!(
-            "{:<14} mono {:>12.0} acc/s   boxed {:>12.0} acc/s   speedup {:.2}x",
-            rate.name,
-            rate.mono,
-            rate.boxed,
-            rate.speedup()
+            "[{}] {} accesses/replay, {} lanes",
+            scale_name(sr.scale),
+            sr.accesses_per_replay,
+            report.lanes
+        );
+        let line = |name: &str, scalar: f64, mono: f64, boxed: f64, lanes: f64| {
+            println!(
+                "  {:<12} scalar {:>11.0}   mono {:>11.0}   boxed {:>11.0}   lanes {:>11.0}   \
+                 simd {:.2}x   lanes {:.2}x",
+                name,
+                scalar,
+                mono,
+                boxed,
+                lanes,
+                if scalar > 0.0 { mono / scalar } else { 0.0 },
+                if scalar > 0.0 { lanes / scalar } else { 0.0 },
+            );
+        };
+        for rate in &sr.rates {
+            line(&rate.name, rate.scalar, rate.mono, rate.boxed, rate.lanes);
+        }
+        line(
+            "geomean",
+            sr.geomean_scalar(),
+            sr.geomean_mono(),
+            sr.geomean_boxed(),
+            sr.geomean_lanes(),
         );
     }
-    println!(
-        "{:<14} mono {:>12.0} acc/s   boxed {:>12.0} acc/s   speedup {:.2}x",
-        "geomean",
-        report.geomean_mono(),
-        report.geomean_boxed(),
-        if report.geomean_boxed() > 0.0 {
-            report.geomean_mono() / report.geomean_boxed()
-        } else {
-            0.0
-        }
-    );
 
     std::fs::write(&out_path, doc.to_string_pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use grcache::{
     CharReport, CharTracker, InvariantObserver, Llc, LlcConfig, LlcObserver, LlcStats, MemoryLog,
-    NullObserver, Policy,
+    NullObserver, Policy, ProbeKind,
 };
 use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
@@ -92,6 +92,13 @@ pub struct RunOptions {
     /// access's sequence number. Defaults to the `GR_CHECK` environment
     /// variable.
     pub check: bool,
+    /// Force a specific probe kernel ([`grcache::ProbeKind`]) for every
+    /// replay instead of the process-wide `GR_SIMD` resolution. Results
+    /// are bit-identical across kernels — this exists so verification
+    /// sweeps can exercise the scalar and vector paths side by side in one
+    /// process. `None` keeps the default (`GR_SIMD`, else the widest
+    /// kernel the host supports).
+    pub probe: Option<ProbeKind>,
 }
 
 impl RunOptions {
@@ -124,6 +131,7 @@ impl RunOptions {
             streamed: streamed_from_env(),
             boxed: boxed_from_env(),
             check: check_from_env(),
+            probe: None,
         }
     }
 }
@@ -613,6 +621,9 @@ fn replay_with<P: Policy, O: LlcObserver, S: grtrace::AccessSource>(
     opts: &RunOptions,
 ) -> CellResult {
     let mut llc = Llc::with_observer(llc_cfg, policy, observer);
+    if let Some(kind) = opts.probe {
+        llc.set_probe_kind(kind);
+    }
     let n = llc.run_source(source).expect("streaming replay failed");
     finish_cell(&llc, n, started, work, opts)
 }

@@ -1,0 +1,119 @@
+//! Bit-identity of the replay core's probe kernels.
+//!
+//! The vectorized probe-and-retire path ([`grcache::ProbeKind`]'s batched
+//! kernels) exists purely for speed: for **every** registered policy it
+//! must produce the same statistics, the same DRAM-bound memory log, and
+//! the same characterization report as the scalar per-access loop on the
+//! same trace. The batched front-end reorders *work* (map, probe, retire
+//! phases) but never *observable effects* — retirement happens in arrival
+//! order and in-batch fill collisions re-probe — so a divergence here
+//! means the batch driver leaked a reordering.
+
+use grbench::framecache;
+use grcache::{CharReport, CharTracker, Llc, LlcConfig, LlcStats, MemoryLog, Policy, ProbeKind};
+use grsynth::{AppProfile, Scale};
+use gspc::registry;
+use gspc::registry::PolicyVisitor;
+
+/// Everything one replay observes: stats, memory log, characterization.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    stats: LlcStats,
+    memory_log: Vec<(u64, bool)>,
+    chars: CharReport,
+}
+
+fn replay<P: Policy>(
+    policy: P,
+    data: &framecache::FrameData,
+    llc_cfg: LlcConfig,
+    kind: ProbeKind,
+) -> Observed {
+    let observer = (CharTracker::new(&llc_cfg), MemoryLog::new());
+    let mut llc = Llc::with_observer(llc_cfg, policy, observer);
+    llc.set_probe_kind(kind);
+    let served = if registry::needs_next_use(llc.policy().name()) {
+        llc.run_source(&mut data.trace.source_annotated(data.next_use()))
+    } else {
+        llc.run_source(&mut data.trace.source())
+    };
+    served.expect("in-memory replay cannot fail");
+    Observed {
+        stats: llc.stats().clone(),
+        memory_log: llc.memory_log().expect("memory log attached").to_vec(),
+        chars: llc.characterization().expect("characterization attached").clone(),
+    }
+}
+
+struct Replay<'a> {
+    data: &'a framecache::FrameData,
+    llc_cfg: LlcConfig,
+    kind: ProbeKind,
+}
+
+impl PolicyVisitor for Replay<'_> {
+    type Output = Observed;
+    fn visit<P: Policy + 'static>(self, policy: P) -> Observed {
+        replay(policy, self.data, self.llc_cfg, self.kind)
+    }
+}
+
+/// Every registry entry (plus the parameterized GSPZTC spelling) observes
+/// identically under every probe kernel the host supports, through the
+/// monomorphized dispatch path.
+#[test]
+fn every_policy_is_bit_identical_across_probe_kernels() {
+    let app = AppProfile::by_abbrev("BioShock").expect("BioShock profile");
+    let data = framecache::frame_data(&app, 0, Scale::Tiny);
+    let llc_cfg = LlcConfig { size_bytes: 128 * 1024, ways: 16, banks: 4, sample_period: 64 };
+
+    let mut names: Vec<&str> = registry::ALL_POLICIES.iter().map(|e| e.name).collect();
+    names.push("GSPZTC(t=2)");
+    let kinds = ProbeKind::all_available();
+    assert_eq!(kinds[0], ProbeKind::Scalar, "scalar is the reference kernel");
+    for name in names {
+        let visit = |kind| Replay { data: &data, llc_cfg, kind };
+        let scalar = registry::with_policy(name, &llc_cfg, visit(ProbeKind::Scalar))
+            .unwrap_or_else(|| panic!("{name} not in registry"));
+        assert!(
+            scalar.stats.total_hits() + scalar.stats.total_misses() > 0,
+            "{name} replayed nothing"
+        );
+        for &kind in &kinds[1..] {
+            let batched = registry::with_policy(name, &llc_cfg, visit(kind))
+                .unwrap_or_else(|| panic!("{name} not in registry"));
+            assert_eq!(scalar.stats, batched.stats, "stats diverged for {name} under {kind:?}");
+            assert_eq!(
+                scalar.memory_log, batched.memory_log,
+                "memory log diverged for {name} under {kind:?}"
+            );
+            assert_eq!(
+                scalar.chars, batched.chars,
+                "characterization diverged for {name} under {kind:?}"
+            );
+        }
+    }
+}
+
+/// The boxed dispatch path composes with the batched front-end the same
+/// way: `Box<dyn Policy>` under the widest kernel matches the scalar
+/// monomorphized reference.
+#[test]
+fn boxed_dispatch_matches_scalar_under_widest_kernel() {
+    let app = AppProfile::by_abbrev("HAWX").expect("HAWX profile");
+    let data = framecache::frame_data(&app, 0, Scale::Tiny);
+    let llc_cfg = LlcConfig { size_bytes: 128 * 1024, ways: 16, banks: 4, sample_period: 64 };
+
+    for name in ["NRU", "SRRIP", "GSPC+UCD", "OPT"] {
+        let scalar = registry::with_policy(
+            name,
+            &llc_cfg,
+            Replay { data: &data, llc_cfg, kind: ProbeKind::Scalar },
+        )
+        .unwrap_or_else(|| panic!("{name} not in registry"));
+        let boxed_policy =
+            registry::create(name, &llc_cfg).unwrap_or_else(|| panic!("{name} not in registry"));
+        let boxed = replay(boxed_policy, &data, llc_cfg, ProbeKind::best_available());
+        assert_eq!(scalar, boxed, "boxed+{:?} diverged for {name}", ProbeKind::best_available());
+    }
+}

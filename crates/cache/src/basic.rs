@@ -42,7 +42,6 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct LruCache {
     cfg: CacheConfig,
-    set_mask: u64,
     lines: Vec<Line>,
     hits: u64,
     misses: u64,
@@ -51,14 +50,7 @@ pub struct LruCache {
 impl LruCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = cfg.sets();
-        LruCache {
-            cfg,
-            set_mask: sets as u64 - 1,
-            lines: vec![Line::default(); sets * cfg.ways],
-            hits: 0,
-            misses: 0,
-        }
+        LruCache { cfg, lines: vec![Line::default(); cfg.blocks()], hits: 0, misses: 0 }
     }
 
     /// The cache geometry.
@@ -80,8 +72,7 @@ impl LruCache {
     /// Stores mark the block dirty; displacing a dirty block reports a
     /// writeback.
     pub fn access(&mut self, block: u64, write: bool) -> Lookup {
-        let set = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.count_ones();
+        let (set, tag) = self.cfg.map(block);
         let ways = self.cfg.ways;
         let base = set * ways;
         let set_lines = &mut self.lines[base..base + ways];
@@ -110,9 +101,11 @@ impl LruCache {
                 .map(|(i, _)| i)
                 .expect("non-empty set")
         });
+        // The victim's address is reconstructed through the same
+        // map/unmap pair the LLC's writeback path uses, so the stored tag
+        // and the set index always recompose to the original block.
         let writeback = if set_lines[victim].valid && set_lines[victim].dirty {
-            let victim_tag = set_lines[victim].tag;
-            Some((victim_tag << self.set_mask.count_ones()) | set as u64)
+            Some(self.cfg.unmap(set, set_lines[victim].tag))
         } else {
             None
         };
@@ -128,13 +121,13 @@ impl LruCache {
     /// Drains every dirty block, returning their block addresses. Used at
     /// end-of-frame to flush pending writebacks into the LLC trace.
     pub fn flush_dirty(&mut self) -> Vec<u64> {
-        let set_bits = self.set_mask.count_ones();
         let ways = self.cfg.ways;
+        let cfg = self.cfg;
         let mut out = Vec::new();
-        for set in 0..self.cfg.sets() {
+        for set in 0..cfg.sets() {
             for l in &mut self.lines[set * ways..(set + 1) * ways] {
                 if l.valid && l.dirty {
-                    out.push((l.tag << set_bits) | set as u64);
+                    out.push(cfg.unmap(set, l.tag));
                     l.dirty = false;
                 }
             }
@@ -215,6 +208,36 @@ mod tests {
         dirty.sort_unstable();
         assert_eq!(dirty, vec![0, 1]);
         assert!(c.flush_dirty().is_empty());
+    }
+
+    /// Under random mixed traffic on a multi-set geometry, every address
+    /// the cache reports — eviction writebacks and end-of-frame flushes —
+    /// reconstructs to a block that was actually written: the stored tag
+    /// and set index round-trip through the shared map/unmap math.
+    #[test]
+    fn writebacks_reconstruct_previously_written_blocks() {
+        use std::collections::HashSet;
+        let mut c = LruCache::new(CacheConfig::kb(16, 16)); // 16 sets x 16 ways
+        let mut written = HashSet::new();
+        let mut x = 0x243F6A8885A308D3u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let block = x % 4096;
+            let write = x.is_multiple_of(3);
+            if write {
+                written.insert(block);
+            }
+            if let Lookup::Miss { writeback: Some(wb) } = c.access(block, write) {
+                assert!(written.contains(&wb), "writeback of never-written block {wb}");
+            }
+        }
+        let flushed = c.flush_dirty();
+        assert!(!flushed.is_empty(), "random write traffic left no dirty blocks");
+        for wb in flushed {
+            assert!(written.contains(&wb), "flush of never-written block {wb}");
+        }
     }
 
     #[test]

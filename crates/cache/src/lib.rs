@@ -38,15 +38,17 @@ pub mod llc;
 pub mod observe;
 pub mod optgen;
 pub mod policy;
+pub mod probe;
 pub mod render;
 pub mod stats;
 
 pub use basic::{Lookup, LruCache};
 pub use chartrack::{CharReport, CharTracker};
 pub use config::{CacheConfig, LlcConfig, LlcGeometry};
-pub use llc::{AccessResult, Llc};
+pub use llc::{replay_lanes, AccessResult, Llc};
 pub use observe::{InvariantObserver, LlcObserver, MemoryLog, NullObserver, SetSnapshot};
 pub use optgen::annotate_next_use;
 pub use policy::{AccessInfo, Block, FillInfo, Policy};
+pub use probe::ProbeKind;
 pub use render::{RenderCaches, TextureHierarchyConfig};
 pub use stats::LlcStats;

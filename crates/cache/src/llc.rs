@@ -12,15 +12,38 @@
 //! pushes events into one composable [`LlcObserver`] chosen at
 //! construction. The default [`NullObserver`] instantiation carries zero
 //! per-access instrumentation branches.
+//!
+//! # The batched replay core
+//!
+//! Slice replays ([`Llc::run_trace`] / [`Llc::run_source`]) retire
+//! accesses through a three-phase batch driver: a *map* phase computes
+//! every slot's `(bank, set, tag)` coordinates and prefetches its mirror
+//! words, a *probe* phase lane-compares the whole batch against the packed
+//! mirror ([`crate::probe`]), and a *retire* phase consumes the slots
+//! strictly in arrival order. Because the probe reads only the tag words
+//! and validity mask, and a *fill* is the only event that writes them, the
+//! up-front probes are exact unless an earlier access in the same batch
+//! filled the same set — the retire phase tracks in-batch fills and
+//! re-probes exactly those collided slots against the live mirror. The
+//! result is bit-identical to the sequential loop for every policy and
+//! observer: same stats, same memory-log order, same characterization.
+//! `GR_SIMD=0` (or [`Llc::set_probe_kind`] with [`ProbeKind::Scalar`])
+//! selects the original unbatched per-access loop at runtime.
 
 use std::io;
 
 use grtrace::{Access, AccessSource, Chunk, Trace};
 
+use crate::probe::{self, probe_batch, Slot};
 use crate::{
     AccessInfo, Block, CharTracker, LlcConfig, LlcGeometry, LlcObserver, LlcStats, MemoryLog,
-    NullObserver, Policy, SetSnapshot,
+    NullObserver, Policy, ProbeKind, SetSnapshot,
 };
+
+/// Accesses retired per batch of the vectorized replay driver. Sixteen
+/// slots keep the whole batch state in registers/L1 while giving the
+/// probe sweep enough independent lanes to hide the mirror-load latency.
+const BATCH: usize = 16;
 
 /// Outcome of one LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +118,9 @@ pub struct Llc<P, O = NullObserver> {
     blocks: Vec<Block>,
     stats: LlcStats,
     seq: u64,
+    /// Which tag-compare implementation services the probe, and whether
+    /// slice replays run the batched driver (`GR_SIMD`-selectable).
+    probe_kind: ProbeKind,
 }
 
 impl<P: Policy> Llc<P, NullObserver> {
@@ -139,6 +165,7 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             blocks: vec![Block::default(); cfg.total_blocks()],
             stats: LlcStats::new(),
             seq: 0,
+            probe_kind: ProbeKind::from_env(),
         }
     }
 
@@ -155,7 +182,28 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             blocks: self.blocks,
             stats: self.stats,
             seq: self.seq,
+            probe_kind: self.probe_kind,
         }
+    }
+
+    /// The probe implementation servicing this instance.
+    pub fn probe_kind(&self) -> ProbeKind {
+        self.probe_kind
+    }
+
+    /// Selects the probe implementation — and, with [`ProbeKind::Scalar`],
+    /// the original unbatched replay loop — overriding the process-wide
+    /// `GR_SIMD` default. Lets differential harnesses A/B the scalar and
+    /// vector paths inside one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any access has already been serviced, or if `kind` is not
+    /// available on this host (e.g. [`ProbeKind::Avx2`] without AVX2).
+    pub fn set_probe_kind(&mut self, kind: ProbeKind) {
+        assert_eq!(self.seq, 0, "probe kind must be selected before the first access");
+        assert!(kind.is_available(), "probe kind {kind:?} is unavailable on this host");
+        self.probe_kind = kind;
     }
 
     /// The recorded DRAM-bound transfers, if an attached observer keeps
@@ -210,9 +258,17 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         }
     }
 
-    /// The access body, specialized per associativity: `WAYS` is the
-    /// compile-time way count, or 0 for the generic any-associativity
+    /// The unbatched access body, specialized per associativity: `WAYS` is
+    /// the compile-time way count, or 0 for the generic any-associativity
     /// instantiation.
+    ///
+    /// This is the pre-vectorization replay core, kept verbatim as the
+    /// single-access path and the `GR_SIMD=0` reference loop: one fused
+    /// map-probe-retire chain with the OR-folded scalar compare. The
+    /// batched driver ([`Llc::run_slice`]) runs the same logic split into
+    /// [`Llc::map_access`] / [`crate::probe::probe_batch`] /
+    /// [`Llc::retire`] phases; the grcheck invariant sweep and the crate's
+    /// differential tests hold the two bit-identical.
     #[inline]
     fn access_ways<const WAYS: usize>(&mut self, access: &Access, next_use: u64) -> AccessResult {
         let block = access.block();
@@ -233,6 +289,13 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         let ways = if WAYS > 0 { WAYS } else { self.cfg.ways };
         let set_idx = self.geo.set_index(bank, set);
         let base = set_idx * ways;
+        // SAFETY invariant for the unchecked indexing below: `map` masks
+        // `set` into `[0, sets_per_bank)` and `bank` into `[0, banks)`, so
+        // `set_idx < total_sets == valid.len()` and `base + ways <=
+        // total_blocks == tags.len() == blocks.len()`. The bounds checks
+        // this elides sit on the hottest path in the repository.
+        debug_assert!(set_idx < self.valid.len());
+        debug_assert!(base + ways <= self.tags.len());
 
         // Packed probe: the tag-match needs only the tag words, so the
         // scan touches 8 bytes per way (two cache lines for a 16-way
@@ -240,15 +303,161 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         // OR-folded into a match mask, which vectorizes and never
         // mispredicts — and ANDing with the validity mask discards
         // never-written tag words.
-        let vmask = self.valid[set_idx];
+        let vmask = unsafe { *self.valid.get_unchecked(set_idx) };
         let hit_mask = {
-            let tags = &self.tags[base..base + ways];
+            let tags = unsafe { self.tags.get_unchecked(base..base + ways) };
             let mut eq = 0u64;
             for (i, &t) in tags.iter().enumerate() {
                 eq |= u64::from(t == tag) << i;
             }
             eq & vmask
         };
+
+        if hit_mask != 0 {
+            let way = hit_mask.trailing_zeros() as usize;
+            self.stats.record_hit(info.stream);
+            let set_blocks = unsafe { self.blocks.get_unchecked_mut(base..base + ways) };
+            // SAFETY: `hit_mask` only carries equality bits below `ways`,
+            // so its lowest set bit indexes inside the set slice.
+            let hit_block = unsafe { set_blocks.get_unchecked_mut(way) };
+            hit_block.dirty |= info.write;
+            hit_block.next_use = next_use;
+            self.observer.observe_hit(&info, way);
+            self.policy.on_hit(&info, set_blocks, way);
+            if O::WANTS_SET_STATE {
+                self.observer.observe_set_state(
+                    &info,
+                    SetSnapshot {
+                        tags: &self.tags[base..base + ways],
+                        valid_mask: self.valid[set_idx],
+                        blocks: &self.blocks[base..base + ways],
+                        touched_way: way,
+                        hit: true,
+                    },
+                );
+            }
+            return AccessResult::Hit;
+        }
+
+        self.stats.record_miss(info.stream);
+
+        if self.policy.should_bypass(&info) {
+            if info.write {
+                self.stats.bypassed_writes += 1;
+            } else {
+                self.stats.bypassed_reads += 1;
+            }
+            self.observer.observe_bypass(&info);
+            return AccessResult::Bypass;
+        }
+
+        // Fill the first free way (one bit-scan of the inverted validity
+        // mask), else ask the policy for a victim.
+        let free = (!vmask).trailing_zeros() as usize;
+        // SAFETY: `base + ways <= blocks.len()` (see above).
+        let set_blocks = unsafe { self.blocks.get_unchecked_mut(base..base + ways) };
+        let mut dirty_eviction = false;
+        let way = if free < ways {
+            free
+        } else {
+            let victim = self.policy.choose_victim(&info, set_blocks);
+            assert!(victim < ways, "victim out of range");
+            self.policy.on_evict(&info, set_blocks, victim);
+            self.stats.evictions += 1;
+            dirty_eviction = set_blocks[victim].dirty;
+            if dirty_eviction {
+                self.stats.writebacks += 1;
+            }
+            // A writeback goes to the *victim's* address, rebuilt from
+            // its tag and the shared (bank, set); the rebuild is only
+            // paid when the attached observer declares it needs it.
+            let victim_block = if O::NEEDS_VICTIM_ADDR {
+                self.geo.unmap(bank, set, self.tags[base + victim])
+            } else {
+                0
+            };
+            self.observer.observe_evict(&info, victim, victim_block, dirty_eviction);
+            victim
+        };
+
+        // Install the block, let the policy initialize its state, then
+        // refresh the probe mirror — a fill is the only event that changes
+        // a way's tag or validity.
+        set_blocks[way] = Block { valid: true, dirty: info.write, meta: 0, next_use };
+        let fill = self.policy.on_fill(&info, set_blocks, way);
+        // SAFETY: `way < ways`, so `base + way` is in bounds; `set_idx <
+        // valid.len()` (see above). The victim arm is guarded by the
+        // `victim < ways` assert.
+        unsafe {
+            *self.tags.get_unchecked_mut(base + way) = tag;
+            *self.valid.get_unchecked_mut(set_idx) |= 1 << way;
+        }
+        self.stats.record_fill(info.class, fill.distant);
+        self.observer.observe_fill(&info, way);
+        if O::WANTS_SET_STATE {
+            self.observer.observe_set_state(
+                &info,
+                SetSnapshot {
+                    tags: &self.tags[base..base + ways],
+                    valid_mask: self.valid[set_idx],
+                    blocks: &self.blocks[base..base + ways],
+                    touched_way: way,
+                    hit: false,
+                },
+            );
+        }
+        AccessResult::Miss { dirty_eviction }
+    }
+
+    /// The map phase: decomposes one access into a probe [`Slot`]. Pure
+    /// reads — the slot captures the validity mask as of now, which stays
+    /// exact until a fill to the same set.
+    #[inline(always)]
+    fn map_access(&self, access: &Access, next_use: u64, ways: usize) -> Slot {
+        let block = access.block();
+        let (bank, set, tag) = self.geo.map(block);
+        let set_idx = self.geo.set_index(bank, set);
+        let base = set_idx * ways;
+        Slot {
+            block,
+            tag,
+            next_use,
+            vmask: self.valid[set_idx],
+            hit_mask: 0,
+            bank: bank as u32,
+            set_in_bank: set as u32,
+            set_idx: set_idx as u32,
+            base: base as u32,
+            stream: access.stream,
+            write: access.write,
+        }
+    }
+
+    /// The retire phase: consumes one probed [`Slot`] — statistics, policy
+    /// callbacks, observer events, and the fill's mirror rewrite, exactly
+    /// as the sequential loop orders them. The slot's `hit_mask` and
+    /// `vmask` must reflect the mirror as of this call (the batch driver
+    /// re-probes slots whose set was filled earlier in the batch).
+    #[inline(always)]
+    fn retire<const WAYS: usize>(&mut self, slot: &Slot) -> AccessResult {
+        let ways = if WAYS > 0 { WAYS } else { self.cfg.ways };
+        let set_idx = slot.set_idx as usize;
+        let base = slot.base as usize;
+        let info = AccessInfo {
+            seq: self.seq,
+            block: slot.block,
+            bank: slot.bank as usize,
+            set_in_bank: slot.set_in_bank as usize,
+            stream: slot.stream,
+            class: slot.stream.policy_class(),
+            write: slot.write,
+            is_sample: self.cfg.is_sample_set(slot.set_in_bank as usize),
+            next_use: slot.next_use,
+        };
+        self.seq += 1;
+        let next_use = slot.next_use;
+        let vmask = slot.vmask;
+        let hit_mask = slot.hit_mask;
 
         if hit_mask != 0 {
             let way = hit_mask.trailing_zeros() as usize;
@@ -305,7 +514,7 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
             // its tag and the shared (bank, set); the rebuild is only
             // paid when the attached observer declares it needs it.
             let victim_block = if O::NEEDS_VICTIM_ADDR {
-                self.geo.unmap(bank, set, self.tags[base + victim])
+                self.geo.unmap(info.bank, info.set_in_bank, self.tags[base + victim])
             } else {
                 0
             };
@@ -318,7 +527,7 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         // a way's tag or validity.
         set_blocks[way] = Block { valid: true, dirty: info.write, meta: 0, next_use };
         let fill = self.policy.on_fill(&info, set_blocks, way);
-        self.tags[base + way] = tag;
+        self.tags[base + way] = slot.tag;
         self.valid[set_idx] |= 1 << way;
         self.stats.record_fill(info.class, fill.distant);
         self.observer.observe_fill(&info, way);
@@ -358,6 +567,85 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         false
     }
 
+    /// Replays one access slice: the batched map-probe-retire driver when
+    /// the probe kind is vectorized, the original per-access loop under
+    /// [`ProbeKind::Scalar`]. Both retire in arrival order and are
+    /// bit-identical (see the module docs for the argument).
+    fn run_slice<const WAYS: usize>(&mut self, accesses: &[Access], next_uses: Option<&[u64]>) {
+        if !self.probe_kind.is_batched() {
+            // The pre-vectorization replay core, kept verbatim as the
+            // GR_SIMD=0 reference path: one dependent chain per access.
+            match next_uses {
+                Some(nu) => {
+                    for (a, &next) in accesses.iter().zip(nu) {
+                        self.access_ways::<WAYS>(a, next);
+                    }
+                }
+                None => {
+                    for a in accesses {
+                        self.access_ways::<WAYS>(a, u64::MAX);
+                    }
+                }
+            }
+            return;
+        }
+
+        let ways = if WAYS > 0 { WAYS } else { self.cfg.ways };
+        let kind = self.probe_kind;
+        let mut slots = [Slot::placeholder(); BATCH];
+        let mut start = 0usize;
+        while start < accesses.len() {
+            let n = BATCH.min(accesses.len() - start);
+            // Map phase: every slot's address math and mirror prefetch,
+            // up front. The chains are independent, so the loads overlap
+            // instead of serializing behind each retire.
+            for (i, a) in accesses[start..start + n].iter().enumerate() {
+                let next = next_uses.map_or(u64::MAX, |nu| nu[start + i]);
+                let s = self.map_access(a, next, ways);
+                // Pull the mirror and block words the probe and retire
+                // phases will touch; the batch gives the lines time to
+                // arrive before they are demanded.
+                probe::prefetch_read(&self.tags[s.base as usize]);
+                probe::prefetch_read(&self.blocks[s.base as usize]);
+                slots[i] = s;
+            }
+            // Probe phase: one lane-compare sweep over the whole batch.
+            probe_batch(kind, &self.tags, ways, &mut slots[..n]);
+            // Retire phase, strictly in arrival order. Only a fill
+            // rewrites a set's mirror words, so a slot's up-front probe
+            // is exact unless an earlier access in this batch filled the
+            // same set — those slots re-probe against the live mirror.
+            // Collision tracking over-approximates with a one-word bloom
+            // over the set index: a false positive only triggers a
+            // redundant re-probe of the live mirror, which is always
+            // exact, so results stay bit-identical while the retire loop
+            // pays one bit test instead of a list scan per slot.
+            let mut filled_bloom = 0u64;
+            for s in &mut slots[..n] {
+                if filled_bloom & (1u64 << (s.set_idx & 63)) != 0 {
+                    let base = s.base as usize;
+                    s.vmask = self.valid[s.set_idx as usize];
+                    s.hit_mask =
+                        probe::probe_set(kind, &self.tags[base..base + ways], s.tag) & s.vmask;
+                }
+                if matches!(self.retire::<WAYS>(s), AccessResult::Miss { .. }) {
+                    filled_bloom |= 1u64 << (s.set_idx & 63);
+                }
+            }
+            start += n;
+        }
+    }
+
+    /// Routes a slice replay through the dominant-associativity
+    /// const-generic body (see [`Llc::access_annotated`]).
+    fn dispatch_slice(&mut self, accesses: &[Access], next_uses: Option<&[u64]>) {
+        if self.cfg.ways == 16 {
+            self.run_slice::<16>(accesses, next_uses)
+        } else {
+            self.run_slice::<0>(accesses, next_uses)
+        }
+    }
+
     /// Replays a whole trace. When `next_uses` is provided it must have one
     /// entry per access (see [`crate::annotate_next_use`]).
     ///
@@ -368,19 +656,13 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
     pub fn run_trace(&mut self, trace: &Trace, next_uses: Option<&[u64]>) {
         if let Some(nu) = next_uses {
             assert_eq!(nu.len(), trace.len(), "annotation length mismatch");
-            for (a, &n) in trace.iter().zip(nu) {
-                self.access_annotated(a, n);
-            }
-        } else {
-            for a in trace.iter() {
-                self.access(a);
-            }
         }
+        self.dispatch_slice(trace.accesses(), next_uses);
     }
 
     /// Drains an [`AccessSource`] through the LLC, chunk by chunk, and
-    /// returns the number of accesses serviced. The per-access loop is the
-    /// same slice iteration as [`Llc::run_trace`], so streamed and
+    /// returns the number of accesses serviced. Each chunk runs through
+    /// the same slice driver as [`Llc::run_trace`], so streamed and
     /// materialized replays are bit-identical.
     ///
     /// # Errors
@@ -392,19 +674,10 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
         while source.advance()? {
             let Chunk { accesses, next_uses } = source.chunk();
             serviced += accesses.len() as u64;
-            match next_uses {
-                Some(nu) => {
-                    debug_assert_eq!(nu.len(), accesses.len(), "annotation length mismatch");
-                    for (a, &next) in accesses.iter().zip(nu) {
-                        self.access_annotated(a, next);
-                    }
-                }
-                None => {
-                    for a in accesses {
-                        self.access(a);
-                    }
-                }
+            if let Some(nu) = next_uses {
+                debug_assert_eq!(nu.len(), accesses.len(), "annotation length mismatch");
             }
+            self.dispatch_slice(accesses, next_uses);
         }
         Ok(serviced)
     }
@@ -418,6 +691,44 @@ impl<P: Policy, O: LlcObserver> Llc<P, O> {
     pub fn into_observer(self) -> O {
         self.observer
     }
+}
+
+/// Replays the same access slice through several independent LLC cells,
+/// interleaved in fixed windows, and returns the aggregate access count
+/// (`accesses.len() × lanes.len()`).
+///
+/// Accesses to different *cells* are trivially independent — the
+/// experiment runner already replays policy×app cells separately — so
+/// interleaving K cells over the same trace windows hides each cell's
+/// dependent-load latency behind the others' work while the shared window
+/// of trace data stays hot in L1/L2. Every lane sees the full slice in
+/// order, so each cell's stats, memory log, and characterization are
+/// bit-identical to a solo replay of the same trace.
+///
+/// # Panics
+///
+/// Panics if `next_uses` is provided with a length different from
+/// `accesses`.
+pub fn replay_lanes<P: Policy, O: LlcObserver>(
+    lanes: &mut [Llc<P, O>],
+    accesses: &[Access],
+    next_uses: Option<&[u64]>,
+) -> u64 {
+    // Windows of 64 batches: long enough to amortize the per-lane switch,
+    // short enough that the window's accesses stay resident across lanes.
+    const WINDOW: usize = 64 * BATCH;
+    if let Some(nu) = next_uses {
+        assert_eq!(nu.len(), accesses.len(), "annotation length mismatch");
+    }
+    let mut start = 0usize;
+    while start < accesses.len() {
+        let end = (start + WINDOW).min(accesses.len());
+        for llc in lanes.iter_mut() {
+            llc.dispatch_slice(&accesses[start..end], next_uses.map(|nu| &nu[start..end]));
+        }
+        start = end;
+    }
+    accesses.len() as u64 * lanes.len() as u64
 }
 
 #[cfg(test)]
@@ -675,6 +986,93 @@ mod tests {
             llc.access(&Access::load(0, StreamId::Texture)),
             AccessResult::Miss { .. }
         ));
+    }
+
+    /// A conflict-heavy mixed trace: same-set bursts (so in-batch fills
+    /// collide with later probes of the same set) plus spread traffic.
+    fn conflict_trace(len: u64) -> Trace {
+        let blocks = conflicting_blocks(6);
+        let mut t = Trace::new("conflicts", 0);
+        for i in 0..len {
+            let addr =
+                if i % 3 == 0 { blocks[(i % 5) as usize] * 64 } else { ((i * 13) % 397) * 64 };
+            t.push(if i % 4 == 0 {
+                Access::store(addr, StreamId::RenderTarget)
+            } else {
+                Access::load(addr, StreamId::Texture)
+            });
+        }
+        t
+    }
+
+    /// Every probe kind's batched replay is bit-identical to the scalar
+    /// unbatched loop — stats and memory-log order — including in-batch
+    /// same-set fills that force the retire-phase re-probe.
+    #[test]
+    fn batched_replay_matches_scalar_for_all_kinds() {
+        let t = conflict_trace(3_000);
+        let nu = crate::annotate_next_use(t.accesses());
+        for annotated in [false, true] {
+            let next_uses = annotated.then_some(nu.as_slice());
+            let mut reference = small_llc().with_memory_log();
+            reference.set_probe_kind(ProbeKind::Scalar);
+            reference.run_trace(&t, next_uses);
+            for kind in ProbeKind::all_available() {
+                let mut llc = small_llc().with_memory_log();
+                llc.set_probe_kind(kind);
+                llc.run_trace(&t, next_uses);
+                assert_eq!(llc.stats(), reference.stats(), "{kind:?} annotated={annotated}");
+                assert_eq!(
+                    llc.memory_log(),
+                    reference.memory_log(),
+                    "{kind:?} annotated={annotated}"
+                );
+            }
+        }
+    }
+
+    /// The 16-way const-generic body (the paper's associativity, with the
+    /// specialized AVX2 batch probe) is bit-identical across kinds too.
+    #[test]
+    fn batched_replay_matches_scalar_at_16_ways() {
+        // 4 banks x 2 sets x 16 ways = 8 KB: tiny enough to evict.
+        let cfg = LlcConfig { size_bytes: 8192, ways: 16, banks: 4, sample_period: 2 };
+        let t = conflict_trace(4_000);
+        let mut reference = Llc::new(cfg, TestLru { tick: 0 }).with_memory_log();
+        reference.set_probe_kind(ProbeKind::Scalar);
+        reference.run_trace(&t, None);
+        assert!(reference.stats().evictions > 0, "trace must exercise the victim path");
+        for kind in ProbeKind::all_available() {
+            let mut llc = Llc::new(cfg, TestLru { tick: 0 }).with_memory_log();
+            llc.set_probe_kind(kind);
+            llc.run_trace(&t, None);
+            assert_eq!(llc.stats(), reference.stats(), "{kind:?}");
+            assert_eq!(llc.memory_log(), reference.memory_log(), "{kind:?}");
+        }
+    }
+
+    /// Lane-interleaved replay leaves every cell bit-identical to a solo
+    /// replay and reports the aggregate access count.
+    #[test]
+    fn replay_lanes_matches_solo_replay() {
+        let t = conflict_trace(2_500);
+        let mut solo = small_llc().with_memory_log();
+        solo.run_trace(&t, None);
+        let mut lanes: Vec<_> = (0..3).map(|_| small_llc().with_memory_log()).collect();
+        let n = crate::replay_lanes(&mut lanes, t.accesses(), None);
+        assert_eq!(n, 2_500 * 3);
+        for lane in &lanes {
+            assert_eq!(lane.stats(), solo.stats());
+            assert_eq!(lane.memory_log(), solo.memory_log());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first access")]
+    fn probe_kind_is_fixed_after_first_access() {
+        let mut llc = small_llc();
+        llc.access(&Access::load(0, StreamId::Texture));
+        llc.set_probe_kind(ProbeKind::Scalar);
     }
 
     #[test]

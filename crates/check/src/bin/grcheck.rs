@@ -13,13 +13,16 @@
 //! * `conformance` replays cached frames and asserts paper-level numbers
 //!   (OPT agreement, Belady lower bound, pinned hit-rate goldens,
 //!   GSPC-vs-baseline miss ratios).
-//! * `invariants` replays the workload through every registry policy four
-//!   times (checked/unchecked x mono/boxed), asserts bit-identical stats,
-//!   and reports the checked-replay overhead (budget: 3x).
+//! * `invariants` replays the workload through every registry policy
+//!   across the full checked/unchecked x mono/boxed matrix plus every
+//!   probe kernel the host supports (scalar, portable, SSE2, AVX2),
+//!   asserts bit-identical stats everywhere, and reports the
+//!   checked-replay overhead (budget: 3x).
 //!
 //! `conformance` and `invariants` honour `GR_SCALE` / `GR_FRAMES`.
 
 use grbench::{run_workload, ExperimentConfig, RunOptions};
+use grcache::ProbeKind;
 use grcheck::{conform, fuzz};
 use gspc::registry;
 use std::path::PathBuf;
@@ -118,24 +121,31 @@ fn run_conformance(args: &[String]) {
 }
 
 /// Replays every registry policy checked and unchecked, through both the
-/// monomorphized and boxed dispatch paths, asserting identical stats and a
-/// bounded slowdown from the invariant observer.
+/// monomorphized and boxed dispatch paths and under every probe kernel the
+/// host supports, asserting identical stats everywhere and a bounded
+/// slowdown from the invariant observer.
 fn run_invariants() {
     let cfg = ExperimentConfig::from_env();
     let policies: Vec<String> = registry::ALL_POLICIES.iter().map(|e| e.name.to_string()).collect();
+    let base = |boxed: bool, check: bool, probe: Option<ProbeKind>| RunOptions {
+        policies: policies.clone(),
+        boxed,
+        check,
+        probe,
+        streamed: false,
+        ..RunOptions::misses(&[])
+    };
     let mut runs = Vec::new();
+    let mut reference = None;
     for boxed in [false, true] {
         let mut timings = [0.0f64; 2];
         let mut results = Vec::new();
         for check in [false, true] {
-            let opts = RunOptions {
-                policies: policies.clone(),
-                boxed,
-                check,
-                streamed: false,
-                ..RunOptions::misses(&[])
-            };
-            let r = run_workload(&opts, &cfg);
+            // The unchecked leg pins the scalar kernel so the probe sweep
+            // below compares every vector kernel against a scalar-produced
+            // reference; the checked leg keeps the default (`GR_SIMD`).
+            let probe = (!check).then_some(ProbeKind::Scalar);
+            let r = run_workload(&base(boxed, check, probe), &cfg);
             timings[check as usize] = r.perf.replay_seconds;
             results.push(r);
         }
@@ -160,6 +170,35 @@ fn run_invariants() {
             timings[0]
         );
         runs.push((path, ratio));
+        if reference.is_none() {
+            reference = Some(results.swap_remove(0));
+        }
+    }
+    // Probe-kernel sweep: every available kernel, through both dispatch
+    // paths, must reproduce the scalar reference bit for bit.
+    let reference = reference.expect("mono sweep ran");
+    for kind in ProbeKind::all_available() {
+        if kind == ProbeKind::Scalar {
+            continue; // the reference itself
+        }
+        for boxed in [false, true] {
+            let r = run_workload(&base(boxed, false, Some(kind)), &cfg);
+            for p in &policies {
+                for app in reference.apps.clone() {
+                    assert_eq!(
+                        reference.get(p, &app).stats,
+                        r.get(p, &app).stats,
+                        "{p}/{app}: {kind:?} probe kernel diverged from scalar (boxed={boxed})"
+                    );
+                }
+            }
+            let path = if boxed { "boxed" } else { "mono" };
+            println!(
+                "invariants[{path}/{kind:?}]: {} policies x {} apps identical to scalar",
+                policies.len(),
+                reference.apps.len()
+            );
+        }
     }
     let mut failed = false;
     for (path, ratio) in runs {
