@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use grbench::experiments::FIG12_POLICIES;
+use grbench::experiments::fig12_policies;
 use grbench::{framecache, run_workload, ExperimentConfig, RunOptions, WorkloadResults};
 use grcache::{Llc, LlcConfig};
 use grdram::TimingParams;
@@ -41,7 +41,7 @@ fn runner_calls() -> Vec<RunOptions> {
         llc_paper_mb: llc_mb,
         ..RunOptions::misses(&["NRU+UCD", "GS-DRRIP+UCD", "GSPC+UCD", "DRRIP+UCD"])
     };
-    let mut fig12: Vec<&str> = FIG12_POLICIES.to_vec();
+    let mut fig12: Vec<&str> = fig12_policies();
     fig12.push("DRRIP");
     vec![
         // fig01, characterization, fig11, fig12/13, fig14:

@@ -13,14 +13,14 @@
 
 use grbench::json::Json;
 use grbench::{
-    experiments::FIG12_POLICIES, run_frame_sequence, run_workload, ExperimentConfig, RunOptions,
+    experiments::fig12_policies, run_frame_sequence, run_workload, ExperimentConfig, RunOptions,
 };
 use grsynth::AppProfile;
 use grtrace::{PolicyClass, StreamId};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
+    let mut policies: Vec<String> = fig12_policies().iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
     policies.push("OPT".into());
     let opts = RunOptions { policies, characterize: true, ..RunOptions::misses(&[]) };

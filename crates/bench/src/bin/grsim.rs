@@ -28,7 +28,8 @@ fn usage() -> ! {
 /// code (1) — the one place every subcommand's unknown-policy path goes
 /// through.
 fn require_policy(cfg: &ExperimentConfig, policy: &str) {
-    if registry::create(policy, &cfg.llc(8)).is_none() {
+    let _ = cfg;
+    if registry::resolve(policy).is_none() {
         cli::user_error(&format!("unknown policy {policy}; try `grsim policies`"));
     }
 }
@@ -60,11 +61,17 @@ fn main() {
             table::print(&["abbrev", "name", "api", "resolution", "frames"], &rows);
         }
         Some("policies") => {
-            let rows: Vec<Vec<String>> = registry::ALL_POLICIES
-                .iter()
-                .map(|e| vec![e.name.to_string(), e.description.to_string()])
-                .collect();
-            table::print(&["policy", "description"], &rows);
+            if args.get(1).map(String::as_str) == Some("--markdown") {
+                // The generator behind the README's policy table; the
+                // README sync test pins this exact rendering.
+                print!("{}", registry::markdown_policy_table());
+            } else {
+                let rows: Vec<Vec<String>> = registry::ALL_POLICIES
+                    .iter()
+                    .map(|e| vec![e.name.to_string(), e.description.to_string()])
+                    .collect();
+                table::print(&["policy", "description"], &rows);
+            }
         }
         Some("characterize") => {
             let app_name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

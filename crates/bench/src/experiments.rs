@@ -6,7 +6,7 @@ use grdram::TimingParams;
 use grgpu::GpuConfig;
 use grsynth::AppProfile;
 use grtrace::{PolicyClass, StreamId, StreamStats};
-use gspc::registry::ALL_POLICIES;
+use gspc::registry::{self, ALL_POLICIES};
 use gspc::{overhead, Gspc};
 
 use crate::table::{pct, print, ratio};
@@ -206,20 +206,23 @@ pub fn fig11(cfg: &ExperimentConfig) {
     print(&head, &rows);
 }
 
-/// The Figure 12 policy set.
-pub const FIG12_POLICIES: [&str; 8] =
-    ["NRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD", "DRRIP+UCD"];
+/// The Figure 12 policy set: the registry rows in the `fig12` group, in
+/// table order (the registry's own tests pin the membership).
+pub fn fig12_policies() -> Vec<&'static str> {
+    registry::in_group(registry::GROUP_FIG12).map(|e| e.name).collect()
+}
 
 /// Figures 12 and 13: LLC misses for all proposed policies, and the hit
 /// rate / consumption analysis.
 pub fn fig12_fig13(cfg: &ExperimentConfig) {
-    let mut policies: Vec<String> = FIG12_POLICIES.iter().map(|s| s.to_string()).collect();
+    let fig12 = fig12_policies();
+    let mut policies: Vec<String> = fig12.iter().map(|s| s.to_string()).collect();
     policies.push("DRRIP".into());
     let opts = RunOptions { policies, characterize: true, ..RunOptions::misses(&[]) };
     let r = run_workload(&opts, cfg);
 
     header("Figure 12: LLC misses normalized to two-bit DRRIP");
-    print_normalized(&r, &FIG12_POLICIES, "DRRIP");
+    print_normalized(&r, &fig12, "DRRIP");
 
     header("Figure 13: hit-rate analysis (averaged over 52 frames)");
     let mut rows = Vec::new();

@@ -86,15 +86,13 @@ pub struct PerfOptions {
 }
 
 impl PerfOptions {
-    /// The default sweep: the acceptance pair (NRU, SRRIP) plus the
-    /// paper's headline policies, one BioShock frame at tiny and quarter
-    /// scale, half a second per measurement, four lanes.
+    /// The default sweep: the registry's `perf` group (the acceptance
+    /// pair, the paper's headline policies, and the OPT family — the
+    /// registry's own tests pin the membership), one BioShock frame at
+    /// tiny and quarter scale, half a second per measurement, four lanes.
     pub fn default_sweep() -> Self {
         PerfOptions {
-            policies: ["NRU", "SRRIP", "DRRIP", "GSPC", "GSPC+UCD", "OPT"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            policies: registry::group_names(registry::GROUP_PERF),
             app: "BioShock".to_string(),
             frame: 0,
             llc_paper_mb: 8,

@@ -3,49 +3,43 @@
 //! Where the fuzzer ([`crate::fuzz`]) asks "do the two implementations
 //! agree with each other?", this module asks "do the numbers still look
 //! like the paper's?". It replays real cached frames (via
-//! [`grbench::framecache`]) through a panel of policies and checks:
+//! [`grbench::framecache`]) through the registry's conformance panel —
+//! every `ALL_POLICIES` row whose metadata opts in — and checks:
 //!
 //! * the production `OPT` replay matches the independent
 //!   [`crate::optcheck::opt_misses`] bound exactly;
-//! * no bypass-free policy ever beats that bound;
+//! * no bypass-free policy ever beats that bound (so an OPT-*trained*
+//!   policy like `GOPT` can approach but never pass its teacher);
 //! * hits + misses account for every access (conservation);
-//! * GSPC-family policies still deliver their headline miss reduction
-//!   over the SRRIP/DRRIP baselines (figure-level fidelity);
+//! * every miss-ratio ceiling declared in the registry holds: GSPC keeps
+//!   its headline edge over SRRIP/DRRIP, GOPT beats its SRRIP baseline
+//!   (figure-level fidelity);
 //! * at the pinned configuration (`Scale::Tiny`, frame 0 of the first
-//!   app), per-stream DRRIP hit rates match recorded goldens within a
-//!   small tolerance, so silent drift in the generator or replay loop
-//!   fails loudly.
+//!   app), per-stream hit rates match any goldens the registry pins for
+//!   the policy, so silent drift in the generator or replay loop fails
+//!   loudly.
+//!
+//! The panel, the ceilings, and the goldens all live in the registry
+//! metadata ([`gspc::registry::Conformance`]); this module carries no
+//! policy names of its own.
 
 use grbench::{framecache, ExperimentConfig};
 use grcache::{Llc, LlcConfig, LlcStats};
 use grsynth::{AppProfile, Scale};
-use grtrace::StreamId;
-use gspc::registry;
+use gspc::registry::{self, PolicyEntry};
 
 use crate::optcheck::opt_misses;
 
-/// Policies replayed by the conformance suite. A deliberate cross-section:
-/// the paper's baselines, the graphics-aware proposals, a bypassing
-/// variant, and the offline bound.
-pub const PANEL: &[&str] =
-    &["NRU", "LRU", "SRRIP", "DRRIP", "SHiP-mem", "GSPZTC", "GSPC", "GSPC+UCD", "OPT"];
-
-/// Per-stream DRRIP hit-rate goldens for `Scale::Tiny`, frame 0 of the
-/// first application profile, on the suite's quarter-size LLC. Recorded
-/// from a known-good build; the suite only applies them at exactly that
-/// configuration.
-const DRRIP_TINY_GOLDENS: &[(StreamId, f64)] =
-    &[(StreamId::Texture, 0.2203), (StreamId::Z, 0.0008), (StreamId::RenderTarget, 0.7122)];
+/// The conformance panel: every registry row that opts in via
+/// [`registry::Conformance::panel`], in table order. A deliberate
+/// cross-section — the paper's baselines, the graphics-aware proposals,
+/// the OPT-trained predictor, and the offline bound itself.
+pub fn panel() -> Vec<&'static PolicyEntry> {
+    registry::ALL_POLICIES.iter().filter(|e| e.meta.conformance.panel).collect()
+}
 
 /// Absolute tolerance on golden hit rates.
 const GOLDEN_TOLERANCE: f64 = 0.02;
-
-/// Aggregate miss ratios (policy vs baseline) asserted by the suite.
-/// GSPC must not lose its edge over the memory-centric baselines:
-/// `misses(policy) <= factor * misses(baseline)` summed over every frame
-/// the suite replays.
-const MISS_RATIO_CEILINGS: &[(&str, &str, f64)] =
-    &[("GSPC", "DRRIP", 1.00), ("GSPC", "SRRIP", 1.00), ("GSPC+UCD", "DRRIP", 1.00)];
 
 /// Outcome of a conformance run.
 #[derive(Debug, Default)]
@@ -89,16 +83,18 @@ pub fn run(cfg: &ExperimentConfig, apps: usize, paper_mb: u64) -> ConformanceRep
     let profiles = AppProfile::all();
     let picked = &profiles[..apps.clamp(1, profiles.len())];
     let mut report = ConformanceReport::default();
-    let mut totals: Vec<(&str, u64)> = PANEL.iter().map(|&p| (p, 0u64)).collect();
+    let members = panel();
+    let mut totals: Vec<u64> = vec![0; members.len()];
 
     for (app_index, app) in picked.iter().enumerate() {
         let data = framecache::frame_data(app, 0, cfg.scale);
         let total = data.trace.len() as u64;
         let bound = opt_misses(&llc_cfg, data.trace.accesses());
 
-        for (slot, &name) in PANEL.iter().enumerate() {
+        for (slot, entry) in members.iter().enumerate() {
+            let name = entry.name;
             let stats = replay(llc_cfg, name, &data);
-            totals[slot].1 += stats.total_misses();
+            totals[slot] += stats.total_misses();
 
             report.check(stats.total_accesses() == total, || {
                 format!(
@@ -127,12 +123,12 @@ pub fn run(cfg: &ExperimentConfig, apps: usize, paper_mb: u64) -> ConformanceRep
             }
 
             // Golden per-stream rates, pinned to one exact configuration.
-            if name == "DRRIP" && app_index == 0 && cfg.scale == Scale::Tiny {
-                for &(stream, expected) in DRRIP_TINY_GOLDENS {
+            if app_index == 0 && cfg.scale == Scale::Tiny {
+                for &(stream, expected) in entry.meta.conformance.goldens {
                     let got = stats.hit_rate(stream);
                     report.check((got - expected).abs() <= GOLDEN_TOLERANCE, || {
                         format!(
-                            "{}/DRRIP {} hit rate {got:.4} drifted from golden {expected:.4}",
+                            "{}/{name} {} hit rate {got:.4} drifted from golden {expected:.4}",
                             app.abbrev,
                             stream.label()
                         )
@@ -143,17 +139,24 @@ pub fn run(cfg: &ExperimentConfig, apps: usize, paper_mb: u64) -> ConformanceRep
     }
 
     let misses_of = |name: &str| {
-        totals.iter().find(|(p, _)| *p == name).map(|&(_, m)| m).expect("panel member")
+        members
+            .iter()
+            .position(|e| e.name == name)
+            .map(|slot| totals[slot])
+            .expect("ceiling baseline in panel (registry metadata test enforces this)")
     };
-    for &(policy, baseline, factor) in MISS_RATIO_CEILINGS {
-        let ours = misses_of(policy);
-        let theirs = misses_of(baseline);
-        report.check(ours as f64 <= factor * theirs as f64, || {
-            format!(
-                "{policy} lost its edge: {ours} misses vs {theirs} for {baseline} \
-                 (ceiling {factor:.2}x)"
-            )
-        });
+    for entry in &members {
+        for &(baseline, factor) in entry.meta.conformance.ceilings {
+            let ours = misses_of(entry.name);
+            let theirs = misses_of(baseline);
+            report.check(ours as f64 <= factor * theirs as f64, || {
+                format!(
+                    "{} lost its edge: {ours} misses vs {theirs} for {baseline} \
+                     (ceiling {factor:.2}x)",
+                    entry.name
+                )
+            });
+        }
     }
     report
 }
@@ -163,12 +166,24 @@ mod tests {
     use super::*;
 
     /// The full suite at tiny scale over one app: every check green,
-    /// including the pinned goldens and the GSPC-vs-baseline ratios.
+    /// including the pinned goldens and the registry-declared ratios.
     #[test]
     fn tiny_conformance_is_green() {
         let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(1) };
         let report = run(&cfg, 1, 8);
         assert!(report.checks > 10, "suite ran only {} checks", report.checks);
         assert!(report.is_pass(), "conformance failures:\n{}", report.failures.join("\n"));
+    }
+
+    /// The panel comes from registry metadata and keeps its paper
+    /// cross-section: baselines, the GSPC family, OPT, and the
+    /// OPT-trained GOPT.
+    #[test]
+    fn panel_is_registry_driven() {
+        let names: Vec<&str> = panel().iter().map(|e| e.name).collect();
+        for required in ["DRRIP", "SRRIP", "GSPC", "OPT", "GOPT"] {
+            assert!(names.contains(&required), "{required} missing from panel");
+        }
+        assert!(names.len() >= 9, "panel shrank to {names:?}");
     }
 }

@@ -252,13 +252,12 @@ pub struct FuzzConfig {
 }
 
 impl FuzzConfig {
-    /// Every registry policy plus two parameterized GSPZTC spellings.
+    /// The registry's default fuzz set: every table entry with
+    /// `meta.fuzz` plus each parameterized family's concrete spellings
+    /// ([`registry::fuzz_names`]). A new registry row joins the campaign
+    /// automatically.
     pub fn all_policies() -> Vec<String> {
-        let mut names: Vec<String> =
-            registry::ALL_POLICIES.iter().map(|e| e.name.to_string()).collect();
-        names.push("GSPZTC(t=2)".to_string());
-        names.push("GSPZTC(t=16)".to_string());
-        names
+        registry::fuzz_names()
     }
 
     /// A small fixed-budget campaign suitable for CI smoke runs.
@@ -404,6 +403,41 @@ mod tests {
         assert!(repro.len() <= 100, "reproducer did not shrink: {} accesses remain", repro.len());
         // The shrunk trace still diverges.
         assert!(differential_replay(&cfg, "DRRIP", &repro, Fault::MirrorDesyncAfterFirst).is_err());
+    }
+
+    /// The default campaign roster is the registry's fuzz set, so the
+    /// OPT-trained newcomer (and any future row) is fuzzed without this
+    /// crate changing.
+    #[test]
+    fn default_roster_comes_from_the_registry() {
+        let names = FuzzConfig::all_policies();
+        for expected in ["GOPT", "OPT", "GSPC", "GSPZTC(t=2)", "GSPZTC(t=16)"] {
+            assert!(names.contains(&expected.to_string()), "{expected} not in default fuzz set");
+        }
+        assert_eq!(names.len(), registry::fuzz_names().len());
+    }
+
+    /// GOPT under the shrinking fuzzer: clean replay agrees with its
+    /// independent oracle (next-use annotations flow through the
+    /// differential harness automatically), and an injected mirror desync
+    /// is caught and ddmin-shrunk just like for the hand-written policies.
+    #[test]
+    fn gopt_differential_replay_and_shrink() {
+        let cfg = fuzz_llc();
+        let mut accesses = synth_trace(9, 2, 3000);
+        differential_replay(&cfg, "GOPT", &accesses, Fault::None)
+            .unwrap_or_else(|d| panic!("GOPT diverged from its oracle: {} @{}", d.detail, d.index));
+        differential_replay(&alt_llc(), "GOPT", &accesses, Fault::None)
+            .unwrap_or_else(|d| panic!("GOPT diverged on alt geometry: {} @{}", d.detail, d.index));
+
+        let first = accesses[0];
+        accesses.push(Access::load(first.addr, first.stream));
+        let d = differential_replay(&cfg, "GOPT", &accesses, Fault::MirrorDesyncAfterFirst)
+            .expect_err("mirror desync must diverge under GOPT too");
+        assert!(d.index > 0);
+        let repro = shrink(&cfg, "GOPT", &accesses, Fault::MirrorDesyncAfterFirst);
+        assert!(repro.len() <= 100, "GOPT reproducer did not shrink: {} left", repro.len());
+        assert!(differential_replay(&cfg, "GOPT", &repro, Fault::MirrorDesyncAfterFirst).is_err());
     }
 
     #[test]

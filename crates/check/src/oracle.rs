@@ -8,41 +8,54 @@
 //! the metadata word incorrectly therefore diverges from its oracle on the
 //! first decision the corruption influences.
 //!
-//! [`oracle_for`] maps a registry name to its oracle; policies without one
-//! (the auxiliary baselines) still get differential coverage through the
-//! registry-clone replay in [`crate::fuzz`].
+//! [`oracle_for`] resolves any accepted policy spelling through the
+//! registry ([`gspc::registry::resolve`]) and dispatches on the row's
+//! [`OracleRef`] key, so the oracle vocabulary can never drift from the
+//! registry's: policies that opt out (the auxiliary baselines, with a
+//! documented reason in their metadata) still get differential coverage
+//! through the registry-clone replay in [`crate::fuzz`].
 
 use std::collections::HashMap;
 
 use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
 use grtrace::{PolicyClass, StreamId};
+use gspc::registry::{self, OracleRef};
+use gspc::DEFAULT_T;
 
 /// Builds the independent oracle for a registry policy name, or `None`
 /// when the policy has no oracle (it is then verified against a registry
-/// clone only).
+/// clone only). Accepts every spelling the registry accepts — aliases and
+/// parameterized `GSPZTC(t=N)` forms resolve to their governing row.
 pub fn oracle_for(name: &str, cfg: &LlcConfig) -> Option<Box<dyn Policy>> {
-    if let Some(t) = name
-        .strip_prefix("GSPZTC(t=")
-        .and_then(|s| s.strip_suffix(')'))
-        .and_then(|s| s.parse::<u32>().ok())
-    {
-        return t.is_power_of_two().then(|| Box::new(OracleGspztc::new(cfg, t)) as Box<dyn Policy>);
-    }
-    Some(match name {
-        "NRU" => Box::new(OracleNru::new()),
-        "LRU" => Box::new(OracleLru::new()),
-        "SRRIP" | "SRRIP-2" => Box::new(OracleSrrip::new(2)),
-        "DRRIP" | "DRRIP-2" => Box::new(OracleDrrip::new(2)),
-        "DRRIP-4" => Box::new(OracleDrrip::new(4)),
-        "SHiP-mem" => Box::new(OracleShip::new(cfg)),
-        "GSPZTC" => Box::new(OracleGspztc::new(cfg, 8)),
-        "GSPZTC+TSE" => Box::new(OracleTse::new(cfg, 8, false, false)),
-        "GSPC" => Box::new(OracleTse::new(cfg, 8, true, false)),
-        "GSPC+BYP" => Box::new(OracleTse::new(cfg, 8, true, true)),
-        "GSPC+UCD" => Box::new(OracleUcd::new(OracleTse::new(cfg, 8, true, false))),
-        "DRRIP+UCD" => Box::new(OracleUcd::new(OracleDrrip::new(2))),
-        "NRU+UCD" => Box::new(OracleUcd::new(OracleNru::new())),
-        "OPT" => Box::new(OracleOpt::new()),
+    let resolved = registry::resolve(name)?;
+    let key = match resolved.entry().meta.oracle {
+        OracleRef::Key(key) => key,
+        OracleRef::OptOut(_) => return None,
+    };
+    let t = resolved.threshold().unwrap_or(DEFAULT_T);
+    build_oracle(key, cfg, t)
+}
+
+/// The oracle constructor table, keyed by [`OracleRef::Key`]. Adding a
+/// policy with an independent oracle means one registry row plus one arm
+/// here; the coverage test proves every registered key builds.
+fn build_oracle(key: &str, cfg: &LlcConfig, t: u32) -> Option<Box<dyn Policy>> {
+    Some(match key {
+        "nru" => Box::new(OracleNru::new()),
+        "lru" => Box::new(OracleLru::new()),
+        "srrip-2" => Box::new(OracleSrrip::new(2)),
+        "drrip-2" => Box::new(OracleDrrip::new(2)),
+        "drrip-4" => Box::new(OracleDrrip::new(4)),
+        "ship" => Box::new(OracleShip::new(cfg)),
+        "gspztc" => Box::new(OracleGspztc::new(cfg, t)),
+        "tse" => Box::new(OracleTse::new(cfg, t, false, false)),
+        "gspc" => Box::new(OracleTse::new(cfg, t, true, false)),
+        "gspc+byp" => Box::new(OracleTse::new(cfg, t, true, true)),
+        "gspc+ucd" => Box::new(OracleUcd::new(OracleTse::new(cfg, t, true, false))),
+        "drrip+ucd" => Box::new(OracleUcd::new(OracleDrrip::new(2))),
+        "nru+ucd" => Box::new(OracleUcd::new(OracleNru::new())),
+        "opt" => Box::new(OracleOpt::new()),
+        "gopt" => Box::new(OracleGopt::new(cfg)),
         _ => return None,
     })
 }
@@ -769,33 +782,149 @@ impl Policy for OracleOpt {
     }
 }
 
+// --- GOPT ------------------------------------------------------------------
+
+/// OPT-trained region predictor, reimplemented in the oracle style: the
+/// shadow Belady sets live in a `HashMap` of `(block, next_use)` pairs and
+/// the per-bank region evidence in `HashMap<signature, (friendly, averse)>`
+/// — plain tallies, matching the production policy's unsaturated,
+/// undecayed counters decision for decision. Training happens on every
+/// hit and fill *before* the insertion classification, mirroring the
+/// production ordering; a shadow miss whose incoming line out-distances
+/// every shadow resident (the OPT bypass case) counts as doubly averse.
+#[derive(Debug, Clone)]
+struct OracleGopt {
+    shadow: HashMap<(usize, usize), Vec<(u64, u64)>>,
+    tables: Vec<HashMap<u32, (u64, u64)>>,
+    rrpvs: PerSet<u8>,
+}
+
+impl OracleGopt {
+    fn new(cfg: &LlcConfig) -> Self {
+        OracleGopt {
+            shadow: HashMap::new(),
+            tables: vec![HashMap::new(); cfg.banks],
+            rrpvs: PerSet::new(),
+        }
+    }
+
+    /// 14-bit region signature: block address bits [21:8] (the SHiP-mem
+    /// geometry).
+    fn signature(block: u64) -> u32 {
+        ((block >> 8) as u32) & ((1 << 14) - 1)
+    }
+
+    /// Replays `a` through the shadow Belady set and banks the outcome.
+    fn observe(&mut self, a: &AccessInfo, ways: usize) {
+        let set = self.shadow.entry((a.bank, a.set_in_bank)).or_default();
+        let averse;
+        if let Some(w) = set.iter_mut().find(|w| w.0 == a.block) {
+            w.1 = a.next_use;
+            averse = 0;
+        } else if set.len() < ways {
+            set.push((a.block, a.next_use));
+            averse = 1;
+        } else {
+            // Victim = farthest next use, last way on ties (the production
+            // Belady tie-break); an incoming line at least as far as every
+            // resident is OPT's bypass decision and trains twice.
+            let mut victim = 0;
+            let mut far = 0u64;
+            for (i, w) in set.iter().enumerate() {
+                if w.1 >= far {
+                    far = w.1;
+                    victim = i;
+                }
+            }
+            averse = if a.next_use >= far { 2 } else { 1 };
+            set[victim] = (a.block, a.next_use);
+        }
+        let e = self.tables[a.bank].entry(Self::signature(a.block)).or_insert((0, 0));
+        if averse == 0 {
+            e.0 += 1;
+        } else {
+            e.1 += averse;
+        }
+    }
+}
+
+impl Policy for OracleGopt {
+    fn name(&self) -> &str {
+        "oracle:GOPT"
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        0
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.observe(a, set.len());
+        self.rrpvs.set(a, set.len())[way] = 0;
+    }
+
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        rrip_victim(self.rrpvs.set(a, set.len()), 3)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.observe(a, set.len());
+        let (friendly, averse) =
+            self.tables[a.bank].get(&Self::signature(a.block)).copied().unwrap_or((0, 0));
+        let rrpv = if friendly > 3 * averse && friendly > 0 {
+            0
+        } else if averse > 3 * friendly && averse > 0 {
+            3
+        } else {
+            2
+        };
+        self.rrpvs.set(a, set.len())[way] = rrpv;
+        FillInfo::rrip(rrpv, 3)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gspc::registry;
 
+    /// Cross-layer oracle coverage, driven by the registry itself: every
+    /// `ALL_POLICIES` row either names an oracle key that actually builds
+    /// one here, or carries a documented opt-out — so a future row that
+    /// forgets its verification story (or typos its key) fails this build,
+    /// not a fuzz campaign months later.
     #[test]
-    fn oracles_exist_for_the_paper_policies() {
+    fn every_registry_row_resolves_its_oracle_story() {
         let cfg = LlcConfig::mb(8);
-        for name in [
-            "NRU",
-            "LRU",
-            "SRRIP",
-            "DRRIP",
-            "DRRIP-4",
-            "SHiP-mem",
-            "GSPZTC",
-            "GSPZTC(t=2)",
-            "GSPZTC+TSE",
-            "GSPC",
-            "GSPC+BYP",
-            "GSPC+UCD",
-            "DRRIP+UCD",
-            "NRU+UCD",
-            "OPT",
-        ] {
+        let mut with_oracle = 0;
+        for entry in registry::ALL_POLICIES {
+            match entry.meta.oracle {
+                OracleRef::Key(key) => {
+                    with_oracle += 1;
+                    assert!(
+                        build_oracle(key, &cfg, DEFAULT_T).is_some(),
+                        "{}: oracle key {key:?} has no constructor arm",
+                        entry.name
+                    );
+                    assert!(oracle_for(entry.name, &cfg).is_some(), "no oracle for {}", entry.name);
+                    for alias in entry.aliases {
+                        assert!(oracle_for(alias, &cfg).is_some(), "no oracle via alias {alias}");
+                    }
+                }
+                OracleRef::OptOut(reason) => {
+                    assert!(!reason.is_empty(), "{}: undocumented opt-out", entry.name);
+                    assert!(
+                        oracle_for(entry.name, &cfg).is_none(),
+                        "{}: opted out but an oracle was built",
+                        entry.name
+                    );
+                }
+            }
+        }
+        assert!(with_oracle >= 15, "oracle coverage shrank to {with_oracle} policies");
+        // Parameterized spellings dispatch through their base row; unknown
+        // and malformed names build nothing.
+        for name in registry::PARAMETERIZED.iter().flat_map(|f| f.fuzz_spellings) {
             assert!(oracle_for(name, &cfg).is_some(), "no oracle for {name}");
-            assert!(registry::create(name, &cfg).is_some(), "oracle without registry entry {name}");
         }
         assert!(oracle_for("PLRU", &cfg).is_none());
         assert!(oracle_for("GSPZTC(t=3)", &cfg).is_none(), "non-power-of-two threshold");

@@ -1,0 +1,452 @@
+//! GOPT: an OPT-trained region predictor (ROADMAP item 4).
+//!
+//! A Hawkeye-style policy that learns from simulated-OPT decisions instead
+//! of from its own hits: a per-set *shadow Belady* simulation replays every
+//! access against the exact next-use annotations the harness already
+//! computes (persisted `.nu` sidecars, [`grcache::annotate_next_use`]) and
+//! records, per 16 KB memory region, whether OPT would have **hit** the
+//! line (cache-friendly), **missed** it (cache-averse), or missed it *and*
+//! immediately victimized it — the bypass decision, trained with double
+//! weight. Following Faldu's reuse-variability observation, a region whose
+//! friendly and averse evidence stay within a 3x band of each other is
+//! classified *variable* and handled conservatively (SRRIP insertion)
+//! rather than forced into either extreme.
+//!
+//! Insertion maps the classification onto a two-bit RRPV:
+//! friendly → 0 (near-immediate reuse), variable → long (SRRIP's default),
+//! averse → distant (first victim). Hits promote to 0. The policy never
+//! bypasses, so the conformance suite's Belady lower bound applies to it
+//! unconditionally.
+//!
+//! Counters are plain unsaturated `u64` tallies with no decay, which buys
+//! two properties the verification layers rely on:
+//!
+//! * the independent grcheck oracle can reproduce every decision exactly
+//!   (no hidden aging schedule to match), and
+//! * offline retraining is *idempotent*: training twice on the same trace
+//!   doubles every count, and the ratio-based [`RegionCounts::classify`]
+//!   is invariant under scaling, so the learned decisions are identical.
+//!
+//! The offline side ([`Gopt::train`]) runs the same shadow simulation over
+//! a materialized trace + `.nu` annotation vector and returns a
+//! [`GoptModel`] that can seed a fresh policy ([`Gopt::with_model`]).
+
+use grcache::{AccessInfo, Block, FillInfo, LlcConfig, Policy};
+use grtrace::Access;
+
+use crate::RripMeta;
+
+/// Region-signature width: 14 bits of block address [21:8], i.e. 16 KB
+/// regions — the same geometry as the SHiP-mem signature table, which the
+/// paper argues is the natural PC-free granularity for graphics surfaces.
+const SIG_BITS: u32 = 14;
+
+/// Entries per per-bank region table.
+const TABLE_ENTRIES: usize = 1 << SIG_BITS;
+
+/// Classification band: a region is friendly (averse) only when that
+/// evidence exceeds the opposite evidence by this factor; anything closer
+/// is *variable* reuse.
+const DECISION_RATIO: u64 = 3;
+
+/// 14-bit region signature of a block address.
+#[inline]
+fn signature(block: u64) -> usize {
+    ((block >> 8) as usize) & (TABLE_ENTRIES - 1)
+}
+
+/// Per-region training evidence: how often the shadow Belady simulation
+/// hit (friendly) or missed (averse) lines of this region. Unsaturated
+/// and undecayed by design (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionCounts {
+    /// Shadow-OPT hits observed in this region.
+    pub friendly: u64,
+    /// Shadow-OPT misses (bypass decisions count twice).
+    pub averse: u64,
+}
+
+/// A region's learned reuse class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reuse {
+    /// OPT overwhelmingly kept this region's lines: insert at RRPV 0.
+    Friendly,
+    /// Mixed or unseen evidence: fall back to SRRIP's long insertion.
+    Variable,
+    /// OPT overwhelmingly evicted this region's lines: insert distant.
+    Averse,
+}
+
+impl RegionCounts {
+    /// Ratio-test classification, invariant under scaling both counts —
+    /// the property that makes retraining idempotent.
+    pub fn classify(&self) -> Reuse {
+        if self.friendly > DECISION_RATIO * self.averse && self.friendly > 0 {
+            Reuse::Friendly
+        } else if self.averse > DECISION_RATIO * self.friendly && self.averse > 0 {
+            Reuse::Averse
+        } else {
+            Reuse::Variable
+        }
+    }
+}
+
+/// One resident line of the shadow Belady simulation.
+#[derive(Debug, Clone, Copy)]
+struct ShadowWay {
+    block: u64,
+    next_use: u64,
+}
+
+/// What shadow OPT did with an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShadowOutcome {
+    /// The line was shadow-resident: OPT hits, the region is friendly.
+    Hit,
+    /// Shadow miss: OPT evicts someone else to fill this line.
+    Miss,
+    /// Shadow miss where the incoming line itself has the farthest next
+    /// use — OPT would bypass it; trained as doubly averse.
+    MissBypass,
+}
+
+/// Replays one access through a shadow Belady set (mandatory fill, victim
+/// = farthest next use, last way on ties — matching the production OPT
+/// replay and the independent `opt_misses` bound).
+fn shadow_access(
+    set: &mut Vec<ShadowWay>,
+    ways: usize,
+    block: u64,
+    next_use: u64,
+) -> ShadowOutcome {
+    if let Some(w) = set.iter_mut().find(|w| w.block == block) {
+        w.next_use = next_use;
+        return ShadowOutcome::Hit;
+    }
+    if set.len() < ways {
+        set.push(ShadowWay { block, next_use });
+        return ShadowOutcome::Miss;
+    }
+    let mut victim = 0;
+    let mut far = 0u64;
+    for (i, w) in set.iter().enumerate() {
+        if w.next_use >= far {
+            far = w.next_use;
+            victim = i;
+        }
+    }
+    // The incoming line out-distances every resident: filling it is the
+    // decision OPT regrets immediately (it would bypass if it could).
+    let bypass = next_use >= far;
+    set[victim] = ShadowWay { block, next_use };
+    if bypass {
+        ShadowOutcome::MissBypass
+    } else {
+        ShadowOutcome::Miss
+    }
+}
+
+/// Applies one shadow outcome to a bank's region table.
+fn train_outcome(table: &mut [RegionCounts], block: u64, outcome: ShadowOutcome) {
+    let c = &mut table[signature(block)];
+    match outcome {
+        ShadowOutcome::Hit => c.friendly += 1,
+        ShadowOutcome::Miss => c.averse += 1,
+        ShadowOutcome::MissBypass => c.averse += 2,
+    }
+}
+
+/// An offline-trained set of per-bank region tables ([`Gopt::train`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoptModel {
+    banks: Vec<Vec<RegionCounts>>,
+}
+
+impl GoptModel {
+    /// An untrained model for `cfg`'s bank count.
+    pub fn empty(cfg: &LlcConfig) -> Self {
+        GoptModel { banks: vec![vec![RegionCounts::default(); TABLE_ENTRIES]; cfg.banks] }
+    }
+
+    /// The training evidence for `block`'s region in `bank`.
+    pub fn counts(&self, bank: usize, block: u64) -> RegionCounts {
+        self.banks[bank][signature(block)]
+    }
+
+    /// The learned reuse class for `block`'s region in `bank`.
+    pub fn classify(&self, bank: usize, block: u64) -> Reuse {
+        self.counts(bank, block).classify()
+    }
+
+    /// Every region's classification, bank-major — the decision surface
+    /// (retraining on the same data must leave this identical even though
+    /// the underlying counts double).
+    pub fn decisions(&self) -> Vec<Vec<Reuse>> {
+        self.banks
+            .iter()
+            .map(|table| table.iter().map(RegionCounts::classify).collect())
+            .collect()
+    }
+
+    /// Continues training this model on another annotated trace. The
+    /// shadow simulation restarts cold (residency does not carry across
+    /// traces); the region evidence accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `next_use` does not annotate `accesses` one-to-one or
+    /// the model's bank count does not match `cfg`.
+    pub fn train_more(&mut self, cfg: &LlcConfig, accesses: &[Access], next_use: &[u64]) {
+        assert_eq!(accesses.len(), next_use.len(), "next-use annotations must cover the trace");
+        assert_eq!(self.banks.len(), cfg.banks, "model/config bank mismatch");
+        let geo = cfg.geometry();
+        let mut shadow: Vec<Vec<ShadowWay>> = vec![Vec::new(); cfg.total_sets()];
+        for (i, a) in accesses.iter().enumerate() {
+            let block = a.block();
+            let (bank, set_in_bank, _tag) = geo.map(block);
+            let outcome =
+                shadow_access(&mut shadow[geo.set_index(bank, set_in_bank)], cfg.ways, block, next_use[i]);
+            train_outcome(&mut self.banks[bank], block, outcome);
+        }
+    }
+}
+
+/// The online OPT-trained region predictor. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Gopt {
+    meta: RripMeta,
+    ways: usize,
+    sets_per_bank: usize,
+    shadow: Vec<Vec<ShadowWay>>,
+    tables: Vec<Vec<RegionCounts>>,
+}
+
+impl Gopt {
+    /// Creates an untrained predictor for `cfg`; the region tables learn
+    /// online from the shadow Belady simulation as the replay proceeds.
+    pub fn new(cfg: &LlcConfig) -> Self {
+        Gopt::with_model(cfg, &GoptModel::empty(cfg))
+    }
+
+    /// Creates a predictor whose region tables start from an
+    /// offline-trained [`GoptModel`] (online training continues on top).
+    pub fn with_model(cfg: &LlcConfig, model: &GoptModel) -> Self {
+        assert_eq!(model.banks.len(), cfg.banks, "model/config bank mismatch");
+        Gopt {
+            meta: RripMeta::new(2),
+            ways: cfg.ways,
+            sets_per_bank: cfg.sets_per_bank(),
+            shadow: vec![Vec::new(); cfg.total_sets()],
+            tables: model.banks.clone(),
+        }
+    }
+
+    /// Trains a fresh model by running the shadow Belady simulation over
+    /// an annotated trace (`next_use[i]` is the trace index of the next
+    /// access to `accesses[i]`'s block, `u64::MAX` if none — exactly the
+    /// `.nu` sidecar format).
+    pub fn train(cfg: &LlcConfig, accesses: &[Access], next_use: &[u64]) -> GoptModel {
+        let mut model = GoptModel::empty(cfg);
+        model.train_more(cfg, accesses, next_use);
+        model
+    }
+
+    /// Feeds one access through the shadow simulation and the region
+    /// table. Called from both `on_hit` and `on_fill`, so every
+    /// non-bypassed access trains exactly once, *before* the insertion
+    /// decision that may consult the region it trains.
+    fn observe(&mut self, a: &AccessInfo) {
+        let idx = a.bank * self.sets_per_bank + a.set_in_bank;
+        let outcome = shadow_access(&mut self.shadow[idx], self.ways, a.block, a.next_use);
+        train_outcome(&mut self.tables[a.bank], a.block, outcome);
+    }
+}
+
+impl Policy for Gopt {
+    fn name(&self) -> &str {
+        "GOPT"
+    }
+
+    fn state_bits_per_block(&self) -> u32 {
+        self.meta.bits()
+    }
+
+    fn on_hit(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) {
+        self.observe(a);
+        self.meta.set(&mut set[way], 0);
+    }
+
+    fn choose_victim(&mut self, a: &AccessInfo, set: &mut [Block]) -> usize {
+        let _ = a;
+        self.meta.select_victim(set)
+    }
+
+    fn on_fill(&mut self, a: &AccessInfo, set: &mut [Block], way: usize) -> FillInfo {
+        self.observe(a);
+        let rrpv = match self.tables[a.bank][signature(a.block)].classify() {
+            Reuse::Friendly => 0,
+            Reuse::Variable => self.meta.long(),
+            Reuse::Averse => self.meta.distant(),
+        };
+        self.meta.set(&mut set[way], rrpv);
+        FillInfo::rrip(rrpv, self.meta.distant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grcache::{annotate_next_use, Llc};
+    use grtrace::StreamId;
+
+    fn tiny_cfg() -> LlcConfig {
+        LlcConfig { size_bytes: 1024, ways: 2, banks: 4, sample_period: 2 }
+    }
+
+    #[test]
+    fn classification_bands() {
+        let c = |friendly, averse| RegionCounts { friendly, averse }.classify();
+        assert_eq!(c(0, 0), Reuse::Variable, "no evidence is variable");
+        assert_eq!(c(1, 0), Reuse::Friendly);
+        assert_eq!(c(0, 1), Reuse::Averse);
+        assert_eq!(c(4, 1), Reuse::Friendly);
+        assert_eq!(c(3, 1), Reuse::Variable, "inside the 3x band");
+        assert_eq!(c(1, 3), Reuse::Variable);
+        assert_eq!(c(1, 4), Reuse::Averse);
+    }
+
+    #[test]
+    fn classification_is_scale_invariant() {
+        for (f, a) in [(0u64, 0u64), (1, 0), (7, 2), (2, 7), (5, 5), (100, 1)] {
+            let once = RegionCounts { friendly: f, averse: a }.classify();
+            let twice = RegionCounts { friendly: 2 * f, averse: 2 * a }.classify();
+            assert_eq!(once, twice, "({f},{a}) changed class under doubling");
+        }
+    }
+
+    #[test]
+    fn shadow_set_is_belady_with_last_max_tiebreak() {
+        let mut set = Vec::new();
+        // Fill two ways.
+        assert_eq!(shadow_access(&mut set, 2, 10, 100), ShadowOutcome::Miss);
+        assert_eq!(shadow_access(&mut set, 2, 20, 50), ShadowOutcome::Miss);
+        // Resident reuse is a hit and refreshes the next use.
+        assert_eq!(shadow_access(&mut set, 2, 10, 200), ShadowOutcome::Hit);
+        // A nearer line evicts the farthest resident (block 10 @ 200).
+        assert_eq!(shadow_access(&mut set, 2, 30, 60), ShadowOutcome::Miss);
+        assert!(set.iter().any(|w| w.block == 30) && set.iter().any(|w| w.block == 20));
+        // A line farther than every resident is the bypass decision.
+        assert_eq!(shadow_access(&mut set, 2, 40, u64::MAX), ShadowOutcome::MissBypass);
+    }
+
+    /// A trace with a hot region (rereferenced every round) and a
+    /// streaming region (touched once): the trainer must call them
+    /// friendly and averse respectively.
+    fn mixed_trace() -> Vec<Access> {
+        let mut accesses = Vec::new();
+        for round in 0..40u64 {
+            for i in 0..4u64 {
+                // Hot region: 4 blocks, reused every round.
+                accesses.push(Access::load((0x1000 + i) << 6, StreamId::Texture));
+            }
+            for i in 0..8u64 {
+                // Streaming region: fresh blocks every round, never reused.
+                accesses.push(Access::load((0x4000_0000 + round * 64 + i) << 6, StreamId::Z));
+            }
+        }
+        accesses
+    }
+
+    #[test]
+    fn trainer_separates_friendly_from_averse_regions() {
+        let cfg = tiny_cfg();
+        let accesses = mixed_trace();
+        let nu = annotate_next_use(&accesses);
+        let model = Gopt::train(&cfg, &accesses, &nu);
+        let hot = 0x1000u64; // block address of the hot region
+        let (bank, _, _) = cfg.map(hot);
+        assert_eq!(model.classify(bank, hot), Reuse::Friendly, "{:?}", model.counts(bank, hot));
+        let stream = 0x4000_0000u64;
+        let (sbank, _, _) = cfg.map(stream);
+        assert_eq!(
+            model.classify(sbank, stream),
+            Reuse::Averse,
+            "{:?}",
+            model.counts(sbank, stream)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_and_retrain_idempotent() {
+        let cfg = tiny_cfg();
+        let accesses = mixed_trace();
+        let nu = annotate_next_use(&accesses);
+        let a = Gopt::train(&cfg, &accesses, &nu);
+        let b = Gopt::train(&cfg, &accesses, &nu);
+        assert_eq!(a, b, "same trace, same model");
+        // Retraining doubles every count but changes no decision.
+        let mut retrained = a.clone();
+        retrained.train_more(&cfg, &accesses, &nu);
+        assert_ne!(a, retrained, "counts must accumulate");
+        assert_eq!(a.decisions(), retrained.decisions(), "decisions must be idempotent");
+        let probe = 0x1000u64;
+        let (bank, _, _) = cfg.map(probe);
+        assert_eq!(retrained.counts(bank, probe).friendly, 2 * a.counts(bank, probe).friendly);
+    }
+
+    /// The online policy's region tables end a replay exactly where the
+    /// offline trainer lands on the same annotated trace: the policy IS
+    /// the trainer plus an insertion rule.
+    #[test]
+    fn online_training_matches_offline_trainer() {
+        let cfg = tiny_cfg();
+        let accesses = mixed_trace();
+        let nu = annotate_next_use(&accesses);
+        let offline = Gopt::train(&cfg, &accesses, &nu);
+
+        let mut llc = Llc::new(cfg, Gopt::new(&cfg));
+        for (a, &n) in accesses.iter().zip(&nu) {
+            llc.access_annotated(a, n);
+        }
+        assert_eq!(llc.policy().tables, offline.banks);
+    }
+
+    #[test]
+    fn pretrained_policy_replays_deterministically() {
+        let cfg = tiny_cfg();
+        let accesses = mixed_trace();
+        let nu = annotate_next_use(&accesses);
+        let model = Gopt::train(&cfg, &accesses, &nu);
+        let run = |policy: Gopt| {
+            let mut llc = Llc::new(cfg, policy);
+            for (a, &n) in accesses.iter().zip(&nu) {
+                llc.access_annotated(a, n);
+            }
+            llc.stats().clone()
+        };
+        let warm_a = run(Gopt::with_model(&cfg, &model));
+        let warm_b = run(Gopt::with_model(&cfg, &model));
+        assert_eq!(warm_a, warm_b, "pretrained replay must be deterministic");
+        let cold = run(Gopt::new(&cfg));
+        assert!(
+            warm_a.total_misses() <= cold.total_misses(),
+            "pretraining on the same trace must not hurt: warm {} vs cold {}",
+            warm_a.total_misses(),
+            cold.total_misses()
+        );
+    }
+
+    #[test]
+    fn gopt_never_beats_opt_on_the_training_trace() {
+        let cfg = tiny_cfg();
+        let accesses = mixed_trace();
+        let nu = annotate_next_use(&accesses);
+        let mut opt = Llc::new(cfg, crate::Belady::new());
+        let mut gopt = Llc::new(cfg, Gopt::new(&cfg));
+        for (a, &n) in accesses.iter().zip(&nu) {
+            opt.access_annotated(a, n);
+            gopt.access_annotated(a, n);
+        }
+        assert!(gopt.stats().total_misses() >= opt.stats().total_misses());
+    }
+}

@@ -35,6 +35,7 @@ mod belady;
 mod counters;
 mod dip;
 mod duel;
+mod gopt;
 mod gs_drrip;
 mod gspc_policy;
 mod gspztc;
@@ -53,6 +54,7 @@ pub use belady::Belady;
 pub use counters::{GspcCounters, SatCounter};
 pub use dip::{Bip, Dip, Lip, RandomRepl};
 pub use duel::{Duel, Leader};
+pub use gopt::{Gopt, GoptModel, RegionCounts, Reuse};
 pub use gs_drrip::GsDrrip;
 pub use gspc_policy::Gspc;
 pub use gspztc::Gspztc;

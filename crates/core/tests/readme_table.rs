@@ -1,0 +1,23 @@
+//! The README's policy table is generated from the registry
+//! (`grsim policies --markdown`); this test fails when the committed
+//! rendering drifts from what the registry would emit — e.g. after adding
+//! a table row without regenerating the docs.
+
+use gspc::registry;
+
+#[test]
+fn readme_policy_table_is_in_sync_with_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md readable");
+    let begin = "<!-- BEGIN POLICY TABLE (generated: grsim policies --markdown) -->\n";
+    let end = "<!-- END POLICY TABLE -->";
+    let start = readme.find(begin).expect("README missing BEGIN POLICY TABLE marker") + begin.len();
+    let stop = readme[start..].find(end).expect("README missing END POLICY TABLE marker") + start;
+    assert_eq!(
+        &readme[start..stop],
+        registry::markdown_policy_table(),
+        "README policy table drifted from the registry; regenerate with \
+         `cargo run -p grbench --bin grsim -- policies --markdown` and paste \
+         between the markers"
+    );
+}

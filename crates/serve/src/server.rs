@@ -483,9 +483,19 @@ fn policies_response() -> Response {
             .set("needs_next_use", entry.needs_next_use());
         list.push(item);
     }
+    // Parameterized spelling families come from the registry too, so the
+    // served vocabulary can never drift from what the spec validator (and
+    // every other layer) resolves.
+    let mut families = Vec::new();
+    for family in registry::PARAMETERIZED {
+        let mut item = Json::obj();
+        item.set("pattern", family.pattern)
+            .set("description", family.description)
+            .set("base", family.base);
+        families.push(item);
+    }
     let mut doc = Json::obj();
-    doc.set("policies", Json::Arr(list))
-        .set("parameterized", Json::Arr(vec![Json::from("GSPZTC(t=N)")]));
+    doc.set("policies", Json::Arr(list)).set("parameterized", Json::Arr(families));
     Response::json(doc.to_string_pretty())
 }
 

@@ -76,7 +76,10 @@ impl JobSpec {
                 let mut out: Vec<String> = Vec::new();
                 for item in items {
                     let name = item.as_str().ok_or("policies entries must be strings")?;
-                    if registry::create(name, &grcache::LlcConfig::mb(8)).is_none() {
+                    // One parse path for every layer: a spelling is valid
+                    // here iff the registry resolves it (table names,
+                    // aliases, and parameterized forms alike).
+                    if registry::resolve(name).is_none() {
                         return Err(format!("unknown policy {name:?}; see GET /v1/policies"));
                     }
                     if !out.iter().any(|p| p == name) {

@@ -415,6 +415,59 @@ fn vocabulary_endpoints_reflect_the_registry() {
         .expect("OPT listed");
     assert_eq!(opt.get("needs_next_use"), Some(&Json::Bool(true)));
 
+    // Cross-layer round trip: every registry row is served with faithful
+    // metadata, and every served spelling (names, aliases, parameterized
+    // fuzz spellings) validates back through the job-spec parser — a
+    // future row that forgets a layer fails here.
+    for entry in gspc::registry::ALL_POLICIES {
+        let served = policies
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(entry.name))
+            .unwrap_or_else(|| panic!("{} not served by /v1/policies", entry.name));
+        assert_eq!(
+            served.get("description").and_then(Json::as_str),
+            Some(entry.description),
+            "{}: served description drifted",
+            entry.name
+        );
+        assert_eq!(
+            served.get("needs_next_use"),
+            Some(&Json::Bool(entry.needs_next_use())),
+            "{}: served needs_next_use drifted",
+            entry.name
+        );
+        let Some(Json::Arr(aliases)) = served.get("aliases") else {
+            panic!("{}: missing aliases array", entry.name)
+        };
+        let aliases: Vec<&str> = aliases.iter().filter_map(Json::as_str).collect();
+        assert_eq!(aliases, *entry.aliases, "{}: served aliases drifted", entry.name);
+
+        for spelling in std::iter::once(&entry.name).chain(entry.aliases) {
+            let body = format!(r#"{{"policies": ["{spelling}"], "apps": ["HAWX"]}}"#);
+            let spec = grserve::JobSpec::parse(&body, grsynth::Scale::Tiny)
+                .unwrap_or_else(|e| panic!("served spelling {spelling:?} rejected: {e}"));
+            assert_eq!(spec.policies, vec![spelling.to_string()]);
+        }
+    }
+    let Some(Json::Arr(families)) = doc.get("parameterized") else {
+        panic!("missing parameterized array: {body}")
+    };
+    assert_eq!(families.len(), gspc::registry::PARAMETERIZED.len());
+    for family in gspc::registry::PARAMETERIZED {
+        assert!(
+            families
+                .iter()
+                .any(|f| f.get("pattern").and_then(Json::as_str) == Some(family.pattern)),
+            "family {} not served",
+            family.pattern
+        );
+        for spelling in family.fuzz_spellings {
+            let body = format!(r#"{{"policies": ["{spelling}"], "apps": ["HAWX"]}}"#);
+            grserve::JobSpec::parse(&body, grsynth::Scale::Tiny)
+                .unwrap_or_else(|e| panic!("parameterized {spelling:?} rejected: {e}"));
+        }
+    }
+
     let (status, _, body) = http(&addr, "GET", "/v1/apps", None);
     assert_eq!(status, 200);
     let doc = Json::parse(&body).expect("apps JSON");
