@@ -182,10 +182,7 @@ impl GoptModel {
     /// (retraining on the same data must leave this identical even though
     /// the underlying counts double).
     pub fn decisions(&self) -> Vec<Vec<Reuse>> {
-        self.banks
-            .iter()
-            .map(|table| table.iter().map(RegionCounts::classify).collect())
-            .collect()
+        self.banks.iter().map(|table| table.iter().map(RegionCounts::classify).collect()).collect()
     }
 
     /// Continues training this model on another annotated trace. The
@@ -204,8 +201,12 @@ impl GoptModel {
         for (i, a) in accesses.iter().enumerate() {
             let block = a.block();
             let (bank, set_in_bank, _tag) = geo.map(block);
-            let outcome =
-                shadow_access(&mut shadow[geo.set_index(bank, set_in_bank)], cfg.ways, block, next_use[i]);
+            let outcome = shadow_access(
+                &mut shadow[geo.set_index(bank, set_in_bank)],
+                cfg.ways,
+                block,
+                next_use[i],
+            );
             train_outcome(&mut self.banks[bank], block, outcome);
         }
     }

@@ -828,9 +828,14 @@ mod tests {
                 assert!(c.panel, "{}: ceilings/goldens without panel membership", entry.name);
             }
             for (baseline, factor) in c.ceilings {
-                let b = find(baseline)
-                    .unwrap_or_else(|| panic!("{}: unknown ceiling baseline {baseline}", entry.name));
-                assert!(b.meta.conformance.panel, "{}: baseline {baseline} not in panel", entry.name);
+                let b = find(baseline).unwrap_or_else(|| {
+                    panic!("{}: unknown ceiling baseline {baseline}", entry.name)
+                });
+                assert!(
+                    b.meta.conformance.panel,
+                    "{}: baseline {baseline} not in panel",
+                    entry.name
+                );
                 assert!(*factor > 0.0, "{}: non-positive ceiling factor", entry.name);
             }
         }
@@ -849,7 +854,16 @@ mod tests {
         );
         assert_eq!(
             group_names(GROUP_FIG12),
-            ["NRU", "SHiP-mem", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD", "DRRIP+UCD"],
+            [
+                "NRU",
+                "SHiP-mem",
+                "GS-DRRIP",
+                "GSPZTC",
+                "GSPZTC+TSE",
+                "GSPC",
+                "GSPC+UCD",
+                "DRRIP+UCD"
+            ],
             "Figure 12 policy set changed"
         );
     }

@@ -1,0 +1,697 @@
+//! The event-driven connection layer: one thread, one epoll instance,
+//! nonblocking accept/read/write, and a per-connection state machine that
+//! speaks HTTP/1.1 keep-alive with pipelining.
+//!
+//! This replaces PR 5's thread-per-connection front end. Simulation work
+//! still runs on the Condvar worker pool — the split is strict:
+//!
+//! ```text
+//!               ┌───────────────────────────── event-loop thread ──┐
+//! accept ──► Conn { parser ─► slots ─► ready (BTreeMap) ─► out buf }
+//!               └───────▲───────────────────────────┬──────────────┘
+//!                       │ Pending::respond          │ Handler::handle
+//!               ┌───────┴──────────┐        ┌───────▼──────────┐
+//!               │ Completions queue│◄───────│ worker / forwarder│
+//!               └──────────────────┘  defer └──────────────────┘
+//! ```
+//!
+//! A [`Handler`] either answers a request inline (`Some(response)`) or
+//! keeps the [`Pending`] ticket and returns `None`; a worker thread later
+//! calls [`Pending::respond`], which enqueues the completion and pokes the
+//! loop through a socketpair waker. Responses are serialized strictly in
+//! request order per connection (pipelining), tracked by monotonic slot
+//! numbers: out-of-order completions park in `ready` until every earlier
+//! slot has been emitted.
+//!
+//! Abuse containment lives here because only the loop owns time: a
+//! connection with a half-received request older than `read_deadline`
+//! gets a 408 and is closed; a fully idle connection older than
+//! `idle_timeout` is dropped silently; head/body size violations are
+//! mapped to 431/413 by the parser. A connection whose outbound buffer
+//! exceeds [`OUT_BUF_CAP`] stops being read (backpressure) until the
+//! client drains it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::http::{error_response, Request, RequestParser, Response};
+use crate::poll::{Epoll, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of the completion waker (read half of the socketpair).
+const TOKEN_WAKER: u64 = 1;
+/// First connection token; tokens are monotonic and never reused, so a
+/// stale completion can never be delivered to a recycled connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Backpressure threshold: stop reading a connection whose unflushed
+/// output exceeds this many bytes.
+const OUT_BUF_CAP: usize = 4 * 1024 * 1024;
+
+/// Deadline/idle sweep and gauge refresh period.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Routes one parsed request. Implemented by the backend daemon and the
+/// fleet front tier; the loop itself knows nothing about endpoints.
+pub trait Handler: Send + Sync {
+    /// Returns `Some(response)` to answer inline, or `None` after moving
+    /// `pending` somewhere that will call [`Pending::respond`] later.
+    /// (Dropping the ticket unanswered yields a 500, never a hung slot.)
+    fn handle(&self, request: Request, pending: Pending) -> Option<Response>;
+}
+
+/// Completion mailbox shared between the loop and deferring threads.
+struct Completions {
+    queue: Mutex<Vec<(u64, u64, Response)>>,
+    /// Write half of the waker socketpair; one byte per post, nonblocking
+    /// (a full pipe means the loop is already scheduled to wake).
+    waker: UnixStream,
+}
+
+impl Completions {
+    fn post(&self, conn: u64, slot: u64, response: Response) {
+        self.queue.lock().expect("completions lock").push((conn, slot, response));
+        let _ = (&self.waker).write(&[1]);
+    }
+}
+
+/// A deferred-response ticket for one request slot. Consuming it with
+/// [`Pending::respond`] delivers the response; dropping it unanswered
+/// delivers a 500 so the connection can make progress either way.
+pub struct Pending {
+    inner: Option<(Arc<Completions>, u64, u64)>,
+}
+
+impl Pending {
+    /// Delivers the response for this slot and wakes the event loop.
+    pub fn respond(mut self, response: Response) {
+        if let Some((completions, conn, slot)) = self.inner.take() {
+            completions.post(conn, slot, response);
+        }
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if let Some((completions, conn, slot)) = self.inner.take() {
+            completions.post(
+                conn,
+                slot,
+                Response::new(500).with_json("{\"error\": \"request dropped unanswered\"}"),
+            );
+        }
+    }
+}
+
+/// Connection-state gauges, refreshed every [`TICK`] by the loop and read
+/// by the `/metrics` renderer. A connection counts as *writing* if it has
+/// unflushed or undelivered responses, else *reading* if a request is
+/// half-received, else *idle*.
+#[derive(Default)]
+pub struct ConnGauges {
+    /// Open connections.
+    pub open: AtomicU64,
+    /// Connections with a partially received request.
+    pub reading: AtomicU64,
+    /// Connections with responses pending or unflushed output.
+    pub writing: AtomicU64,
+    /// Connections with no request or response in flight.
+    pub idle: AtomicU64,
+    /// Accepts refused because `max_conns` was reached (counter).
+    pub rejected: AtomicU64,
+}
+
+/// Event-loop construction parameters.
+pub struct LoopConfig {
+    /// The bound listener (the loop makes it nonblocking).
+    pub listener: TcpListener,
+    /// Request router.
+    pub handler: Arc<dyn Handler>,
+    /// 408 deadline for half-received requests.
+    pub read_deadline: Duration,
+    /// Silent-close deadline for fully idle connections.
+    pub idle_timeout: Duration,
+    /// Accept cap; connections beyond it are refused at accept time.
+    pub max_conns: usize,
+    /// How long the loop keeps serving after `is_drained` first reports
+    /// true, so clients can collect final states and metrics.
+    pub linger: Duration,
+    /// Polled every tick; once true (plus linger) the loop exits.
+    pub is_drained: Arc<dyn Fn() -> bool + Send + Sync>,
+    /// Shared gauge block (usually owned by the server's metrics).
+    pub gauges: Arc<ConnGauges>,
+}
+
+/// Spawns the event-loop thread. The loop exits `linger` after
+/// `is_drained` first returns true; join the handle to wait for that.
+pub fn spawn(cfg: LoopConfig) -> io::Result<JoinHandle<()>> {
+    cfg.listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let (waker_tx, waker_rx) = UnixStream::pair()?;
+    waker_tx.set_nonblocking(true)?;
+    waker_rx.set_nonblocking(true)?;
+    epoll.add(cfg.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+    epoll.add(waker_rx.as_raw_fd(), TOKEN_WAKER, EPOLLIN)?;
+
+    let mut el = EventLoop {
+        epoll,
+        listener: cfg.listener,
+        handler: cfg.handler,
+        completions: Arc::new(Completions { queue: Mutex::new(Vec::new()), waker: waker_tx }),
+        waker_rx,
+        conns: HashMap::new(),
+        next_token: TOKEN_FIRST_CONN,
+        read_deadline: cfg.read_deadline,
+        idle_timeout: cfg.idle_timeout,
+        max_conns: cfg.max_conns,
+        linger: cfg.linger,
+        is_drained: cfg.is_drained,
+        gauges: cfg.gauges,
+        linger_deadline: None,
+    };
+    thread::Builder::new().name("gr-eventloop".into()).spawn(move || el.run())
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Serialized responses awaiting the socket.
+    out: Vec<u8>,
+    /// Flushed prefix of `out`.
+    out_pos: usize,
+    /// Next request slot to assign.
+    next_slot: u64,
+    /// Next slot to serialize into `out` (slots emit strictly in order).
+    emit_slot: u64,
+    /// Completed responses waiting for their emission turn, with their
+    /// per-request close flag.
+    ready: BTreeMap<u64, (Response, bool)>,
+    /// Outstanding deferred slots → close flag.
+    deferred: HashMap<u64, bool>,
+    /// Last byte of progress in either direction.
+    last_activity: Instant,
+    /// No further reads/parses (close requested, parse error, EOF, 408).
+    /// The connection closes once `ready`, `deferred`, and `out` drain.
+    stop_reading: bool,
+    /// Interest set currently registered with epoll.
+    registered: u32,
+}
+
+impl Conn {
+    fn interest(&self) -> u32 {
+        let mut interest = EPOLLRDHUP;
+        if !self.stop_reading && self.out.len() - self.out_pos < OUT_BUF_CAP {
+            interest |= EPOLLIN;
+        }
+        if self.out_pos < self.out.len() {
+            interest |= EPOLLOUT;
+        }
+        interest
+    }
+
+    fn should_close(&self) -> bool {
+        self.stop_reading
+            && self.ready.is_empty()
+            && self.deferred.is_empty()
+            && self.out_pos == self.out.len()
+    }
+
+    /// Serializes every contiguously completed slot into `out`.
+    fn emit_ready(&mut self) {
+        while let Some((response, close)) = self.ready.remove(&self.emit_slot) {
+            response.write_into(&mut self.out, !close);
+            self.emit_slot += 1;
+            if close {
+                self.stop_reading = true;
+            }
+        }
+    }
+
+    /// Flushes `out` as far as the socket allows.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+}
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    handler: Arc<dyn Handler>,
+    completions: Arc<Completions>,
+    waker_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    read_deadline: Duration,
+    idle_timeout: Duration,
+    max_conns: usize,
+    linger: Duration,
+    is_drained: Arc<dyn Fn() -> bool + Send + Sync>,
+    gauges: Arc<ConnGauges>,
+    linger_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<(u64, u32)> = Vec::new();
+        let mut next_tick = Instant::now() + TICK;
+        loop {
+            let timeout =
+                next_tick.saturating_duration_since(Instant::now()).as_millis() as i32 + 1;
+            events.clear();
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                return;
+            }
+            for &(token, ev) in events.iter() {
+                match token {
+                    TOKEN_LISTENER => self.accept_all(),
+                    TOKEN_WAKER => self.drain_completions(),
+                    token => self.conn_event(token, ev),
+                }
+            }
+            let now = Instant::now();
+            if now >= next_tick {
+                next_tick = now + TICK;
+                self.tick(now);
+                if self.linger_deadline.is_none() && (self.is_drained)() {
+                    self.linger_deadline = Some(now + self.linger);
+                }
+            }
+            if let Some(deadline) = self.linger_deadline {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.max_conns {
+                        self.gauges.rejected.fetch_add(1, Ordering::Relaxed);
+                        continue; // dropping the stream refuses the client
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let registered = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), token, registered).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            parser: RequestParser::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            next_slot: 0,
+                            emit_slot: 0,
+                            ready: BTreeMap::new(),
+                            deferred: HashMap::new(),
+                            last_activity: Instant::now(),
+                            stop_reading: false,
+                            registered,
+                        },
+                    );
+                    self.gauges.open.store(self.conns.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let mut sink = [0u8; 256];
+        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+        let batch = std::mem::take(&mut *self.completions.queue.lock().expect("completions lock"));
+        let mut touched = Vec::new();
+        for (token, slot, response) in batch {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if let Some(close) = conn.deferred.remove(&slot) {
+                    conn.ready.insert(slot, (response, close));
+                    if !touched.contains(&token) {
+                        touched.push(token);
+                    }
+                }
+                // Slots not in `deferred` were answered inline; the
+                // ticket's drop-500 for them is intentionally ignored.
+            }
+        }
+        for token in touched {
+            self.service_conn(token);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: u32) {
+        if ev & (EPOLLERR | EPOLLHUP) != 0 {
+            self.drop_conn(token);
+            return;
+        }
+        if ev & (EPOLLIN | EPOLLRDHUP) != 0 && !self.do_read(token) {
+            return; // connection dropped mid-read
+        }
+        self.service_conn(token);
+    }
+
+    /// Reads and parses everything available. Returns false if the
+    /// connection was dropped.
+    fn do_read(&mut self, token: u64) -> bool {
+        let handler = Arc::clone(&self.handler);
+        let completions = Arc::clone(&self.completions);
+        let mut buf = [0u8; 16 * 1024];
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+
+        loop {
+            if conn.stop_reading || conn.out.len() - conn.out_pos >= OUT_BUF_CAP {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.stop_reading = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.parser.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(token);
+                    return false;
+                }
+            }
+        }
+
+        while !conn.stop_reading {
+            match conn.parser.pop() {
+                Ok(Some(request)) => {
+                    let close = request.close;
+                    let slot = conn.next_slot;
+                    conn.next_slot += 1;
+                    if close {
+                        conn.stop_reading = true;
+                    }
+                    let pending = Pending { inner: Some((Arc::clone(&completions), token, slot)) };
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| handler.handle(request, pending)));
+                    match outcome {
+                        Ok(Some(response)) => {
+                            conn.ready.insert(slot, (response, close));
+                        }
+                        Ok(None) => {
+                            conn.deferred.insert(slot, close);
+                        }
+                        Err(_) => {
+                            conn.ready.insert(
+                                slot,
+                                (
+                                    Response::new(500)
+                                        .with_json("{\"error\": \"handler panicked\"}"),
+                                    close,
+                                ),
+                            );
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    let slot = conn.next_slot;
+                    conn.next_slot += 1;
+                    conn.ready.insert(slot, (error_response(&err), true));
+                    conn.stop_reading = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Emits ready responses, flushes, then closes or re-arms interest.
+    fn service_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        conn.emit_ready();
+        if conn.flush().is_err() {
+            self.drop_conn(token);
+            return;
+        }
+        if conn.should_close() {
+            self.drop_conn(token);
+            return;
+        }
+        let want = conn.interest();
+        if want != conn.registered {
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.rearm(fd, token, want).is_ok() {
+                conn.registered = want;
+            } else {
+                self.drop_conn(token);
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.remove(conn.stream.as_raw_fd());
+            self.gauges.open.store(self.conns.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Deadline sweep + gauge refresh.
+    fn tick(&mut self, now: Instant) {
+        let mut timed_out = Vec::new();
+        let mut idle_out = Vec::new();
+        let (mut reading, mut writing, mut idle) = (0u64, 0u64, 0u64);
+        for (&token, conn) in &self.conns {
+            let has_output = conn.out_pos < conn.out.len()
+                || !conn.ready.is_empty()
+                || !conn.deferred.is_empty();
+            if has_output {
+                writing += 1;
+            } else if conn.parser.has_partial() {
+                reading += 1;
+                if now.duration_since(conn.last_activity) > self.read_deadline {
+                    timed_out.push(token);
+                }
+            } else {
+                idle += 1;
+                if !conn.stop_reading && now.duration_since(conn.last_activity) > self.idle_timeout
+                {
+                    idle_out.push(token);
+                }
+            }
+        }
+        self.gauges.open.store(self.conns.len() as u64, Ordering::Relaxed);
+        self.gauges.reading.store(reading, Ordering::Relaxed);
+        self.gauges.writing.store(writing, Ordering::Relaxed);
+        self.gauges.idle.store(idle, Ordering::Relaxed);
+
+        for token in timed_out {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let slot = conn.next_slot;
+                conn.next_slot += 1;
+                conn.ready.insert(
+                    slot,
+                    (Response::new(408).with_json("{\"error\": \"read deadline exceeded\"}"), true),
+                );
+                conn.stop_reading = true;
+                self.service_conn(token);
+            }
+        }
+        for token in idle_out {
+            self.drop_conn(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+    use std::sync::atomic::AtomicBool;
+
+    /// Reads exactly one HTTP response off a blocking stream.
+    fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        // Head, one byte at a time (tests only; keeps framing exact).
+        while !raw.ends_with(b"\r\n\r\n") {
+            assert_eq!(stream.read(&mut byte).expect("read head"), 1, "EOF in head");
+            raw.push(byte[0]);
+        }
+        let head = String::from_utf8(raw).expect("UTF-8 head");
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        let headers: Vec<(String, String)> = head
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().expect("length"))
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("body");
+        (status, headers, body)
+    }
+
+    struct EchoHandler;
+    impl Handler for EchoHandler {
+        fn handle(&self, request: Request, _pending: Pending) -> Option<Response> {
+            if request.path == "/defer" {
+                return None; // keeps nothing: the dropped ticket must 500
+            }
+            Some(Response::json(format!("{{\"path\": \"{}\"}}", request.path)))
+        }
+    }
+
+    /// Defers `/slow/*` requests onto a thread; echoes everything else.
+    struct DeferHandler;
+    impl Handler for DeferHandler {
+        fn handle(&self, request: Request, pending: Pending) -> Option<Response> {
+            if let Some(ms) = request.path.strip_prefix("/slow/") {
+                let delay = Duration::from_millis(ms.parse().expect("delay"));
+                let path = request.path.clone();
+                thread::spawn(move || {
+                    thread::sleep(delay);
+                    pending.respond(Response::json(format!("{{\"path\": \"{path}\"}}")));
+                });
+                return None;
+            }
+            Some(Response::json(format!("{{\"path\": \"{}\"}}", request.path)))
+        }
+    }
+
+    fn start_loop(
+        handler: Arc<dyn Handler>,
+        read_deadline: Duration,
+    ) -> (std::net::SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let done = Arc::new(AtomicBool::new(false));
+        let done_probe = Arc::clone(&done);
+        let join = spawn(LoopConfig {
+            listener,
+            handler,
+            read_deadline,
+            idle_timeout: Duration::from_secs(30),
+            max_conns: 64,
+            linger: Duration::from_millis(10),
+            is_drained: Arc::new(move || done_probe.load(Ordering::Relaxed)),
+            gauges: Arc::new(ConnGauges::default()),
+        })
+        .expect("spawn loop");
+        (addr, done, join)
+    }
+
+    fn finish(done: &Arc<AtomicBool>, join: JoinHandle<()>) {
+        done.store(true, Ordering::Relaxed);
+        join.join().expect("loop thread");
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (addr, done, join) = start_loop(Arc::new(DeferHandler), Duration::from_secs(5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for path in ["/a", "/b", "/c"] {
+            stream.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).expect("send");
+            let (status, headers, body) = read_response(&mut stream);
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("{{\"path\": \"{path}\"}}").as_bytes());
+            let conn = headers.iter().find(|(k, _)| k == "connection").expect("Connection");
+            assert_eq!(conn.1, "keep-alive");
+        }
+        finish(&done, join);
+    }
+
+    #[test]
+    fn pipelined_responses_come_back_in_request_order() {
+        let (addr, done, join) = start_loop(Arc::new(DeferHandler), Duration::from_secs(5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // First request is slow (deferred 80ms); the next two are inline.
+        // Responses must still arrive in request order.
+        stream
+            .write_all(
+                b"GET /slow/80 HTTP/1.1\r\n\r\nGET /x HTTP/1.1\r\n\r\n\
+                  GET /y HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .expect("send");
+        let paths: Vec<String> = (0..3)
+            .map(|_| {
+                let (status, _, body) = read_response(&mut stream);
+                assert_eq!(status, 200);
+                String::from_utf8(body).expect("UTF-8")
+            })
+            .collect();
+        assert_eq!(paths, ["{\"path\": \"/slow/80\"}", "{\"path\": \"/x\"}", "{\"path\": \"/y\"}"]);
+        // Connection: close honored — EOF follows the last response.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("EOF");
+        assert!(rest.is_empty(), "bytes after close: {rest:?}");
+        finish(&done, join);
+    }
+
+    #[test]
+    fn dropped_pending_ticket_becomes_a_500() {
+        let (addr, done, join) = start_loop(Arc::new(EchoHandler), Duration::from_secs(5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /defer HTTP/1.1\r\n\r\n").expect("send");
+        let (status, _, body) = read_response(&mut stream);
+        assert_eq!(status, 500);
+        assert!(String::from_utf8_lossy(&body).contains("unanswered"));
+        finish(&done, join);
+    }
+
+    #[test]
+    fn stalled_request_gets_408_and_close() {
+        let (addr, done, join) = start_loop(Arc::new(EchoHandler), Duration::from_millis(150));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /half HTTP/1.1\r\nX-Par").expect("send partial");
+        let (status, headers, _) = read_response(&mut stream);
+        assert_eq!(status, 408);
+        let conn = headers.iter().find(|(k, _)| k == "connection").expect("Connection");
+        assert_eq!(conn.1, "close");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("EOF");
+        assert!(rest.is_empty());
+        finish(&done, join);
+    }
+}

@@ -1,0 +1,547 @@
+//! Fleet mode: a front tier that shards jobs across backend daemons by
+//! their content digest, plus the rendezvous ring that decides ownership.
+//!
+//! ```text
+//!              ┌────────────────────── front (event loop) ─────────────┐
+//! clients ──►  │ parse spec ─► id = sha256(canonical) ─► ring.route(id)│
+//!              └───────┬──────────────┬──────────────┬────────────────┘
+//!                      ▼              ▼              ▼
+//!                 backend 0      backend 1      backend 2
+//!                      ▲  └─ GET /v1/cache/{id} peering ─┘
+//! ```
+//!
+//! Routing uses rendezvous (highest-random-weight) hashing: each backend
+//! scores `sha256(id "|" backend)` and the highest score owns the job.
+//! Unlike a modulo ring, adding or removing one backend only remaps the
+//! ids that backend owned — every other (id, backend) score is
+//! unchanged — and the choice is a pure function of the id and the
+//! backend list, so any number of front tiers route identically with no
+//! shared state.
+//!
+//! The front never executes jobs and holds no job table: `POST /v1/jobs`
+//! and `GET /v1/jobs/{id}[...]` are forwarded verbatim to the owning
+//! backend by a small pool of forwarder threads (the event-loop `Pending`
+//! ticket defers the response until the backend answers). The vocabulary
+//! endpoints (`/v1/policies`, `/v1/apps`) are served locally — they are
+//! registry-driven and identical on every daemon — as is `/metrics`,
+//! which reports shard-routing counters and forward errors. Give fronts
+//! and backends the same default scale (`GR_SCALE`): the front re-derives
+//! the job id from the body for routing, and a mismatched default would
+//! route to the wrong owner (correctness survives via peering; locality
+//! does not).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use grbench::ExperimentConfig;
+use grjson::Json;
+use grsynth::Scale;
+
+use crate::eventloop::{self, ConnGauges, Handler, LoopConfig, Pending};
+use crate::hash::sha256;
+use crate::http::{self, Request, Response};
+use crate::spec::JobSpec;
+
+/// A rendezvous-hashing view of the backend set.
+pub struct Ring {
+    backends: Vec<String>,
+}
+
+impl Ring {
+    /// Builds a ring over the given backend addresses. Order is
+    /// irrelevant to routing (scores are per-pair), but every front must
+    /// agree on the *set*.
+    pub fn new(backends: Vec<String>) -> Ring {
+        assert!(!backends.is_empty(), "a ring needs at least one backend");
+        Ring { backends }
+    }
+
+    /// The backend set.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Highest-random-weight score of `id` on `backend`: the first eight
+    /// bytes (big-endian) of `sha256(id "|" backend)`.
+    fn score(id: &str, backend: &str) -> u64 {
+        let digest = sha256(format!("{id}|{backend}").as_bytes());
+        u64::from_be_bytes(digest[..8].try_into().expect("sha256 is 32 bytes"))
+    }
+
+    /// Index of the backend that owns `id`.
+    pub fn route_index(&self, id: &str) -> usize {
+        (0..self.backends.len())
+            .max_by_key(|&i| (Self::score(id, &self.backends[i]), &self.backends[i]))
+            .expect("ring is non-empty")
+    }
+
+    /// Address of the backend that owns `id`.
+    pub fn route(&self, id: &str) -> &str {
+        &self.backends[self.route_index(id)]
+    }
+}
+
+/// Front-tier construction parameters.
+pub struct FrontConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend daemon addresses (`host:port`).
+    pub backends: Vec<String>,
+    /// Forwarder threads (concurrent backend requests).
+    pub forwarders: usize,
+    /// Bound on queued + in-flight forwards; submissions beyond it 429.
+    pub queue_cap: usize,
+    /// Scale assumed when a spec omits `"scale"` — must match the
+    /// backends' for routing locality.
+    pub default_scale: Scale,
+    /// Honor `POST /v1/shutdown`.
+    pub allow_http_shutdown: bool,
+    /// Grace window after drain, mirroring the backend daemon.
+    pub linger: Duration,
+    /// 408 deadline for half-received requests.
+    pub read_deadline: Duration,
+    /// Silent-close deadline for idle keep-alive connections.
+    pub idle_timeout: Duration,
+    /// Open-connection cap.
+    pub max_conns: usize,
+    /// Per-forward budget for one backend round trip.
+    pub backend_timeout: Duration,
+}
+
+impl Default for FrontConfig {
+    fn default() -> FrontConfig {
+        FrontConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            forwarders: 8,
+            queue_cap: 1024,
+            default_scale: ExperimentConfig::from_env().scale,
+            allow_http_shutdown: false,
+            linger: Duration::from_millis(300),
+            read_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_conns: 16 * 1024,
+            backend_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One queued backend round trip; the `Pending` ticket answers the
+/// client when the forwarder finishes (or drops to a 500 if lost).
+struct ForwardTask {
+    pending: Pending,
+    backend: usize,
+    method: &'static str,
+    path: String,
+    body: Vec<u8>,
+}
+
+struct ForwardQueue {
+    tasks: VecDeque<ForwardTask>,
+    inflight: usize,
+    draining: bool,
+}
+
+struct FrontMetrics {
+    /// Requests handled (any endpoint, including local ones).
+    requests: AtomicU64,
+    /// Forwards routed, per backend index.
+    routed: Vec<AtomicU64>,
+    /// Forwards that failed to reach their backend (served as 502).
+    forward_errors: AtomicU64,
+    /// Submissions refused with 429 (forward queue full).
+    rejected: AtomicU64,
+}
+
+struct FrontInner {
+    ring: Ring,
+    queue: Mutex<ForwardQueue>,
+    work_cv: Condvar,
+    queue_cap: usize,
+    default_scale: Scale,
+    allow_http_shutdown: bool,
+    backend_timeout: Duration,
+    metrics: FrontMetrics,
+    gauges: Arc<ConnGauges>,
+}
+
+impl FrontInner {
+    fn is_drained(&self) -> bool {
+        let q = self.queue.lock().expect("forward queue lock");
+        q.draining && q.tasks.is_empty() && q.inflight == 0
+    }
+
+    fn begin_shutdown(&self) {
+        self.queue.lock().expect("forward queue lock").draining = true;
+        self.work_cv.notify_all();
+    }
+}
+
+/// A running front tier. Mirrors [`crate::ServerHandle`].
+pub struct FrontHandle {
+    inner: Arc<FrontInner>,
+    addr: SocketAddr,
+    event_loop: Option<JoinHandle<()>>,
+    forwarders: Vec<JoinHandle<()>>,
+}
+
+impl FrontHandle {
+    /// The resolved bind address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: new submissions get 503, queued forwards
+    /// complete.
+    pub fn begin_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// True once every queued and in-flight forward has finished.
+    pub fn is_drained(&self) -> bool {
+        self.inner.is_drained()
+    }
+
+    /// Waits for the event loop and forwarder pool to exit.
+    pub fn join(mut self) {
+        if let Some(event_loop) = self.event_loop.take() {
+            event_loop.join().expect("event-loop thread");
+        }
+        for forwarder in self.forwarders.drain(..) {
+            forwarder.join().expect("forwarder thread");
+        }
+    }
+
+    /// [`Self::begin_shutdown`] then [`Self::join`].
+    pub fn shutdown_and_join(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Binds the front tier, spawns its forwarder pool and event loop.
+pub fn start_front(cfg: FrontConfig) -> io::Result<FrontHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+
+    let ring = Ring::new(cfg.backends);
+    let routed = (0..ring.backends().len()).map(|_| AtomicU64::new(0)).collect();
+    let gauges = Arc::new(ConnGauges::default());
+    let inner = Arc::new(FrontInner {
+        ring,
+        queue: Mutex::new(ForwardQueue { tasks: VecDeque::new(), inflight: 0, draining: false }),
+        work_cv: Condvar::new(),
+        queue_cap: cfg.queue_cap,
+        default_scale: cfg.default_scale,
+        allow_http_shutdown: cfg.allow_http_shutdown,
+        backend_timeout: cfg.backend_timeout,
+        metrics: FrontMetrics {
+            requests: AtomicU64::new(0),
+            routed,
+            forward_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        },
+        gauges: Arc::clone(&gauges),
+    });
+
+    let forwarders = (0..cfg.forwarders.max(1))
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || forwarder_loop(&inner))
+        })
+        .collect();
+
+    let handler = Arc::new(FrontHandler { inner: Arc::clone(&inner) });
+    let drained_probe = {
+        let inner = Arc::clone(&inner);
+        Arc::new(move || inner.is_drained()) as Arc<dyn Fn() -> bool + Send + Sync>
+    };
+    let event_loop = eventloop::spawn(LoopConfig {
+        listener,
+        handler,
+        read_deadline: cfg.read_deadline,
+        idle_timeout: cfg.idle_timeout,
+        max_conns: cfg.max_conns,
+        linger: cfg.linger,
+        is_drained: drained_probe,
+        gauges,
+    })?;
+
+    Ok(FrontHandle { inner, addr, event_loop: Some(event_loop), forwarders })
+}
+
+/// Pops forward tasks and performs the blocking backend round trip. The
+/// backend's status, body, and the relevant headers pass through
+/// untouched — in particular a job payload's bytes, which is what keeps
+/// the front tier bit-identical to a direct backend hit.
+fn forwarder_loop(inner: &Arc<FrontInner>) {
+    loop {
+        let task = {
+            let mut q = inner.queue.lock().expect("forward queue lock");
+            loop {
+                if let Some(task) = q.tasks.pop_front() {
+                    q.inflight += 1;
+                    break task;
+                }
+                if q.draining {
+                    return;
+                }
+                q = inner.work_cv.wait(q).expect("forward queue lock");
+            }
+        };
+
+        let backend = &inner.ring.backends()[task.backend];
+        let response = match http::fetch(
+            backend,
+            task.method,
+            &task.path,
+            &task.body,
+            inner.backend_timeout,
+        ) {
+            Ok((status, headers, body)) => {
+                let content_type = headers
+                    .iter()
+                    .find(|(k, _)| k == "content-type")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| "application/json".into());
+                let mut response = Response::new(status).with_raw(body, &content_type);
+                for name in ["retry-after", "allow"] {
+                    if let Some((_, value)) = headers.iter().find(|(k, _)| k == name) {
+                        response = response.with_header(name, value);
+                    }
+                }
+                response
+            }
+            Err(err) => {
+                inner.metrics.forward_errors.fetch_add(1, Ordering::Relaxed);
+                Response::new(502)
+                    .with_json(format!("{{\"error\": \"backend {backend} unreachable: {err}\"}}"))
+            }
+        };
+        task.pending.respond(response);
+        inner.queue.lock().expect("forward queue lock").inflight -= 1;
+    }
+}
+
+struct FrontHandler {
+    inner: Arc<FrontInner>,
+}
+
+impl FrontHandler {
+    /// Enqueues one backend round trip, or answers with the admission
+    /// failure (503 draining / 429 full).
+    fn defer_forward(
+        &self,
+        pending: Pending,
+        backend: usize,
+        method: &'static str,
+        path: String,
+        body: Vec<u8>,
+    ) -> Option<Response> {
+        let mut q = self.inner.queue.lock().expect("forward queue lock");
+        if q.draining && method == "POST" {
+            return Some(Response::new(503).with_json("{\"error\": \"front tier is draining\"}"));
+        }
+        if q.tasks.len() + q.inflight >= self.inner.queue_cap {
+            self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Some(
+                Response::new(429)
+                    .with_json("{\"error\": \"forward queue is full\"}")
+                    .with_header("Retry-After", "1"),
+            );
+        }
+        self.inner.metrics.routed[backend].fetch_add(1, Ordering::Relaxed);
+        q.tasks.push_back(ForwardTask { pending, backend, method, path, body });
+        drop(q);
+        self.inner.work_cv.notify_one();
+        None
+    }
+
+    fn metrics_response(&self) -> Response {
+        let inner = &self.inner;
+        let (queued, inflight) = {
+            let q = inner.queue.lock().expect("forward queue lock");
+            (q.tasks.len(), q.inflight)
+        };
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter(
+            "grserve_front_requests_total",
+            "Requests handled by the front tier.",
+            inner.metrics.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_front_forward_errors_total",
+            "Forwards that failed to reach their backend (served as 502).",
+            inner.metrics.forward_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "grserve_front_rejected_total",
+            "Submissions rejected with 429 (forward queue full).",
+            inner.metrics.rejected.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP grserve_front_routed_total Forwards routed, by owning backend.\n\
+             # TYPE grserve_front_routed_total counter\n",
+        );
+        for (i, backend) in inner.ring.backends().iter().enumerate() {
+            out.push_str(&format!(
+                "grserve_front_routed_total{{backend=\"{backend}\"}} {}\n",
+                inner.metrics.routed[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP grserve_front_connections Open connections by event-loop state.\n\
+             # TYPE grserve_front_connections gauge\n",
+        );
+        for (state, value) in [
+            ("open", inner.gauges.open.load(Ordering::Relaxed)),
+            ("reading", inner.gauges.reading.load(Ordering::Relaxed)),
+            ("writing", inner.gauges.writing.load(Ordering::Relaxed)),
+            ("idle", inner.gauges.idle.load(Ordering::Relaxed)),
+        ] {
+            out.push_str(&format!("grserve_front_connections{{state=\"{state}\"}} {value}\n"));
+        }
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
+        };
+        gauge("grserve_front_forward_queue_depth", "Forwards waiting for a thread.", queued as u64);
+        gauge("grserve_front_forwards_inflight", "Backend round trips in flight.", inflight as u64);
+        Response::new(200).with_text(out)
+    }
+
+    fn shutdown_response(&self) -> Response {
+        if !self.inner.allow_http_shutdown {
+            return Response::new(404).with_json("{\"error\": \"shutdown endpoint disabled\"}");
+        }
+        self.inner.begin_shutdown();
+        let mut doc = Json::obj();
+        doc.set("draining", true).set("role", "front");
+        Response::json(doc.to_string_pretty())
+    }
+}
+
+impl Handler for FrontHandler {
+    fn handle(&self, request: Request, pending: Pending) -> Option<Response> {
+        self.inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let method = request.method.as_str();
+        match request.path.as_str() {
+            "/v1/jobs" => {
+                if method != "POST" {
+                    return Some(method_not_allowed("POST"));
+                }
+                // Parse locally so malformed specs bounce at the edge and
+                // the canonical id (the routing key) matches what the
+                // owning backend will compute from the same bytes.
+                let Ok(body) = std::str::from_utf8(&request.body) else {
+                    return Some(
+                        Response::new(400).with_json("{\"error\": \"body must be UTF-8\"}"),
+                    );
+                };
+                let spec = match JobSpec::parse(body, self.inner.default_scale) {
+                    Ok(spec) => spec,
+                    Err(msg) => {
+                        let mut doc = Json::obj();
+                        doc.set("error", msg.as_str());
+                        return Some(Response::new(400).with_json(doc.to_string_pretty()));
+                    }
+                };
+                let backend = self.inner.ring.route_index(&spec.id());
+                self.defer_forward(pending, backend, "POST", "/v1/jobs".into(), request.body)
+            }
+            "/v1/policies" => match method {
+                // Registry-driven and identical on every daemon; served
+                // locally rather than burning a backend round trip.
+                "GET" => Some(crate::server::policies_response()),
+                _ => Some(method_not_allowed("GET")),
+            },
+            "/v1/apps" => match method {
+                "GET" => Some(crate::server::apps_response()),
+                _ => Some(method_not_allowed("GET")),
+            },
+            "/metrics" => match method {
+                "GET" => Some(self.metrics_response()),
+                _ => Some(method_not_allowed("GET")),
+            },
+            "/v1/shutdown" => match method {
+                "POST" => Some(self.shutdown_response()),
+                _ => Some(method_not_allowed("POST")),
+            },
+            path => {
+                let id = path
+                    .strip_prefix("/v1/jobs/")
+                    .map(|rest| rest.strip_suffix("/result").unwrap_or(rest))
+                    .or_else(|| path.strip_prefix("/v1/cache/"));
+                let Some(id) = id else {
+                    return Some(Response::new(404).with_json("{\"error\": \"no such endpoint\"}"));
+                };
+                if method != "GET" {
+                    return Some(method_not_allowed("GET"));
+                }
+                let backend = self.inner.ring.route_index(id);
+                self.defer_forward(pending, backend, "GET", path.to_string(), Vec::new())
+            }
+        }
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::new(405)
+        .with_json("{\"error\": \"method not allowed\"}")
+        .with_header("Allow", allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| crate::hash::sha256_hex(format!("job-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_order_independent() {
+        let a = Ring::new(vec!["h:1".into(), "h:2".into(), "h:3".into()]);
+        let b = Ring::new(vec!["h:3".into(), "h:1".into(), "h:2".into()]);
+        for id in ids(64) {
+            assert_eq!(a.route(&id), b.route(&id), "order changed routing for {id}");
+            assert_eq!(a.route(&id), a.route(&id), "routing not stable for {id}");
+        }
+    }
+
+    #[test]
+    fn every_backend_owns_a_reasonable_share() {
+        let ring = Ring::new(vec!["h:1".into(), "h:2".into(), "h:3".into()]);
+        let mut counts = [0usize; 3];
+        for id in ids(300) {
+            counts[ring.route_index(&id)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            // Expected ~100; even a lax bound catches a broken hash.
+            assert!(count > 50, "backend {i} owns only {count}/300: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_remaps_its_own_ids() {
+        let full = Ring::new(vec!["h:1".into(), "h:2".into(), "h:3".into()]);
+        let reduced = Ring::new(vec!["h:1".into(), "h:2".into()]);
+        for id in ids(200) {
+            let owner = full.route(&id);
+            if owner != "h:3" {
+                assert_eq!(
+                    reduced.route(&id),
+                    owner,
+                    "{id} moved off a surviving backend — not minimal remap"
+                );
+            }
+        }
+    }
+}

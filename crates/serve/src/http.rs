@@ -1,18 +1,24 @@
-//! A hand-rolled HTTP/1.1 subset over `std::net` — just enough protocol
-//! for the serving layer: request-line + headers + `Content-Length`
-//! bodies in, status + headers + body out, one request per connection
-//! (`Connection: close`).
+//! A hand-rolled HTTP/1.1 subset — just enough protocol for the serving
+//! layer, now built around an **incremental** parser so the event loop
+//! can feed it whatever bytes the socket had and get back zero or more
+//! complete requests (keep-alive and pipelining fall out of that shape).
 //!
-//! Deliberately not implemented: chunked transfer encoding, keep-alive,
-//! pipelining, TLS. Clients that speak plain `curl` work; the point is a
-//! dependency-free front end, not a general web server.
+//! Deliberately not implemented: chunked transfer encoding, TLS, trailer
+//! headers, `Expect: 100-continue`. Clients that speak plain `curl` work;
+//! the point is a dependency-free front end, not a general web server.
+//!
+//! The hard limits are part of the abuse story (satellite: slow/abusive
+//! clients must cost a bounded buffer, never a hung slot):
+//! head over [`MAX_HEAD_BYTES`] → 431, declared body over
+//! [`MAX_BODY_BYTES`] → 413, anything unparseable → 400. The read
+//! *deadline* lives in the event loop (408), since only it owns time.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers), bytes.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Upper bound on a request body, bytes. Job specs are tiny; anything
 /// bigger is a client bug.
@@ -29,6 +35,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body (`Content-Length` bytes).
     pub body: Vec<u8>,
+    /// The client asked for this to be the last request on the
+    /// connection (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
 }
 
 impl Request {
@@ -38,99 +47,138 @@ impl Request {
     }
 }
 
-/// Why a request could not be parsed; [`write_error_response`] maps each
-/// variant to a status code.
+/// Why a request could not be parsed; [`error_response`] maps each
+/// variant to a status code. Every variant is fatal for the connection —
+/// after a parse error the byte stream can no longer be framed.
 #[derive(Debug)]
 pub enum ParseError {
     /// Malformed request line, header, or length field → 400.
     Malformed(String),
-    /// Head or body over the hard limits → 413.
-    TooLarge(String),
-    /// Socket error or EOF mid-request.
-    Io(io::Error),
+    /// Request head over [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body over [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge(usize),
 }
 
-impl From<io::Error> for ParseError {
-    fn from(e: io::Error) -> Self {
-        ParseError::Io(e)
+/// The error response for a failed parse, ready to serialize. Always
+/// `Connection: close` — framing is lost after a parse error.
+pub fn error_response(err: &ParseError) -> Response {
+    match err {
+        ParseError::Malformed(msg) => {
+            Response::new(400).with_json(format!("{{\"error\": \"{msg}\"}}"))
+        }
+        ParseError::HeadTooLarge => Response::new(431)
+            .with_json(format!("{{\"error\": \"request head over {MAX_HEAD_BYTES} bytes\"}}")),
+        ParseError::BodyTooLarge(n) => {
+            Response::new(413).with_json(format!("{{\"error\": \"body of {n} bytes refused\"}}"))
+        }
     }
 }
 
-/// Reads one request from `stream`. Applies a read timeout so a stalled
-/// client cannot pin a connection thread forever.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut reader = BufReader::new(stream);
+/// Incremental request parser: push bytes in as they arrive, pop complete
+/// requests out. One parser per connection; pipelined requests queue up
+/// in the internal buffer and come out one `next()` at a time.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily on push.
+    start: usize,
+}
 
-    let mut line = String::new();
-    read_limited_line(&mut reader, &mut line)?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(ParseError::Malformed(format!("bad request line: {line:?}")));
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser::default()
     }
-    // Strip any query string; the API is entirely path + body driven.
-    let path = target.split('?').next().unwrap_or("").to_string();
 
-    let mut headers = Vec::new();
-    let mut head_bytes = line.len();
-    loop {
-        let mut header = String::new();
-        read_limited_line(&mut reader, &mut header)?;
-        head_bytes += header.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge("request head too large".into()));
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 8 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
         }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when a partially received request is sitting in the buffer —
+    /// the event loop's read-deadline (408) trigger.
+    pub fn has_partial(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// `Ok(None)` means "incomplete, feed me more bytes".
+    pub fn pop(&mut self) -> Result<Option<Request>, ParseError> {
+        let data = &self.buf[self.start..];
+        if data.is_empty() {
+            return Ok(None);
         }
-        let Some((name, value)) = header.split_once(':') else {
-            return Err(ParseError::Malformed(format!("bad header: {header:?}")));
+        let Some(head_len) = find_head_end(data) else {
+            if data.len() > MAX_HEAD_BYTES {
+                return Err(ParseError::HeadTooLarge);
+            }
+            return Ok(None);
         };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
+        if head_len > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let head = std::str::from_utf8(&data[..head_len])
+            .map_err(|_| ParseError::Malformed("non-UTF-8 request head".into()))?;
 
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        None => 0,
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| ParseError::Malformed(format!("bad content-length: {v:?}")))?,
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Err(ParseError::TooLarge(format!("body of {content_length} bytes refused")));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+        let mut lines = head.split("\r\n");
+        let line = lines.next().unwrap_or("");
+        let mut parts = line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_string();
+        let target = parts.next().unwrap_or("").to_string();
+        let version = parts.next().unwrap_or("");
+        if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Malformed(format!("bad request line: {line:?}")));
+        }
+        // Strip any query string; the API is entirely path + body driven.
+        let path = target.split('?').next().unwrap_or("").to_string();
 
-    Ok(Request { method, path, headers, body })
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ParseError::Malformed(format!("bad header: {line:?}")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            None => 0,
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length: {v:?}")))?,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge(content_length));
+        }
+        let total = head_len + 4 + content_length;
+        if data.len() < total {
+            return Ok(None);
+        }
+        let body = data[head_len + 4..total].to_vec();
+
+        let close = match headers.iter().find(|(k, _)| k == "connection") {
+            Some((_, v)) if v.eq_ignore_ascii_case("close") => true,
+            Some((_, v)) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => version == "HTTP/1.0",
+        };
+
+        self.start += total;
+        Ok(Some(Request { method, path, headers, body, close }))
+    }
 }
 
-/// Reads one CRLF-terminated line without letting a hostile peer grow the
-/// buffer past [`MAX_HEAD_BYTES`].
-fn read_limited_line<R: BufRead>(reader: &mut R, out: &mut String) -> Result<(), ParseError> {
-    let mut bytes = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        reader.read_exact(&mut byte)?;
-        if byte[0] == b'\n' {
-            break;
-        }
-        bytes.push(byte[0]);
-        if bytes.len() > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge("request line too long".into()));
-        }
-    }
-    if bytes.last() == Some(&b'\r') {
-        bytes.pop();
-    }
-    out.push_str(
-        std::str::from_utf8(&bytes)
-            .map_err(|_| ParseError::Malformed("non-UTF-8 request head".into()))?,
-    );
-    Ok(())
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// An HTTP response under construction.
@@ -166,6 +214,14 @@ impl Response {
         self
     }
 
+    /// Sets a raw byte body with an explicit content type — the fleet
+    /// front tier uses this to pass backend payloads through untouched.
+    pub fn with_raw(mut self, body: Vec<u8>, content_type: &str) -> Response {
+        self.body = body;
+        self.headers.push(("Content-Type".into(), content_type.into()));
+        self
+    }
+
     /// Appends a header.
     pub fn with_header(mut self, name: &str, value: &str) -> Response {
         self.headers.push((name.into(), value.into()));
@@ -177,31 +233,27 @@ impl Response {
         self.status
     }
 
-    /// Serializes the response to `w` with `Connection: close` semantics.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, status_text(self.status))?;
-        for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
-        }
-        write!(w, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
-        w.write_all(&self.body)?;
-        w.flush()
+    /// The body bytes (tests use this).
+    pub fn body(&self) -> &[u8] {
+        &self.body
     }
-}
 
-/// Writes the error response for a failed parse; returns `false` when the
-/// connection is beyond saving (I/O error), so the caller just drops it.
-pub fn write_error_response(stream: &mut TcpStream, err: &ParseError) -> bool {
-    let response = match err {
-        ParseError::Malformed(msg) => {
-            Response::new(400).with_json(format!("{{\"error\": \"{msg}\"}}"))
+    /// Serializes the response into `out`. `keep_alive` picks the
+    /// `Connection` header; the event loop passes `false` for the final
+    /// response before it closes.
+    pub fn write_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status)).as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
-        ParseError::TooLarge(msg) => {
-            Response::new(413).with_json(format!("{{\"error\": \"{msg}\"}}"))
-        }
-        ParseError::Io(_) => return false,
-    };
-    response.write_to(stream).is_ok()
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        out.extend_from_slice(
+            format!("Content-Length: {}\r\nConnection: {conn}\r\n\r\n", self.body.len()).as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+    }
 }
 
 /// Reason phrases for every status the server emits.
@@ -212,25 +264,104 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// A fetched response: status code, headers (lowercased names), body.
+pub type FetchResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// One blocking `Connection: close` HTTP exchange — the internal client
+/// used for result-cache peering and front-tier forwarding. Reads the
+/// response body by `Content-Length` (every grserved response carries
+/// one), so it works against keep-alive servers too.
+pub fn fetch(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<FetchResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Content-Type: application/json\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+
+    let mut raw = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let (head_len, content_length, status, headers) = loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before response head"));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+        if let Some(head_len) = find_head_end(&raw) {
+            let head = std::str::from_utf8(&raw[..head_len]).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head")
+            })?;
+            let mut lines = head.split("\r\n");
+            let status: u16 = lines
+                .next()
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+            let headers: Vec<(String, String)> = lines
+                .filter_map(|line| line.split_once(':'))
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+                .collect();
+            let content_length = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            break (head_len, content_length, status, headers);
+        }
+        if raw.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+        }
+    };
+
+    let total = head_len + 4 + content_length;
+    while raw.len() < total {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid-body"));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    Ok((status, headers, raw[head_len + 4..total].to_vec()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse_one(text: &str) -> Request {
+        let mut p = RequestParser::new();
+        p.push(text.as_bytes());
+        p.pop().expect("parse").expect("complete")
+    }
+
     #[test]
-    fn response_serializes_with_length_and_close() {
+    fn response_serializes_with_length_and_connection_header() {
         let mut out = Vec::new();
         Response::json("{\"ok\": true}")
             .with_header("Retry-After", "1")
-            .write_to(&mut out)
-            .unwrap();
+            .write_into(&mut out, false);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Type: application/json\r\n"));
@@ -238,12 +369,89 @@ mod tests {
         assert!(text.contains("Content-Length: 12\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+
+        let mut out = Vec::new();
+        Response::new(202).write_into(&mut out, true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]
     fn status_texts_cover_served_codes() {
-        for code in [200, 202, 400, 404, 405, 413, 429, 500, 503] {
+        for code in [200, 202, 400, 404, 405, 408, 413, 429, 431, 500, 502, 503] {
             assert_ne!(status_text(code), "Unknown", "missing reason for {code}");
         }
+    }
+
+    #[test]
+    fn incremental_parse_across_arbitrary_splits() {
+        let wire = "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        // Feed the same request one byte at a time and in two uneven
+        // halves; both must yield the identical parse.
+        for split in [1usize, 7, wire.len() - 1] {
+            let mut p = RequestParser::new();
+            p.push(&wire.as_bytes()[..split]);
+            assert!(p.pop().expect("no error").is_none(), "split {split} completed early");
+            p.push(&wire.as_bytes()[split..]);
+            let req = p.pop().expect("parse").expect("complete");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/jobs");
+            assert_eq!(req.body, b"hello");
+            assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+            assert!(!p.has_partial());
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_pop_in_order() {
+        let mut p = RequestParser::new();
+        p.push(
+            b"GET /v1/apps HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n\
+              POST /v1/jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        let paths: Vec<String> =
+            std::iter::from_fn(|| p.pop().expect("parse")).map(|request| request.path).collect();
+        assert_eq!(paths, ["/v1/apps", "/metrics", "/v1/jobs"]);
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn connection_semantics() {
+        assert!(parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").close);
+        assert!(parse_one("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").close);
+        assert!(!parse_one("GET / HTTP/1.1\r\n\r\n").close);
+        assert!(parse_one("GET / HTTP/1.0\r\n\r\n").close, "HTTP/1.0 defaults to close");
+        assert!(!parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").close);
+    }
+
+    #[test]
+    fn limits_map_to_the_right_errors() {
+        // Unterminated giant head → 431.
+        let mut p = RequestParser::new();
+        p.push(&vec![b'A'; MAX_HEAD_BYTES + 1]);
+        assert!(matches!(p.pop(), Err(ParseError::HeadTooLarge)));
+
+        // Oversized declared body → 413, and the error response says so.
+        let mut p = RequestParser::new();
+        p.push(
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1).as_bytes(),
+        );
+        let err = p.pop().expect_err("body too large");
+        assert!(matches!(err, ParseError::BodyTooLarge(_)));
+        assert_eq!(error_response(&err).status(), 413);
+
+        // Garbage request line → 400.
+        let mut p = RequestParser::new();
+        p.push(b"nonsense\r\n\r\n");
+        let err = p.pop().expect_err("malformed");
+        assert!(matches!(err, ParseError::Malformed(_)));
+        assert_eq!(error_response(&err).status(), 400);
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        let mut p = RequestParser::new();
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: ducks\r\n\r\n");
+        assert!(matches!(p.pop(), Err(ParseError::Malformed(_))));
     }
 }

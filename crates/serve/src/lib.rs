@@ -9,9 +9,21 @@
 //! | `POST /v1/jobs` | Submit a job spec (apps × frames × policies × geometry) |
 //! | `GET /v1/jobs/{id}` | Lifecycle state + parsed result |
 //! | `GET /v1/jobs/{id}/result` | Raw payload bytes (bit-for-bit surface) |
+//! | `GET /v1/cache/{id}` | Peer cache probe (fleet peering; never executes) |
 //! | `GET /v1/policies`, `/v1/apps` | Discoverable vocabulary |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `POST /v1/shutdown` | Graceful drain (opt-in) |
+//!
+//! The connection layer ([`eventloop`]) is a single-threaded epoll
+//! readiness loop ([`poll`]) speaking HTTP/1.1 keep-alive with pipelining
+//! — one daemon holds tens of thousands of idle connections for the cost
+//! of their buffers. Simulation still runs on a Condvar worker pool;
+//! the two meet through per-request completion tickets.
+//!
+//! Fleet mode ([`fleet`]) stacks a front tier on the same loop: jobs are
+//! sharded across backend daemons by their content digest via rendezvous
+//! hashing, and backends probe each other's `/v1/cache/{id}` before
+//! executing, so a result computed anywhere is a cache hit everywhere.
 //!
 //! Three properties hold the design together:
 //!
@@ -19,27 +31,35 @@
 //!    so textual variation never defeats deduplication.
 //! 2. **Content-addressed results** ([`resultcache`]): the job id is the
 //!    SHA-256 of the canonical spec, so cached payloads need no
-//!    invalidation — memory tier for the process, disk tier across
-//!    restarts.
+//!    invalidation — memory tier for the process, size-bounded disk tier
+//!    across restarts, peer tier across the fleet. The same digest is the
+//!    shard-routing key, so an id's owner is also its cache home.
 //! 3. **Deterministic payloads** ([`job`]): no wall-clock fields, same
 //!    replay path and aggregation order as the offline tools, so the
-//!    service answer is bit-identical to a direct run — `grload smoke`
+//!    service answer is bit-identical to a direct run — through any
+//!    number of fronts, shards, and peer adoptions. `grload smoke`
 //!    asserts exactly that.
 //!
 //! Admission control is a bounded queue: beyond `queue_cap` pending jobs
 //! the server answers 429 with `Retry-After` instead of accumulating
-//! unbounded work. Shutdown (SIGTERM / ctrl-C in `grserved`) drains:
-//! accepted jobs finish, new submissions get 503, reads keep working
-//! through a short linger window.
+//! unbounded work. Abusive connections are bounded too: 408 for stalled
+//! requests, 431/413 for oversized ones, an idle timeout, and an accept
+//! cap. Shutdown (SIGTERM / ctrl-C in `grserved`) drains: accepted jobs
+//! finish, new submissions get 503, reads keep working through a short
+//! linger window.
 
+pub mod eventloop;
+pub mod fleet;
 pub mod hash;
 pub mod http;
 pub mod job;
 pub mod metrics;
+pub mod poll;
 pub mod resultcache;
 pub mod server;
 pub mod spec;
 
+pub use fleet::{start_front, FrontConfig, FrontHandle, Ring};
 pub use job::{execute, JobOutput};
 pub use server::{start, ExecuteFn, ServerConfig, ServerHandle};
 pub use spec::JobSpec;

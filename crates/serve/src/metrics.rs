@@ -2,12 +2,17 @@
 //!
 //! Everything is a monotonic `AtomicU64` bumped with relaxed ordering —
 //! the counters feed dashboards, not control flow, so cross-counter
-//! consistency is not required. Gauges (queue depth, in-flight jobs) are
-//! *not* stored here; they are read from the live queue state at scrape
-//! time and passed into [`Metrics::render`].
+//! consistency is not required. Gauges (queue depth, in-flight jobs,
+//! cache occupancy) are *not* stored here; they are sampled by the caller
+//! at scrape time and passed into [`Metrics::render`] through a
+//! [`ServerSnapshot`]. Connection-state gauges are the exception: the
+//! event loop refreshes its [`ConnGauges`] block every tick, and the
+//! renderer reads them straight from the shared atomics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::eventloop::ConnGauges;
 
 /// The endpoints the server distinguishes in per-endpoint counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +21,8 @@ pub enum Endpoint {
     SubmitJob,
     /// `GET /v1/jobs/{id}`
     GetJob,
+    /// `GET /v1/cache/{id}` — the peering endpoint.
+    CachePeek,
     /// `GET /v1/policies`
     Policies,
     /// `GET /v1/apps`
@@ -29,9 +36,10 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::SubmitJob,
         Endpoint::GetJob,
+        Endpoint::CachePeek,
         Endpoint::Policies,
         Endpoint::Apps,
         Endpoint::Metrics,
@@ -43,11 +51,12 @@ impl Endpoint {
         match self {
             Endpoint::SubmitJob => 0,
             Endpoint::GetJob => 1,
-            Endpoint::Policies => 2,
-            Endpoint::Apps => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Shutdown => 5,
-            Endpoint::Other => 6,
+            Endpoint::CachePeek => 2,
+            Endpoint::Policies => 3,
+            Endpoint::Apps => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Shutdown => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -56,6 +65,7 @@ impl Endpoint {
         match self {
             Endpoint::SubmitJob => "jobs_post",
             Endpoint::GetJob => "jobs_get",
+            Endpoint::CachePeek => "cache_get",
             Endpoint::Policies => "policies",
             Endpoint::Apps => "apps",
             Endpoint::Metrics => "metrics",
@@ -81,11 +91,25 @@ struct EndpointStats {
     latency_nanos: AtomicU64,
 }
 
+/// Scrape-time samples the renderer cannot read from atomics.
+pub struct ServerSnapshot {
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub inflight: usize,
+    /// Jobs known to the job table.
+    pub jobs_tracked: usize,
+    /// Disk files evicted to stay under the cache budget.
+    pub cache_evictions: u64,
+    /// Bytes resident in the disk cache tier.
+    pub cache_disk_bytes: u64,
+}
+
 /// All service counters. One instance lives inside the server and is
 /// shared by every connection and worker thread.
 #[derive(Default)]
 pub struct Metrics {
-    endpoints: [EndpointStats; 7],
+    endpoints: [EndpointStats; 8],
     /// Jobs accepted into the queue.
     pub jobs_submitted: AtomicU64,
     /// Submissions that joined an already queued/running job.
@@ -100,6 +124,10 @@ pub struct Metrics {
     pub executions: AtomicU64,
     result_cache_hits_memory: AtomicU64,
     result_cache_hits_disk: AtomicU64,
+    /// Results adopted from a peer daemon instead of executing.
+    pub peer_hits: AtomicU64,
+    /// Peer lookups that found nothing (the job then executes locally).
+    pub peer_misses: AtomicU64,
     /// LLC accesses replayed by completed executions.
     pub replay_accesses: AtomicU64,
 }
@@ -126,11 +154,11 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the Prometheus text exposition. `queue_depth` and
-    /// `inflight` are sampled from the queue state by the caller at
-    /// scrape time.
-    pub fn render(&self, queue_depth: usize, inflight: usize, jobs_tracked: usize) -> String {
-        let mut out = String::with_capacity(2048);
+    /// Renders the Prometheus text exposition. Queue/job gauges and cache
+    /// occupancy arrive in `snap`; connection-state gauges are read from
+    /// the event loop's shared `conns` block.
+    pub fn render(&self, snap: &ServerSnapshot, conns: &ConnGauges) -> String {
+        let mut out = String::with_capacity(4096);
         let mut counter = |name: &str, help: &str, value: u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
         };
@@ -169,6 +197,16 @@ impl Metrics {
             "LLC accesses replayed by completed executions.",
             self.replay_accesses.load(Ordering::Relaxed),
         );
+        counter(
+            "grserve_result_cache_evictions_total",
+            "Disk cache files evicted to stay under GR_RESULT_CACHE_MAX.",
+            snap.cache_evictions,
+        );
+        counter(
+            "grserve_accepts_rejected_total",
+            "Connections refused at accept time (max_conns reached).",
+            conns.rejected.load(Ordering::Relaxed),
+        );
 
         out.push_str("# HELP grserve_result_cache_hits_total Result-cache hits by tier.\n");
         out.push_str("# TYPE grserve_result_cache_hits_total counter\n");
@@ -179,6 +217,17 @@ impl Metrics {
         out.push_str(&format!(
             "grserve_result_cache_hits_total{{tier=\"disk\"}} {}\n",
             self.result_cache_hits_disk.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP grserve_peer_cache_total Peer result-cache lookups by outcome.\n");
+        out.push_str("# TYPE grserve_peer_cache_total counter\n");
+        out.push_str(&format!(
+            "grserve_peer_cache_total{{outcome=\"hit\"}} {}\n",
+            self.peer_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "grserve_peer_cache_total{{outcome=\"miss\"}} {}\n",
+            self.peer_misses.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP grserve_http_requests_total Requests handled by endpoint.\n");
@@ -203,12 +252,30 @@ impl Metrics {
             ));
         }
 
+        out.push_str(
+            "# HELP grserve_connections Open connections by event-loop state.\n\
+             # TYPE grserve_connections gauge\n",
+        );
+        for (state, value) in [
+            ("open", conns.open.load(Ordering::Relaxed)),
+            ("reading", conns.reading.load(Ordering::Relaxed)),
+            ("writing", conns.writing.load(Ordering::Relaxed)),
+            ("idle", conns.idle.load(Ordering::Relaxed)),
+        ] {
+            out.push_str(&format!("grserve_connections{{state=\"{state}\"}} {value}\n"));
+        }
+
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
         };
-        gauge("grserve_queue_depth", "Jobs waiting in the queue.", queue_depth as u64);
-        gauge("grserve_jobs_inflight", "Jobs currently executing.", inflight as u64);
-        gauge("grserve_jobs_tracked", "Jobs known to the job table.", jobs_tracked as u64);
+        gauge("grserve_queue_depth", "Jobs waiting in the queue.", snap.queue_depth as u64);
+        gauge("grserve_jobs_inflight", "Jobs currently executing.", snap.inflight as u64);
+        gauge("grserve_jobs_tracked", "Jobs known to the job table.", snap.jobs_tracked as u64);
+        gauge(
+            "grserve_result_cache_disk_bytes",
+            "Bytes resident in the disk result-cache tier.",
+            snap.cache_disk_bytes,
+        );
         out
     }
 }
@@ -221,18 +288,40 @@ mod tests {
     fn render_reports_all_series() {
         let m = Metrics::default();
         m.record_request(Endpoint::SubmitJob, Duration::from_millis(2));
+        m.record_request(Endpoint::CachePeek, Duration::from_millis(1));
         m.record_cache_hit(CacheTier::Memory);
         Metrics::bump(&m.jobs_submitted);
-        let text = m.render(3, 1, 7);
+        Metrics::bump(&m.peer_hits);
+        let conns = ConnGauges::default();
+        conns.open.store(5, Ordering::Relaxed);
+        conns.idle.store(4, Ordering::Relaxed);
+        conns.writing.store(1, Ordering::Relaxed);
+        let snap = ServerSnapshot {
+            queue_depth: 3,
+            inflight: 1,
+            jobs_tracked: 7,
+            cache_evictions: 2,
+            cache_disk_bytes: 4096,
+        };
+        let text = m.render(&snap, &conns);
         for series in [
             "grserve_jobs_submitted_total 1",
             "grserve_result_cache_hits_total{tier=\"memory\"} 1",
             "grserve_result_cache_hits_total{tier=\"disk\"} 0",
+            "grserve_result_cache_evictions_total 2",
+            "grserve_peer_cache_total{outcome=\"hit\"} 1",
+            "grserve_peer_cache_total{outcome=\"miss\"} 0",
             "grserve_http_requests_total{endpoint=\"jobs_post\"} 1",
+            "grserve_http_requests_total{endpoint=\"cache_get\"} 1",
             "grserve_http_request_seconds_sum{endpoint=\"jobs_post\"} 0.002",
+            "grserve_connections{state=\"open\"} 5",
+            "grserve_connections{state=\"reading\"} 0",
+            "grserve_connections{state=\"writing\"} 1",
+            "grserve_connections{state=\"idle\"} 4",
             "grserve_queue_depth 3",
             "grserve_jobs_inflight 1",
             "grserve_jobs_tracked 7",
+            "grserve_result_cache_disk_bytes 4096",
         ] {
             assert!(text.contains(series), "missing {series:?} in:\n{text}");
         }

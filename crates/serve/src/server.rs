@@ -1,5 +1,7 @@
-//! The daemon core: TCP accept loop, request routing, bounded job queue
-//! with admission control, coalescing worker pool, and graceful drain.
+//! The daemon core: request routing, bounded job queue with admission
+//! control, coalescing worker pool, cache peering, and graceful drain.
+//! Connections are owned by the event loop in [`crate::eventloop`]; this
+//! module is the [`Handler`] behind it plus the execution machinery.
 //!
 //! # Job lifecycle
 //!
@@ -10,22 +12,29 @@
 //!                                  ├─ draining ─────────────────────► 503
 //!                                  ├─ queue full ──────────────────►  429 + Retry-After
 //!                                  └─ else: enqueue ───────────────►  202
+//!
+//! worker pop ──► peer cache probe (GET /v1/cache/{id} on each peer)
+//!                  hit  ─► adopt payload verbatim ─► done (cached)
+//!                  miss ─► execute locally ────────► done
 //! ```
 //!
 //! Coalescing falls out of content addressing: the job table is keyed by
 //! the canonical spec digest, so concurrent identical submissions land on
-//! the same entry and share one execution.
+//! the same entry and share one execution. Peering extends the same idea
+//! across daemons — a result computed anywhere in the fleet is a cache
+//! hit everywhere, and because the adopted payload bytes are copied
+//! verbatim, bit-identity with offline [`job::execute`] is preserved.
 //!
 //! # Threads and locks
 //!
-//! One accept thread, one detached thread per connection, `workers`
-//! executor threads. Two mutexes — the job table and the queue state —
-//! always taken in that order (connection threads); workers take them one
-//! at a time, never nested. Counters live in [`Metrics`] atomics.
+//! One event-loop thread (all sockets), `workers` executor threads. Two
+//! mutexes — the job table and the queue state — always taken in that
+//! order; workers take them one at a time, never nested. Counters live in
+//! [`Metrics`] atomics.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -38,9 +47,10 @@ use grjson::Json;
 use grsynth::{AppProfile, Scale};
 use gspc::registry;
 
+use crate::eventloop::{self, ConnGauges, Handler, LoopConfig, Pending};
 use crate::http::{self, Request, Response};
 use crate::job::{self, JobOutput};
-use crate::metrics::{CacheTier, Endpoint, Metrics};
+use crate::metrics::{CacheTier, Endpoint, Metrics, ServerSnapshot};
 use crate::resultcache::ResultCache;
 use crate::spec::{scale_name, JobSpec};
 
@@ -48,6 +58,9 @@ use crate::spec::{scale_name, JobSpec};
 /// [`job::execute`]; tests inject blocking stand-ins to make coalescing,
 /// 429, and drain behavior deterministic.
 pub type ExecuteFn = Arc<dyn Fn(&JobSpec) -> Result<JobOutput, String> + Send + Sync>;
+
+/// How long a worker waits on one peer's cache probe before moving on.
+const PEER_PROBE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Server construction parameters.
 pub struct ServerConfig {
@@ -62,11 +75,23 @@ pub struct ServerConfig {
     pub default_scale: Scale,
     /// Root of the disk result-cache tier; `None` keeps memory only.
     pub result_cache_dir: Option<PathBuf>,
+    /// Disk-tier byte budget; `None` reads `GR_RESULT_CACHE_MAX` (with
+    /// its built-in default).
+    pub result_cache_max: Option<u64>,
+    /// Sibling daemons (`host:port`) whose result caches workers probe
+    /// before executing — the fleet peering protocol.
+    pub peers: Vec<String>,
     /// Honor `POST /v1/shutdown` (tests and supervised deployments).
     pub allow_http_shutdown: bool,
     /// How long the listener keeps answering reads after the drain
     /// completes, so clients can collect final states and metrics.
     pub linger: Duration,
+    /// 408 deadline for half-received requests.
+    pub read_deadline: Duration,
+    /// Silent-close deadline for idle keep-alive connections.
+    pub idle_timeout: Duration,
+    /// Open-connection cap enforced at accept time.
+    pub max_conns: usize,
     /// Execution knobs shared by every job (threads, streamed, boxed,
     /// check); per-spec fields are overridden per job.
     pub run: RunOptions,
@@ -82,8 +107,13 @@ impl Default for ServerConfig {
             queue_cap: 64,
             default_scale: ExperimentConfig::from_env().scale,
             result_cache_dir: std::env::var_os("GR_RESULT_CACHE").map(PathBuf::from),
+            result_cache_max: None,
+            peers: Vec::new(),
             allow_http_shutdown: false,
             linger: Duration::from_millis(300),
+            read_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_conns: 16 * 1024,
             run: RunOptions::from_env(&[]),
             executor: None,
         }
@@ -125,12 +155,14 @@ struct Inner {
     default_scale: Scale,
     allow_http_shutdown: bool,
     executor: ExecuteFn,
+    peers: Vec<String>,
     jobs: Mutex<HashMap<String, Job>>,
     queue: Mutex<QueueState>,
     /// Wakes workers (new job or drain started).
     work_cv: Condvar,
     cache: ResultCache,
     metrics: Metrics,
+    gauges: Arc<ConnGauges>,
 }
 
 impl Inner {
@@ -151,7 +183,7 @@ impl Inner {
 pub struct ServerHandle {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -172,11 +204,11 @@ impl ServerHandle {
         self.inner.is_drained()
     }
 
-    /// Waits for the accept loop and every worker to exit. Only returns
+    /// Waits for the event loop and every worker to exit. Only returns
     /// after a shutdown was initiated (or the process would wait forever).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread");
+        if let Some(event_loop) = self.event_loop.take() {
+            event_loop.join().expect("event-loop thread");
         }
         for worker in self.workers.drain(..) {
             worker.join().expect("worker thread");
@@ -190,7 +222,7 @@ impl ServerHandle {
     }
 }
 
-/// Binds, spawns the worker pool and accept loop, and returns.
+/// Binds, spawns the worker pool and the event loop, and returns.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -203,16 +235,23 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         })
     });
 
+    let cache = match cfg.result_cache_max {
+        Some(budget) => ResultCache::with_budget(cfg.result_cache_dir, budget),
+        None => ResultCache::new(cfg.result_cache_dir),
+    };
+    let gauges = Arc::new(ConnGauges::default());
     let inner = Arc::new(Inner {
         queue_cap: cfg.queue_cap,
         default_scale: cfg.default_scale,
         allow_http_shutdown: cfg.allow_http_shutdown,
         executor,
+        peers: cfg.peers,
         jobs: Mutex::new(HashMap::new()),
         queue: Mutex::new(QueueState { queue: VecDeque::new(), running: 0, draining: false }),
         work_cv: Condvar::new(),
-        cache: ResultCache::new(cfg.result_cache_dir),
+        cache,
         metrics: Metrics::default(),
+        gauges: Arc::clone(&gauges),
     });
 
     let workers = (0..cfg.workers.max(1))
@@ -222,16 +261,62 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         })
         .collect();
 
-    let accept = {
+    let handler = Arc::new(BackendHandler { inner: Arc::clone(&inner) });
+    let drained_probe = {
         let inner = Arc::clone(&inner);
-        let linger = cfg.linger;
-        thread::spawn(move || accept_loop(&listener, &inner, linger))
+        Arc::new(move || inner.is_drained()) as Arc<dyn Fn() -> bool + Send + Sync>
     };
+    let event_loop = eventloop::spawn(LoopConfig {
+        listener,
+        handler,
+        read_deadline: cfg.read_deadline,
+        idle_timeout: cfg.idle_timeout,
+        max_conns: cfg.max_conns,
+        linger: cfg.linger,
+        is_drained: drained_probe,
+        gauges,
+    })?;
 
-    Ok(ServerHandle { inner, addr, accept: Some(accept), workers })
+    Ok(ServerHandle { inner, addr, event_loop: Some(event_loop), workers })
 }
 
-/// Pops and executes jobs until the drain completes.
+/// The event-loop handler for a backend daemon. Every endpoint here is
+/// non-blocking (submit only enqueues; status is a poll), so requests are
+/// always answered inline — the deferred path is for the fleet front
+/// tier.
+struct BackendHandler {
+    inner: Arc<Inner>,
+}
+
+impl Handler for BackendHandler {
+    fn handle(&self, request: Request, _pending: Pending) -> Option<Response> {
+        let started = Instant::now();
+        let (endpoint, response) = route(&request, &self.inner);
+        self.inner.metrics.record_request(endpoint, started.elapsed());
+        Some(response)
+    }
+}
+
+/// Probes each peer's cache endpoint for `id`; first hit wins. The
+/// payload bytes are adopted verbatim, which is what keeps fleet results
+/// bit-identical to offline execution.
+fn peer_lookup(peers: &[String], id: &str) -> Option<String> {
+    let path = format!("/v1/cache/{id}");
+    for peer in peers {
+        match http::fetch(peer, "GET", &path, &[], PEER_PROBE_TIMEOUT) {
+            Ok((200, _, body)) => match String::from_utf8(body) {
+                Ok(payload) => return Some(payload),
+                Err(_) => continue,
+            },
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Pops and executes jobs until the drain completes. Before executing, a
+/// fleet member probes its peers: a result computed anywhere is adopted
+/// instead of recomputed.
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let id = {
@@ -254,20 +339,32 @@ fn worker_loop(inner: &Arc<Inner>) {
             entry.state = JobState::Running;
             Arc::clone(&entry.spec)
         };
-        Metrics::bump(&inner.metrics.executions);
-        let result = (inner.executor)(&spec);
 
-        let state = match result {
-            Ok(out) => {
-                let payload = Arc::new(out.payload);
+        let state = match peer_lookup(&inner.peers, &id) {
+            Some(payload) => {
+                Metrics::bump(&inner.metrics.peer_hits);
+                let payload = Arc::new(payload);
                 inner.cache.put(&id, Arc::clone(&payload));
-                inner.metrics.replay_accesses.fetch_add(out.accesses, Ordering::Relaxed);
-                Metrics::bump(&inner.metrics.jobs_completed);
-                JobState::Done { payload, from_cache: false }
+                JobState::Done { payload, from_cache: true }
             }
-            Err(msg) => {
-                Metrics::bump(&inner.metrics.jobs_failed);
-                JobState::Failed(msg)
+            None => {
+                if !inner.peers.is_empty() {
+                    Metrics::bump(&inner.metrics.peer_misses);
+                }
+                Metrics::bump(&inner.metrics.executions);
+                match (inner.executor)(&spec) {
+                    Ok(out) => {
+                        let payload = Arc::new(out.payload);
+                        inner.cache.put(&id, Arc::clone(&payload));
+                        inner.metrics.replay_accesses.fetch_add(out.accesses, Ordering::Relaxed);
+                        Metrics::bump(&inner.metrics.jobs_completed);
+                        JobState::Done { payload, from_cache: false }
+                    }
+                    Err(msg) => {
+                        Metrics::bump(&inner.metrics.jobs_failed);
+                        JobState::Failed(msg)
+                    }
+                }
             }
         };
         inner.jobs.lock().expect("jobs lock").get_mut(&id).expect("running job is tracked").state =
@@ -278,57 +375,10 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
-/// Accepts connections until the drain completes, then serves a short
-/// linger window (final polls, metrics scrapes) and exits.
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>, linger: Duration) {
-    listener.set_nonblocking(true).expect("nonblocking listener");
-    let mut linger_deadline: Option<Instant> = None;
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let inner = Arc::clone(inner);
-                thread::spawn(move || handle_connection(stream, &inner));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                match linger_deadline {
-                    Some(deadline) => {
-                        if Instant::now() >= deadline {
-                            return;
-                        }
-                    }
-                    None => {
-                        if inner.is_drained() {
-                            linger_deadline = Some(Instant::now() + linger);
-                        }
-                    }
-                }
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
 fn error_body(message: &str) -> String {
     let mut doc = Json::obj();
     doc.set("error", message);
     doc.to_string_pretty()
-}
-
-/// Reads one request, routes it, records per-endpoint metrics, responds.
-fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
-    let started = Instant::now();
-    let request = match http::read_request(&mut stream) {
-        Ok(request) => request,
-        Err(err) => {
-            http::write_error_response(&mut stream, &err);
-            inner.metrics.record_request(Endpoint::Other, started.elapsed());
-            return;
-        }
-    };
-    let (endpoint, response) = route(&request, inner);
-    let _ = response.write_to(&mut stream);
-    inner.metrics.record_request(endpoint, started.elapsed());
 }
 
 fn route(request: &Request, inner: &Arc<Inner>) -> (Endpoint, Response) {
@@ -355,6 +405,12 @@ fn route(request: &Request, inner: &Arc<Inner>) -> (Endpoint, Response) {
             _ => (Endpoint::Shutdown, method_not_allowed("POST")),
         },
         path => {
+            if let Some(id) = path.strip_prefix("/v1/cache/") {
+                if method != "GET" {
+                    return (Endpoint::CachePeek, method_not_allowed("GET"));
+                }
+                return (Endpoint::CachePeek, cache_peek(id, inner));
+            }
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 if method != "GET" {
                     return (Endpoint::GetJob, method_not_allowed("GET"));
@@ -473,7 +529,25 @@ fn raw_result(id: &str, inner: &Arc<Inner>) -> Response {
     }
 }
 
-fn policies_response() -> Response {
+/// `GET /v1/cache/{id}`: the peering endpoint. Serves the payload bytes
+/// if this daemon already has them (job table or result cache) and 404s
+/// otherwise — it never enqueues or executes anything, so a probe storm
+/// cannot create work. Local tier-hit counters are deliberately not
+/// bumped: a peer's probe is not local demand.
+fn cache_peek(id: &str, inner: &Arc<Inner>) -> Response {
+    {
+        let jobs = inner.jobs.lock().expect("jobs lock");
+        if let Some(JobState::Done { payload, .. }) = jobs.get(id).map(|entry| &entry.state) {
+            return Response::json(payload.as_str());
+        }
+    }
+    if let Some((payload, _tier)) = inner.cache.get(id) {
+        return Response::json(payload.as_str());
+    }
+    Response::new(404).with_json(error_body("not cached"))
+}
+
+pub(crate) fn policies_response() -> Response {
     let mut list = Vec::new();
     for entry in registry::ALL_POLICIES {
         let mut item = Json::obj();
@@ -499,7 +573,7 @@ fn policies_response() -> Response {
     Response::json(doc.to_string_pretty())
 }
 
-fn apps_response() -> Response {
+pub(crate) fn apps_response() -> Response {
     let mut list = Vec::new();
     for app in AppProfile::all() {
         let mut item = Json::obj();
@@ -522,7 +596,14 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
         (q.queue.len(), q.running)
     };
     let tracked = inner.jobs.lock().expect("jobs lock").len();
-    Response::new(200).with_text(inner.metrics.render(depth, running, tracked))
+    let snap = ServerSnapshot {
+        queue_depth: depth,
+        inflight: running,
+        jobs_tracked: tracked,
+        cache_evictions: inner.cache.evictions(),
+        cache_disk_bytes: inner.cache.disk_bytes(),
+    };
+    Response::new(200).with_text(inner.metrics.render(&snap, &inner.gauges))
 }
 
 fn shutdown_response(inner: &Arc<Inner>) -> Response {

@@ -1,0 +1,244 @@
+//! Fleet-mode integration tests: digest sharding through the front tier,
+//! cross-daemon cache peering, and — as a spawned-process test — the full
+//! `grload smoke --fleet` checklist against real `grserved` processes,
+//! which is where the served-vs-offline bit-identity property is asserted
+//! for every backend a spec can hash to.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use grjson::Json;
+use grserve::{FrontConfig, JobOutput, JobSpec, Ring, ServerConfig, ServerHandle};
+use grsynth::Scale;
+
+/// One `Connection: close` HTTP exchange; returns (status, head, body).
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header break");
+    let status =
+        head.lines().next().and_then(|l| l.split_whitespace().nth(1)).expect("status line");
+    (status.parse().expect("numeric status"), head.to_string(), payload.to_string())
+}
+
+fn await_done(addr: &str, id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "job poll: {body}");
+        let doc = Json::parse(&body).expect("status JSON");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => return doc,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn metric(addr: &str, series: &str) -> u64 {
+    let (status, _, body) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    body.lines()
+        .find_map(|line| line.strip_prefix(series).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("no series {series:?} in:\n{body}"))
+}
+
+/// A backend whose executor counts invocations and returns a payload
+/// derived from the spec id — deterministic, instant, and distinguishable.
+fn counting_backend(count: &Arc<AtomicU64>, peers: Vec<String>) -> ServerHandle {
+    let count = Arc::clone(count);
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_cap: 16,
+        default_scale: Scale::Tiny,
+        result_cache_dir: None,
+        peers,
+        linger: Duration::from_millis(500),
+        executor: Some(Arc::new(move |spec: &JobSpec| {
+            count.fetch_add(1, Ordering::SeqCst);
+            let mut doc = Json::obj();
+            doc.set("id", spec.id());
+            Ok(JobOutput { payload: doc.to_string_pretty(), accesses: 3, replay_seconds: 0.0 })
+        })),
+        ..ServerConfig::default()
+    };
+    grserve::start(cfg).expect("backend start")
+}
+
+/// Finds one spec body per backend by sweeping `llc_mb`, using the same
+/// ring the front uses.
+fn spec_per_backend(ring: &Ring, n: usize) -> Vec<(String, String)> {
+    let mut found: Vec<Option<(String, String)>> = vec![None; n];
+    for llc_mb in 1u64..=128 {
+        let body = format!(r#"{{"policies": ["NRU"], "apps": ["HAWX"], "llc_mb": {llc_mb}}}"#);
+        let id = JobSpec::parse(&body, Scale::Tiny).expect("spec").id();
+        let owner = ring.route_index(&id);
+        if found[owner].is_none() {
+            found[owner] = Some((body, id));
+        }
+        if found.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    found.into_iter().map(|slot| slot.expect("a spec per backend")).collect()
+}
+
+/// The front shards by content digest: each spec lands on exactly the
+/// backend the ring predicts, and the bytes read back through the front
+/// equal the bytes on the owning backend.
+#[test]
+fn front_routes_by_digest_and_preserves_bytes() {
+    let counters: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let backends: Vec<ServerHandle> =
+        counters.iter().map(|c| counting_backend(c, Vec::new())).collect();
+    let backend_addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+
+    let front = grserve::start_front(FrontConfig {
+        backends: backend_addrs.clone(),
+        // Must match the backends' scale: the canonical id is the routing
+        // key, and the front computes it by parsing the spec itself.
+        default_scale: Scale::Tiny,
+        linger: Duration::from_millis(500),
+        ..FrontConfig::default()
+    })
+    .expect("front start");
+    let front_addr = front.addr().to_string();
+
+    let ring = Ring::new(backend_addrs.clone());
+    for (owner, (body, id)) in spec_per_backend(&ring, 3).iter().enumerate() {
+        let (status, _, response) = http(&front_addr, "POST", "/v1/jobs", Some(body));
+        assert_eq!(status, 202, "front submit: {response}");
+        let doc = Json::parse(&response).expect("submit JSON");
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some(id.as_str()));
+
+        await_done(&front_addr, id);
+        // Exactly the predicted owner executed it.
+        for (i, counter) in counters.iter().enumerate() {
+            let expected = if i <= owner { 1 } else { 0 };
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                expected,
+                "backend {i} execution count after routing to {owner}"
+            );
+        }
+
+        let (status, _, via_front) =
+            http(&front_addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+        assert_eq!(status, 200);
+        let (status, _, via_backend) =
+            http(&backend_addrs[owner], "GET", &format!("/v1/jobs/{id}/result"), None);
+        assert_eq!(status, 200, "owner must hold the job");
+        assert_eq!(via_front, via_backend, "front changed the payload bytes");
+    }
+
+    // Routed counters: one request per backend.
+    for addr in &backend_addrs {
+        assert!(
+            metric(&front_addr, &format!("grserve_front_routed_total{{backend=\"{addr}\"}}")) >= 1,
+            "no routed count for {addr}"
+        );
+    }
+
+    // The vocabulary endpoints are served at the edge and match the
+    // backends byte for byte (same registry, same serializer).
+    let (_, _, via_front) = http(&front_addr, "GET", "/v1/policies", None);
+    let (_, _, via_backend) = http(&backend_addrs[0], "GET", "/v1/policies", None);
+    assert_eq!(via_front, via_backend, "edge-served vocabulary drifted");
+
+    // Malformed specs are rejected at the edge with 400.
+    let (status, _, body) = http(&front_addr, "POST", "/v1/jobs", Some(r#"{"policies": []}"#));
+    assert_eq!(status, 400, "{body}");
+
+    front.shutdown_and_join();
+    for backend in backends {
+        backend.shutdown_and_join();
+    }
+}
+
+/// A result computed on one backend is adopted by a peer instead of
+/// recomputed, byte for byte.
+#[test]
+fn peer_cache_adoption_never_reexecutes() {
+    let count_a = Arc::new(AtomicU64::new(0));
+    let a = counting_backend(&count_a, Vec::new());
+    let a_addr = a.addr().to_string();
+
+    // B's executor refuses to run: every answer must come from the peer.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_cap: 16,
+        default_scale: Scale::Tiny,
+        result_cache_dir: None,
+        peers: vec![a_addr.clone()],
+        linger: Duration::from_millis(500),
+        executor: Some(Arc::new(|_spec: &JobSpec| {
+            Err("peer adoption should have answered this job".into())
+        })),
+        ..ServerConfig::default()
+    };
+    let b = grserve::start(cfg).expect("backend b");
+    let b_addr = b.addr().to_string();
+
+    let body = r#"{"policies": ["DRRIP"], "apps": ["BioShock"]}"#;
+    let (status, _, response) = http(&a_addr, "POST", "/v1/jobs", Some(body));
+    assert_eq!(status, 202, "{response}");
+    let id = Json::parse(&response)
+        .expect("submit JSON")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id")
+        .to_string();
+    await_done(&a_addr, &id);
+    let (_, _, on_a) = http(&a_addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+
+    let (status, _, response) = http(&b_addr, "POST", "/v1/jobs", Some(body));
+    assert_eq!(status, 202, "b submit: {response}");
+    let done = await_done(&b_addr, &id);
+    assert_eq!(done.get("cached"), Some(&Json::Bool(true)), "adoption must read as cached");
+    let (status, _, on_b) = http(&b_addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(status, 200);
+    assert_eq!(on_b, on_a, "peer adoption changed the payload bytes");
+    assert!(metric(&b_addr, "grserve_peer_cache_total{outcome=\"hit\"}") >= 1);
+    assert_eq!(metric(&b_addr, "grserve_executions_total"), 0, "B must not execute");
+    assert_eq!(count_a.load(Ordering::SeqCst), 1, "A executed exactly once");
+
+    // The probe endpoint itself: present on A, 404 for unknown ids, and
+    // never an execution trigger.
+    let (status, _, probed) = http(&a_addr, "GET", &format!("/v1/cache/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(probed, on_a, "cache probe changed the payload bytes");
+    let (status, _, _) = http(&a_addr, "GET", "/v1/cache/deadbeef", None);
+    assert_eq!(status, 404);
+    assert_eq!(count_a.load(Ordering::SeqCst), 1, "probes must not execute");
+
+    b.shutdown_and_join();
+    a.shutdown_and_join();
+}
+
+/// The full fleet checklist against real spawned `grserved` processes:
+/// `grload smoke --fleet 3` asserts, among the rest, that the bytes served
+/// through the front equal the owning backend's bytes equal an offline
+/// `grserve::execute` run — for a spec hashing to every backend.
+#[test]
+fn spawned_fleet_smoke_passes_end_to_end() {
+    let status = Command::new(env!("CARGO_BIN_EXE_grload"))
+        .args(["smoke", "--fleet", "3", "--spawn", env!("CARGO_BIN_EXE_grserved")])
+        .status()
+        .expect("spawn grload");
+    assert!(status.success(), "grload fleet smoke failed: {status}");
+}

@@ -1,0 +1,225 @@
+//! Connection-layer integration tests: HTTP/1.1 keep-alive, pipelining,
+//! reader hardening (431/413/400 close semantics), and the connection
+//! gauges — all over real TCP against the in-process event loop.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grjson::Json;
+use grserve::{JobOutput, JobSpec, ServerConfig, ServerHandle};
+use grsynth::Scale;
+
+/// A server with an instant injected executor; the replay path is not
+/// under test here, the connection layer is.
+fn instant_server() -> ServerHandle {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        default_scale: Scale::Tiny,
+        result_cache_dir: None,
+        linger: Duration::from_millis(500),
+        executor: Some(Arc::new(|spec: &JobSpec| {
+            let mut doc = Json::obj();
+            doc.set("id", spec.id());
+            Ok(JobOutput { payload: doc.to_string_pretty(), accesses: 1, replay_seconds: 0.0 })
+        })),
+        ..ServerConfig::default()
+    };
+    grserve::start(cfg).expect("server start")
+}
+
+/// Reads exactly one HTTP response off `stream` (head + Content-Length
+/// body); returns (status, head, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head, one byte at a time — slow but unambiguous for tests.
+    while !raw.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read head");
+        assert!(n > 0, "EOF inside response head: {:?}", String::from_utf8_lossy(&raw));
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw[..raw.len() - 4].to_vec()).expect("utf-8 head");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn request_bytes(method: &str, path: &str, body: &str, close: bool) -> Vec<u8> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n{connection}\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream
+}
+
+/// Many requests over one connection produce byte-identical bodies to
+/// one-request-per-connection exchanges, and the connection stays open
+/// between them.
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let server = instant_server();
+    let addr = server.addr().to_string();
+
+    // Reference bodies via throwaway close-mode connections.
+    let mut reference = Vec::new();
+    for path in ["/v1/policies", "/v1/apps", "/v1/policies"] {
+        let mut stream = connect(&addr);
+        stream.write_all(&request_bytes("GET", path, "", true)).expect("write");
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "{head}");
+        reference.push(body);
+    }
+
+    // The same three requests over a single keep-alive connection.
+    let mut stream = connect(&addr);
+    for (i, path) in ["/v1/policies", "/v1/apps", "/v1/policies"].iter().enumerate() {
+        stream.write_all(&request_bytes("GET", path, "", false)).expect("write");
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert_eq!(body, reference[i], "keep-alive changed the payload bytes");
+    }
+
+    // POST works over the same connection too (submit + cached resubmit).
+    let spec = r#"{"policies": ["NRU"], "apps": ["HAWX"]}"#;
+    stream.write_all(&request_bytes("POST", "/v1/jobs", spec, false)).expect("write");
+    let (status, _, body) = read_response(&mut stream);
+    assert!(status == 200 || status == 202, "submit over keep-alive: {status} {body}");
+
+    server.shutdown_and_join();
+}
+
+/// Pipelined requests (all written before any response is read) come back
+/// complete, in order, on one connection.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = instant_server();
+    let addr = server.addr().to_string();
+
+    let mut batch = Vec::new();
+    batch.extend_from_slice(&request_bytes("GET", "/v1/policies", "", false));
+    batch.extend_from_slice(&request_bytes("GET", "/v1/apps", "", false));
+    batch.extend_from_slice(&request_bytes("GET", "/v1/jobs/deadbeef", "", false));
+    batch.extend_from_slice(&request_bytes("GET", "/v1/apps", "", true));
+
+    let mut stream = connect(&addr);
+    stream.write_all(&batch).expect("write pipeline");
+
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(body.contains("policies"), "first response out of order: {body}");
+    let (status, _, apps_body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(apps_body.contains("apps"), "second response out of order: {apps_body}");
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 404, "third response out of order");
+    let (status, head, last_body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(last_body, apps_body, "same path must produce identical bytes");
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // After the close-marked response the server ends the connection.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty(), "bytes after Connection: close: {:?}", String::from_utf8_lossy(&rest));
+
+    server.shutdown_and_join();
+}
+
+/// Reader hardening: oversized heads get 431, oversized declared bodies
+/// get 413, malformed requests get 400 — each closing the connection.
+#[test]
+fn abusive_requests_get_4xx_and_a_close() {
+    let server = instant_server();
+    let addr = server.addr().to_string();
+
+    // Head past MAX_HEAD_BYTES.
+    let mut stream = connect(&addr);
+    let huge = "x".repeat(grserve::http::MAX_HEAD_BYTES + 1024);
+    stream
+        .write_all(format!("GET / HTTP/1.1\r\nHost: test\r\nX-Pad: {huge}\r\n\r\n").as_bytes())
+        .expect("write");
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 431);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // Declared body past MAX_BODY_BYTES — rejected from the header alone,
+    // without waiting for the body bytes.
+    let mut stream = connect(&addr);
+    stream
+        .write_all(
+            format!(
+                "POST /v1/jobs HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+                grserve::http::MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 413);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // Garbage request line.
+    let mut stream = connect(&addr);
+    stream.write_all(b"this is not http\r\n\r\n").expect("write");
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 400);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    server.shutdown_and_join();
+}
+
+/// The connection gauges in /metrics see a held keep-alive connection.
+#[test]
+fn metrics_report_connection_states() {
+    let server = instant_server();
+    let addr = server.addr().to_string();
+
+    // Hold one keep-alive connection open (idle after one exchange).
+    let mut held = connect(&addr);
+    held.write_all(&request_bytes("GET", "/v1/apps", "", false)).expect("write");
+    let (status, _, _) = read_response(&mut held);
+    assert_eq!(status, 200);
+
+    // The gauges refresh on the event loop's periodic tick; give it two.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut stream = connect(&addr);
+    stream.write_all(&request_bytes("GET", "/metrics", "", true)).expect("write");
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+
+    let gauge = |series: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(series).and_then(|rest| rest.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("no series {series:?} in:\n{body}"))
+    };
+    assert!(gauge("grserve_connections{state=\"open\"}") >= 1, "held connection not counted");
+    assert!(gauge("grserve_connections{state=\"idle\"}") >= 1, "idle connection not counted");
+    drop(held);
+
+    server.shutdown_and_join();
+}
