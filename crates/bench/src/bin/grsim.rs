@@ -7,6 +7,11 @@
 //! grsim compare GSPC+UCD GS-DRRIP    # misses vs DRRIP over the workload
 //! grsim sweep GSPC 2 4 8 16          # miss curve vs LLC capacity (MB)
 //! grsim sequence GSPC BioShock 4     # persistent-LLC multi-frame replay
+//! grsim profiles                     # list frame-graph workload profiles
+//! grsim sequence GSPC --profile deferred 4 --coherence 0.3
+//!                                    # frame-graph workload, drifting set
+//! grsim replay trace.gtrace GSPC DRRIP
+//!                                    # replay an imported .gtrace file
 //! ```
 //!
 //! All subcommands honour `GR_SCALE`, `GR_FRAMES`, `GR_TRACE_CACHE`,
@@ -14,13 +19,13 @@
 
 use grbench::{cli, framecache, run_workload, table, ExperimentConfig, RunOptions};
 use grcache::Llc;
-use grsynth::AppProfile;
+use grsynth::{AppProfile, FrameGraph, GRAPH_PROFILES};
 use grtrace::StreamId;
 use gspc::registry;
 
 fn usage() -> ! {
     cli::usage_error(
-        "grsim <apps|policies|characterize APP|compare POLICY...|sweep POLICY MB...|sequence POLICY APP NFRAMES>",
+        "grsim <apps|policies|profiles|characterize APP|compare POLICY...|sweep POLICY MB...|sequence POLICY APP NFRAMES|sequence POLICY --profile NAME NFRAMES [--coherence C]|replay FILE POLICY...>",
     );
 }
 
@@ -93,14 +98,141 @@ fn main() {
             sweep(&cfg, policy, &sizes);
         }
         Some("sequence") => {
-            if args.len() != 4 {
+            if args.iter().any(|a| a == "--profile") {
+                sequence_profile(&cfg, &args[1..]);
+            } else {
+                if args.len() != 4 {
+                    usage();
+                }
+                let nframes: u32 = args[3].parse().unwrap_or_else(|_| usage());
+                sequence(&cfg, &args[1], &args[2], nframes);
+            }
+        }
+        Some("profiles") => {
+            let rows: Vec<Vec<String>> = GRAPH_PROFILES
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.to_string(),
+                        format!("{}", p.graph().passes().len()),
+                        format!("{}", p.frames),
+                        format!("{:.2}", p.default_coherence),
+                        p.description.to_string(),
+                    ]
+                })
+                .collect();
+            table::print(&["profile", "passes", "frames", "coherence", "description"], &rows);
+        }
+        Some("replay") => {
+            if args.len() < 3 {
                 usage();
             }
-            let nframes: u32 = args[3].parse().unwrap_or_else(|_| usage());
-            sequence(&cfg, &args[1], &args[2], nframes);
+            replay(&cfg, &args[1], &args[2..]);
         }
         _ => usage(),
     }
+}
+
+/// Resolves a built-in frame-graph profile (optionally re-dialled to an
+/// explicit coherence) or exits with the stable user-error code (1).
+fn require_graph(profile_name: &str, coherence: Option<f64>) -> FrameGraph {
+    let Some(profile) = grsynth::graph_profile(profile_name) else {
+        cli::user_error(&format!("unknown profile {profile_name}; try `grsim profiles`"));
+    };
+    let graph = match coherence {
+        Some(c) => profile.graph_with_coherence(c),
+        None => profile.graph(),
+    };
+    if let Err(e) = graph.validate() {
+        cli::user_error(&format!("invalid graph: {e}"));
+    }
+    graph
+}
+
+/// The `sequence POLICY --profile NAME NFRAMES [--coherence C]` form:
+/// persistent-LLC replay of a frame-graph workload, where the coherence
+/// knob controls how much of the per-frame working set drifts.
+fn sequence_profile(cfg: &ExperimentConfig, rest: &[String]) {
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut profile_name = None;
+    let mut coherence = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => profile_name = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--coherence" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                coherence = Some(v.parse::<f64>().unwrap_or_else(|_| usage()));
+            }
+            s if s.starts_with("--") => usage(),
+            _ => positionals.push(arg),
+        }
+    }
+    let (policy, nframes) = match positionals[..] {
+        [policy, nframes] => (policy, nframes.parse::<u32>().unwrap_or_else(|_| usage())),
+        _ => usage(),
+    };
+    require_policy(cfg, policy);
+    let name = profile_name.expect("--profile present by dispatch");
+    let graph = require_graph(&name, coherence);
+    let warm = grbench::run_graph_sequence(policy, &graph, 0..nframes, 8, cfg);
+    let opts = RunOptions { policies: vec![policy.clone()], ..RunOptions::misses(&[]) };
+    let mut rows = Vec::new();
+    let mut prev = 0u64;
+    let mut cold_total = 0u64;
+    for frame in 0..nframes {
+        let cold =
+            grbench::simulate_graph_cell(policy, &graph, frame, &opts, cfg).stats.total_misses();
+        cold_total += cold;
+        let cum = warm[frame as usize].total_misses();
+        let delta = cum - prev;
+        prev = cum;
+        rows.push(vec![
+            format!("{frame}"),
+            format!("{cold}"),
+            format!("{delta}"),
+            table::pct(1.0 - delta as f64 / cold.max(1) as f64),
+        ]);
+    }
+    let warm_total = prev;
+    rows.push(vec![
+        "ALL".into(),
+        format!("{cold_total}"),
+        format!("{warm_total}"),
+        table::pct(1.0 - warm_total as f64 / cold_total.max(1) as f64),
+    ]);
+    println!(
+        "{policy} on profile {} (coherence {:.2}) — persistent LLC across {nframes} frames",
+        graph.name(),
+        graph.frame_coherence(),
+    );
+    table::print(&["frame", "cold misses", "warm misses", "saved"], &rows);
+}
+
+/// Replays an imported `.gtrace` file through one or more policies.
+fn replay(cfg: &ExperimentConfig, path: &str, policies: &[String]) {
+    for p in policies {
+        require_policy(cfg, p);
+    }
+    let trace = grtrace::import_file(path)
+        .unwrap_or_else(|e| cli::user_error(&format!("cannot import {path}: {e}")));
+    println!(
+        "{path} — app {:?} frame {} ({} accesses), replayed on the 8 MB-equivalent LLC",
+        trace.app(),
+        trace.frame(),
+        trace.len()
+    );
+    let mut rows = Vec::new();
+    for p in policies {
+        let opts = RunOptions { policies: vec![p.clone()], ..RunOptions::misses(&[]) };
+        let cell = grbench::simulate_trace_cell(p, &trace, &opts, cfg);
+        rows.push(vec![
+            p.clone(),
+            format!("{}", cell.stats.total_misses()),
+            table::pct(cell.stats.total_hits() as f64 / cell.stats.total_accesses().max(1) as f64),
+        ]);
+    }
+    table::print(&["policy", "misses", "hit rate"], &rows);
 }
 
 /// Multi-frame replay through one persistent LLC (no inter-frame flush),

@@ -2,24 +2,43 @@
 //!
 //! ```text
 //! cargo run -p grbench --release --bin tracegen -- dump AssnCreed 0 quarter /tmp/ac0.grtr
+//! cargo run -p grbench --release --bin tracegen -- dump-profile deferred 0 tiny 0.5 /tmp/d0.gtrace
 //! cargo run -p grbench --release --bin tracegen -- replay /tmp/ac0.grtr GSPC+UCD
 //! cargo run -p grbench --release --bin tracegen -- info /tmp/ac0.grtr
 //! ```
+//!
+//! `dump-profile` streams the frame band by band straight to the file —
+//! the trace is never materialized — and `replay`/`info` go through the
+//! validating [`grtrace::import`] reader, so they give typed, actionable
+//! errors on malformed files instead of a panic.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufWriter, Write};
 
 use grcache::{annotate_next_use, Llc, LlcConfig};
-use grsynth::{AppProfile, Scale};
+use grsynth::{AppProfile, GraphStream, Scale};
 use grtrace::io as trace_io;
+use grtrace::{AccessSource, Trace};
 use gspc::registry;
 
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  tracegen dump <app> <frame> <full|half|quarter|tiny> <file>");
+    eprintln!(
+        "  tracegen dump-profile <profile> <frame> <full|half|quarter|tiny> <coherence> <file>"
+    );
     eprintln!("  tracegen replay <file> <policy> [llc-kb]");
     eprintln!("  tracegen info <file>");
     std::process::exit(2);
+}
+
+/// Opens and validates a `.gtrace`/`.grtr` file, exiting with code 1 and
+/// the typed import error on any malformation.
+fn import_or_die(path: &str) -> Trace {
+    grtrace::import_file(path).unwrap_or_else(|e| {
+        eprintln!("cannot import {path}: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn main() {
@@ -38,13 +57,39 @@ fn main() {
             trace_io::write(BufWriter::new(file), &trace).expect("write trace");
             println!("wrote {} accesses to {path}", trace.len());
         }
+        Some("dump-profile") => {
+            let [_, name, frame, scale, coherence, path] = &args[..] else { usage() };
+            let profile = grsynth::graph_profile(name).unwrap_or_else(|| {
+                eprintln!("unknown profile {name}");
+                std::process::exit(1);
+            });
+            let frame: u32 = frame.parse().unwrap_or_else(|_| usage());
+            let scale = Scale::from_name(scale).unwrap_or_else(|| usage());
+            let coherence: f64 = coherence.parse().unwrap_or_else(|_| usage());
+            let graph = profile.graph_with_coherence(coherence);
+            if let Err(e) = graph.validate() {
+                eprintln!("invalid graph: {e}");
+                std::process::exit(1);
+            }
+            let mut stream = GraphStream::new(&graph, frame, scale);
+            let file = File::create(path).expect("create output file");
+            let mut writer = trace_io::TraceWriter::new(BufWriter::new(file), graph.name(), frame)
+                .expect("write trace header");
+            let mut count = 0u64;
+            while stream.advance().expect("graph synthesis cannot fail") {
+                for a in stream.chunk().accesses {
+                    writer.push(a).expect("write trace record");
+                    count += 1;
+                }
+            }
+            writer.finish().expect("finalize trace").flush().expect("flush trace");
+            println!("wrote {count} accesses to {path}");
+        }
         Some("replay") => {
             if args.len() < 3 {
                 usage();
             }
-            let trace =
-                trace_io::read(BufReader::new(File::open(&args[1]).expect("open trace file")))
-                    .expect("parse trace");
+            let trace = import_or_die(&args[1]);
             let kb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(512);
             let cfg = LlcConfig { size_bytes: kb * 1024, ways: 16, banks: 4, sample_period: 64 };
             let policy = registry::create(&args[2], &cfg).unwrap_or_else(|| {
@@ -69,9 +114,7 @@ fn main() {
             if args.len() < 2 {
                 usage();
             }
-            let trace =
-                trace_io::read(BufReader::new(File::open(&args[1]).expect("open trace file")))
-                    .expect("parse trace");
+            let trace = import_or_die(&args[1]);
             println!("app={} frame={} accesses={}", trace.app(), trace.frame(), trace.len());
             for s in grtrace::StreamId::ALL {
                 let n = trace.stats().accesses(s);

@@ -28,7 +28,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use grcache::annotate_next_use;
-use grsynth::{AppProfile, FrameRenderer, FrameStream, FrameWork, Scale};
+use grsynth::{
+    AppProfile, FrameGraph, FrameRenderer, FrameStream, FrameWork, GraphRenderer, GraphStream,
+    Scale,
+};
 use grtrace::io::{ChunkedReader, TraceWriter};
 use grtrace::{AccessSource, Trace};
 
@@ -97,7 +100,9 @@ fn store_next_use(path: &Path, nu: &[u64]) {
     })();
 }
 
-type Key = (&'static str, u32, Scale);
+/// Cache key: workload identity (app abbreviation or frame-graph cache
+/// key), frame, scale.
+type Key = (String, u32, Scale);
 type Slot = Arc<OnceLock<Arc<FrameData>>>;
 
 fn cache() -> &'static Mutex<HashMap<Key, Slot>> {
@@ -122,7 +127,7 @@ fn disk_dir() -> Option<&'static PathBuf> {
 /// of duplicating it; callers asking for different frames proceed
 /// independently.
 pub fn frame_data(app: &AppProfile, frame: u32, scale: Scale) -> Arc<FrameData> {
-    let key: Key = (app.abbrev, frame, scale);
+    let key: Key = (app.abbrev.to_string(), frame, scale);
     let slot = {
         let mut map = cache().lock().expect("frame cache poisoned");
         Arc::clone(map.entry(key).or_default())
@@ -226,6 +231,92 @@ pub fn disk_source(
     Ok(Some(DiskSource { reader, work }))
 }
 
+/// The synthesized data for `(graph, frame, scale)` — the frame-graph
+/// analogue of [`frame_data`]. The cache key includes the graph's
+/// [`FrameGraph::cache_key`] fingerprint, so two graphs sharing a name but
+/// differing in any knob (coherence, passes, resolution, seed) occupy
+/// distinct slots, in memory and on disk.
+pub fn graph_frame_data(graph: &FrameGraph, frame: u32, scale: Scale) -> Arc<FrameData> {
+    let key: Key = (graph.cache_key(), frame, scale);
+    let slot = {
+        let mut map = cache().lock().expect("frame cache poisoned");
+        Arc::clone(map.entry(key).or_default())
+    };
+    Arc::clone(slot.get_or_init(|| {
+        if let Some(data) = graph_load_from_disk(graph, frame, scale) {
+            return Arc::new(data);
+        }
+        let (trace, work) = GraphRenderer::new(graph, frame, scale).render_with_work();
+        let data = FrameData {
+            trace: Arc::new(trace),
+            work,
+            next_use: OnceLock::new(),
+            nu_path: graph_nu_path(graph, frame, scale),
+        };
+        graph_store_to_disk(graph, frame, scale, &data);
+        Arc::new(data)
+    }))
+}
+
+/// Ensures frame `(graph, frame, scale)` exists in the on-disk tier,
+/// streamed band by band like [`ensure_on_disk`]. Returns the trace path,
+/// or `None` when `GR_TRACE_CACHE` is unset.
+pub fn graph_ensure_on_disk(
+    graph: &FrameGraph,
+    frame: u32,
+    scale: Scale,
+) -> io::Result<Option<PathBuf>> {
+    let Some(dir) = disk_dir() else { return Ok(None) };
+    let stem = graph_file_stem(graph, frame, scale);
+    let trace_path = dir.join(format!("{stem}.grtr"));
+    let work_path = dir.join(format!("{stem}.work"));
+    let valid = std::fs::File::open(&trace_path)
+        .ok()
+        .and_then(|f| ChunkedReader::new(io::BufReader::new(f), 1).ok())
+        .is_some_and(|r| r.app() == graph.name() && r.frame() == frame);
+    if valid && work_path.exists() {
+        return Ok(Some(trace_path));
+    }
+    let mut stream = GraphStream::new(graph, frame, scale);
+    let file = std::fs::File::create(&trace_path)?;
+    let mut writer = TraceWriter::new(io::BufWriter::new(file), graph.name(), frame)?;
+    while stream.advance()? {
+        for a in stream.chunk().accesses {
+            writer.push(a)?;
+        }
+    }
+    writer.finish()?.flush()?;
+    std::fs::write(&work_path, write_work(&stream.work()))?;
+    Ok(Some(trace_path))
+}
+
+/// Opens frame `(graph, frame, scale)` as a streaming [`AccessSource`] from
+/// the disk tier — the frame-graph analogue of [`disk_source`]. Returns
+/// `None` when `GR_TRACE_CACHE` is unset.
+pub fn graph_disk_source(
+    graph: &FrameGraph,
+    frame: u32,
+    scale: Scale,
+    with_next_use: bool,
+) -> io::Result<Option<DiskSource>> {
+    let Some(trace_path) = graph_ensure_on_disk(graph, frame, scale)? else { return Ok(None) };
+    let work_path = trace_path.with_extension("work");
+    let work = read_work(&std::fs::read(&work_path)?)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt .work sidecar"))?;
+    let file = std::fs::File::open(&trace_path)?;
+    let mut reader = ChunkedReader::new(io::BufReader::new(file), stream_chunk())?;
+    if with_next_use {
+        let nu = trace_path.with_extension("nu");
+        let valid = nu_sidecar_valid(&nu, reader.remaining());
+        if !valid {
+            let data = graph_frame_data(graph, frame, scale);
+            store_next_use(&nu, data.next_use());
+        }
+        reader = reader.with_next_use(io::BufReader::new(std::fs::File::open(&nu)?))?;
+    }
+    Ok(Some(DiskSource { reader, work }))
+}
+
 /// Drops every cached frame (tests use this to exercise cold paths).
 pub fn clear() {
     cache().lock().expect("frame cache poisoned").clear();
@@ -235,7 +326,47 @@ fn file_stem(app: &AppProfile, frame: u32, scale: Scale) -> String {
     format!("{}_f{}_s{}", app.abbrev, frame, scale.divisor())
 }
 
+fn graph_file_stem(graph: &FrameGraph, frame: u32, scale: Scale) -> String {
+    format!("{}_f{}_s{}", graph.cache_key(), frame, scale.divisor())
+}
+
 const WORK_MAGIC: &[u8; 4] = b"GRWK";
+
+/// The `.nu` sidecar path for a frame-graph frame, when the disk tier is
+/// active.
+fn graph_nu_path(graph: &FrameGraph, frame: u32, scale: Scale) -> Option<PathBuf> {
+    let dir = disk_dir()?;
+    Some(dir.join(format!("{}.nu", graph_file_stem(graph, frame, scale))))
+}
+
+fn graph_load_from_disk(graph: &FrameGraph, frame: u32, scale: Scale) -> Option<FrameData> {
+    let dir = disk_dir()?;
+    let stem = graph_file_stem(graph, frame, scale);
+    let trace_file = std::fs::File::open(dir.join(format!("{stem}.grtr"))).ok()?;
+    let trace = grtrace::io::read(io::BufReader::new(trace_file)).ok()?;
+    if trace.app() != graph.name() || trace.frame() != frame {
+        return None;
+    }
+    let work = read_work(&std::fs::read(dir.join(format!("{stem}.work"))).ok()?)?;
+    Some(FrameData {
+        trace: Arc::new(trace),
+        work,
+        next_use: OnceLock::new(),
+        nu_path: graph_nu_path(graph, frame, scale),
+    })
+}
+
+fn graph_store_to_disk(graph: &FrameGraph, frame: u32, scale: Scale, data: &FrameData) {
+    let Some(dir) = disk_dir() else { return };
+    let stem = graph_file_stem(graph, frame, scale);
+    let _ = (|| -> io::Result<()> {
+        let file = std::fs::File::create(dir.join(format!("{stem}.grtr")))?;
+        let mut writer = io::BufWriter::new(file);
+        grtrace::io::write(&mut writer, &data.trace)?;
+        writer.flush()?;
+        std::fs::write(dir.join(format!("{stem}.work")), write_work(&data.work))
+    })();
+}
 
 /// The `.nu` sidecar path for a frame, when the disk tier is active.
 fn nu_path(app: &AppProfile, frame: u32, scale: Scale) -> Option<PathBuf> {
@@ -329,6 +460,23 @@ mod tests {
         let app = AppProfile::by_abbrev("DMC").unwrap();
         let data = frame_data(&app, 0, Scale::Tiny);
         assert_eq!(**data.next_use(), annotate_next_use(data.trace.accesses()));
+    }
+
+    #[test]
+    fn graph_cache_is_keyed_by_fingerprint() {
+        let profile = grsynth::graph_profile("postfx").unwrap();
+        let base = profile.graph();
+        let a = graph_frame_data(&base, 0, Scale::Tiny);
+        let b = graph_frame_data(&base, 0, Scale::Tiny);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let (direct, work) = GraphRenderer::new(&base, 0, Scale::Tiny).render_with_work();
+        assert_eq!(*a.trace, direct);
+        assert_eq!(a.work, work);
+        // Same name, different coherence: must occupy a distinct slot.
+        let tweaked = profile.graph_with_coherence(0.1);
+        let c = graph_frame_data(&tweaked, 0, Scale::Tiny);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_ne!(*a.trace, *c.trace);
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod table;
 
 pub use config::ExperimentConfig;
 pub use runner::{
-    run_frame_sequence, run_workload, simulate_cell, AppAgg, CellResult, RunOptions, RunPerf,
-    WorkloadResults,
+    run_frame_sequence, run_graph_sequence, run_workload, simulate_cell, simulate_graph_cell,
+    simulate_trace_cell, AppAgg, CellResult, RunOptions, RunPerf, WorkloadResults,
 };

@@ -28,7 +28,8 @@ use grcache::{
 };
 use grdram::TimingParams;
 use grgpu::{GpuConfig, Workload};
-use grsynth::{AppProfile, FrameWork};
+use grsynth::{AppProfile, FrameGraph, FrameWork};
+use grtrace::Trace;
 use gspc::registry;
 use gspc::registry::PolicyVisitor;
 
@@ -383,6 +384,141 @@ pub fn simulate_cell(
     run_cell(app, frame, policy_name, cfg.llc(opts.llc_paper_mb), opts, cfg)
 }
 
+/// Replays one `(policy, graph, frame)` cell — the frame-graph analogue of
+/// [`simulate_cell`]. Frames come from the same process-wide
+/// [`crate::framecache`] (keyed by the graph's fingerprint) and replay
+/// through the identical monomorphized/boxed, streamed/in-memory paths, so
+/// every determinism guarantee of the app grid carries over.
+///
+/// # Panics
+///
+/// Panics when `policy_name` is not in the registry or `graph` fails
+/// [`FrameGraph::validate`].
+pub fn simulate_graph_cell(
+    policy_name: &str,
+    graph: &FrameGraph,
+    frame: u32,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellResult {
+    let llc_cfg = cfg.llc(opts.llc_paper_mb);
+    if opts.boxed {
+        let policy = registry::create(policy_name, &llc_cfg)
+            .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+        return graph_cell_with(policy, policy_name, graph, frame, llc_cfg, opts, cfg);
+    }
+    struct Visit<'a> {
+        graph: &'a FrameGraph,
+        frame: u32,
+        policy_name: &'a str,
+        llc_cfg: LlcConfig,
+        opts: &'a RunOptions,
+        cfg: &'a ExperimentConfig,
+    }
+    impl PolicyVisitor for Visit<'_> {
+        type Output = CellResult;
+        fn visit<P: Policy + 'static>(self, policy: P) -> CellResult {
+            graph_cell_with(
+                policy,
+                self.policy_name,
+                self.graph,
+                self.frame,
+                self.llc_cfg,
+                self.opts,
+                self.cfg,
+            )
+        }
+    }
+    registry::with_policy(
+        policy_name,
+        &llc_cfg,
+        Visit { graph, frame, policy_name, llc_cfg, opts, cfg },
+    )
+    .unwrap_or_else(|| panic!("unknown policy {policy_name}"))
+}
+
+fn graph_cell_with<P: Policy + 'static>(
+    policy: P,
+    policy_name: &str,
+    graph: &FrameGraph,
+    frame: u32,
+    llc_cfg: LlcConfig,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellResult {
+    let needs_nu = registry::needs_next_use(policy_name);
+    if opts.streamed {
+        let disk = framecache::graph_disk_source(graph, frame, cfg.scale, needs_nu)
+            .expect("streaming disk tier failed");
+        if let Some(mut src) = disk {
+            return replay(llc_cfg, policy, &mut src.reader, &src.work, opts);
+        }
+    }
+    let data = framecache::graph_frame_data(graph, frame, cfg.scale);
+    if needs_nu {
+        let ann = data.next_use().clone();
+        replay(llc_cfg, policy, &mut data.trace.source_annotated(&ann), &data.work, opts)
+    } else {
+        replay(llc_cfg, policy, &mut data.trace.source(), &data.work, opts)
+    }
+}
+
+/// Replays an externally supplied trace — e.g. one imported from a
+/// `.gtrace` file via [`grtrace::import_file`] — through one policy with
+/// the same observer composition as every other cell. The trace carries no
+/// synthesis work counters, so timing runs report zero shading work (the
+/// LLC access count still feeds the memory model).
+///
+/// Belady-annotated policies get their next-use annotation computed inline
+/// per call; there is no cross-call cache for external traces.
+///
+/// # Panics
+///
+/// Panics when `policy_name` is not in the registry.
+pub fn simulate_trace_cell(
+    policy_name: &str,
+    trace: &Trace,
+    opts: &RunOptions,
+    cfg: &ExperimentConfig,
+) -> CellResult {
+    let llc_cfg = cfg.llc(opts.llc_paper_mb);
+    if opts.boxed {
+        let policy = registry::create(policy_name, &llc_cfg)
+            .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+        return trace_cell_with(policy, policy_name, trace, llc_cfg, opts);
+    }
+    struct Visit<'a> {
+        trace: &'a Trace,
+        policy_name: &'a str,
+        llc_cfg: LlcConfig,
+        opts: &'a RunOptions,
+    }
+    impl PolicyVisitor for Visit<'_> {
+        type Output = CellResult;
+        fn visit<P: Policy + 'static>(self, policy: P) -> CellResult {
+            trace_cell_with(policy, self.policy_name, self.trace, self.llc_cfg, self.opts)
+        }
+    }
+    registry::with_policy(policy_name, &llc_cfg, Visit { trace, policy_name, llc_cfg, opts })
+        .unwrap_or_else(|| panic!("unknown policy {policy_name}"))
+}
+
+fn trace_cell_with<P: Policy + 'static>(
+    policy: P,
+    policy_name: &str,
+    trace: &Trace,
+    llc_cfg: LlcConfig,
+    opts: &RunOptions,
+) -> CellResult {
+    let work = FrameWork { raw_accesses: trace.len() as u64, ..FrameWork::default() };
+    if registry::needs_next_use(policy_name) {
+        let ann = grcache::annotate_next_use(trace.accesses());
+        replay(llc_cfg, policy, &mut trace.source_annotated(&ann), &work, opts)
+    } else {
+        replay(llc_cfg, policy, &mut trace.source(), &work, opts)
+    }
+}
+
 fn resolve_threads(explicit: Option<usize>) -> usize {
     explicit
         .or_else(|| std::env::var("GR_THREADS").ok().and_then(|v| v.parse().ok()))
@@ -735,6 +871,87 @@ fn sequence_loop<P: Policy, O: LlcObserver>(
     snapshots
 }
 
+/// Replays consecutive frames of a [`FrameGraph`] through one persistent
+/// LLC — the frame-graph analogue of [`run_frame_sequence`]. With the
+/// graph's coherence knob below 1.0 the per-frame working set drifts, so
+/// the warm-LLC savings this measures decay with (1 − coherence).
+pub fn run_graph_sequence(
+    policy_name: &str,
+    graph: &FrameGraph,
+    frames: std::ops::Range<u32>,
+    llc_paper_mb: u64,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
+    let llc_cfg = cfg.llc(llc_paper_mb);
+    if boxed_from_env() {
+        let policy = registry::create(policy_name, &llc_cfg)
+            .unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+        return graph_sequence_with(policy, policy_name, graph, frames, llc_cfg, cfg);
+    }
+    struct Visit<'a> {
+        policy_name: &'a str,
+        graph: &'a FrameGraph,
+        frames: std::ops::Range<u32>,
+        llc_cfg: LlcConfig,
+        cfg: &'a ExperimentConfig,
+    }
+    impl PolicyVisitor for Visit<'_> {
+        type Output = Vec<LlcStats>;
+        fn visit<P: Policy + 'static>(self, policy: P) -> Vec<LlcStats> {
+            graph_sequence_with(
+                policy,
+                self.policy_name,
+                self.graph,
+                self.frames,
+                self.llc_cfg,
+                self.cfg,
+            )
+        }
+    }
+    registry::with_policy(policy_name, &llc_cfg, Visit { policy_name, graph, frames, llc_cfg, cfg })
+        .unwrap_or_else(|| panic!("unknown policy {policy_name}"))
+}
+
+fn graph_sequence_with<P: Policy>(
+    policy: P,
+    policy_name: &str,
+    graph: &FrameGraph,
+    frames: std::ops::Range<u32>,
+    llc_cfg: LlcConfig,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
+    if check_from_env() {
+        let inv = InvariantObserver::new(&llc_cfg, policy.state_bits_per_block());
+        let llc = Llc::with_observer(llc_cfg, policy, (inv, NullObserver));
+        graph_sequence_loop(llc, policy_name, graph, frames, cfg)
+    } else {
+        graph_sequence_loop(Llc::new(llc_cfg, policy), policy_name, graph, frames, cfg)
+    }
+}
+
+fn graph_sequence_loop<P: Policy, O: LlcObserver>(
+    mut llc: Llc<P, O>,
+    policy_name: &str,
+    graph: &FrameGraph,
+    frames: std::ops::Range<u32>,
+    cfg: &ExperimentConfig,
+) -> Vec<LlcStats> {
+    let needs_nu = registry::needs_next_use(policy_name);
+    let mut snapshots = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let data = framecache::graph_frame_data(graph, frame, cfg.scale);
+        let served = if needs_nu {
+            let ann = data.next_use().clone();
+            llc.run_source(&mut data.trace.source_annotated(&ann))
+        } else {
+            llc.run_source(&mut data.trace.source())
+        };
+        served.expect("in-memory replay cannot fail");
+        snapshots.push(llc.stats().clone());
+    }
+    snapshots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -878,6 +1095,52 @@ mod tests {
         assert!(snap.threads.is_some(), "from_env must pin threads");
         assert_eq!(snap.policies, vec!["NRU".to_string()]);
         assert!(RunOptions::misses(&["NRU"]).threads.is_none());
+    }
+
+    /// A frame-graph cell replays identically across mono/boxed dispatch,
+    /// and an imported-style trace cell agrees with the graph cell that
+    /// produced the trace.
+    #[test]
+    fn graph_and_trace_cells_agree() {
+        let cfg = tiny_cfg();
+        let graph = grsynth::graph_profile("postfx").expect("builtin profile").graph();
+        for policy in ["DRRIP", "GSPC+UCD", "OPT"] {
+            let opts = RunOptions::misses(&[policy]);
+            let mono = simulate_graph_cell(policy, &graph, 0, &opts, &cfg);
+            let boxed = simulate_graph_cell(
+                policy,
+                &graph,
+                0,
+                &RunOptions { boxed: true, ..opts.clone() },
+                &cfg,
+            );
+            assert_eq!(mono.stats, boxed.stats, "boxed graph cell diverged for {policy}");
+            let data = framecache::graph_frame_data(&graph, 0, cfg.scale);
+            let via_trace = simulate_trace_cell(policy, &data.trace, &opts, &cfg);
+            assert_eq!(mono.stats, via_trace.stats, "trace cell diverged for {policy}");
+        }
+    }
+
+    /// A persistent-LLC graph sequence saves misses versus independent
+    /// cold-start frames, and its cumulative snapshots are monotone.
+    #[test]
+    fn graph_sequence_warm_llc_saves_misses() {
+        let cfg = tiny_cfg();
+        let graph = grsynth::graph_profile("postfx").expect("builtin profile").graph();
+        let seq = run_graph_sequence("DRRIP", &graph, 0..2, 8, &cfg);
+        assert_eq!(seq.len(), 2);
+        assert!(seq[1].total_misses() > seq[0].total_misses(), "snapshots are cumulative");
+        let cold: u64 = (0..2)
+            .map(|f| {
+                simulate_graph_cell("DRRIP", &graph, f, &RunOptions::misses(&["DRRIP"]), &cfg)
+                    .stats
+                    .total_misses()
+            })
+            .sum();
+        assert!(
+            seq[1].total_misses() < cold,
+            "warm LLC must save misses versus per-frame cold starts"
+        );
     }
 
     /// The boxed fallback and the monomorphized visitor path must agree

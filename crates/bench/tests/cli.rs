@@ -67,6 +67,98 @@ fn grsim_exit_codes_are_stable_across_subcommands() {
     }
 }
 
+/// `grsim profiles` lists every built-in frame-graph profile.
+#[test]
+fn grsim_profiles_lists_builtins() {
+    let out = grsim().args(["profiles"]).output().expect("spawn grsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    for p in grsynth::GRAPH_PROFILES {
+        assert!(stdout.contains(p.name), "missing profile {}:\n{stdout}", p.name);
+    }
+}
+
+/// The frame-graph sequence form prints the same persistent-LLC table as
+/// the app form, and the coherence flag is accepted.
+#[test]
+fn grsim_sequence_profile_runs_end_to_end() {
+    let out = grsim()
+        .args(["sequence", "GSPC", "--profile", "deferred", "2", "--coherence", "0.3"])
+        .output()
+        .expect("spawn grsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(stdout.contains("persistent LLC"), "missing header:\n{stdout}");
+    assert!(stdout.contains("coherence 0.30"), "missing coherence echo:\n{stdout}");
+    assert!(stdout.contains("ALL"), "missing summary row:\n{stdout}");
+}
+
+/// Frame-graph and import error paths keep the stable exit codes: 2 for
+/// malformed invocations, 1 for well-formed ones naming something unknown
+/// or a malformed file.
+#[test]
+fn grsim_profile_and_replay_exit_codes_are_stable() {
+    let dir = std::env::temp_dir().join("grsim-cli-replay");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bad = dir.join("bad.gtrace");
+    std::fs::write(&bad, b"XXXXnot a trace").expect("write bad file");
+    let bad = bad.to_str().expect("utf8 path");
+    let cases: &[(&[&str], i32, &str)] = &[
+        (&["sequence", "GSPC", "--profile"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["sequence", "GSPC", "--profile", "deferred"], grbench::cli::EXIT_USAGE, "usage:"),
+        (
+            &["sequence", "GSPC", "--profile", "deferred", "many"],
+            grbench::cli::EXIT_USAGE,
+            "usage:",
+        ),
+        (
+            &["sequence", "GSPC", "--profile", "NotAProfile", "2"],
+            grbench::cli::EXIT_USER_ERROR,
+            "unknown profile",
+        ),
+        (
+            &["sequence", "PLRU", "--profile", "deferred", "2"],
+            grbench::cli::EXIT_USER_ERROR,
+            "unknown policy",
+        ),
+        (
+            &["sequence", "GSPC", "--profile", "deferred", "2", "--coherence", "1.5"],
+            grbench::cli::EXIT_USER_ERROR,
+            "invalid graph",
+        ),
+        (&["replay"], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["replay", bad], grbench::cli::EXIT_USAGE, "usage:"),
+        (&["replay", bad, "PLRU"], grbench::cli::EXIT_USER_ERROR, "unknown policy"),
+        (&["replay", bad, "GSPC"], grbench::cli::EXIT_USER_ERROR, "bad magic"),
+    ];
+    for (args, code, fragment) in cases {
+        let out = grsim().args(*args).output().expect("spawn grsim");
+        assert_eq!(out.status.code(), Some(*code), "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(fragment), "args {args:?}: stderr {stderr:?}");
+    }
+}
+
+/// A profile dumped by `tracegen dump-profile` replays through `grsim
+/// replay` — the full export → import → replay loop as real processes.
+#[test]
+fn grsim_replays_dumped_profile_trace() {
+    let dir = std::env::temp_dir().join("grsim-cli-roundtrip");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("postfx0.gtrace");
+    let path = path.to_str().expect("utf8 path");
+    let out = Command::new(env!("CARGO_BIN_EXE_tracegen"))
+        .args(["dump-profile", "postfx", "0", "tiny", "0.8", path])
+        .output()
+        .expect("spawn tracegen");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = grsim().args(["replay", path, "GSPC", "DRRIP"]).output().expect("spawn grsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(stdout.contains("postfx"), "missing app echo:\n{stdout}");
+    assert!(stdout.contains("GSPC") && stdout.contains("DRRIP"), "missing rows:\n{stdout}");
+}
+
 /// `export_json` emits a parseable document whose `interframe` section has
 /// the warm-vs-cold miss counts the persistent-LLC mode promises.
 #[test]

@@ -111,9 +111,16 @@ fn run_conformance(args: &[String]) {
     let apps: usize = parse_flag(args, "--apps").unwrap_or(2);
     let mb: u64 = parse_flag(args, "--mb").unwrap_or(8);
     let report = conform::run(&cfg, apps, mb);
-    println!("conformance: {} checks, {} failure(s)", report.checks, report.failures.len());
-    if !report.is_pass() {
-        for f in &report.failures {
+    let profiles = conform::run_profiles(mb);
+    println!(
+        "conformance: {} checks, {} failure(s); profiles: {} checks, {} failure(s)",
+        report.checks,
+        report.failures.len(),
+        profiles.checks,
+        profiles.failures.len()
+    );
+    if !report.is_pass() || !profiles.is_pass() {
+        for f in report.failures.iter().chain(&profiles.failures) {
             eprintln!("FAIL {f}");
         }
         std::process::exit(1);
@@ -200,6 +207,7 @@ fn run_invariants() {
             );
         }
     }
+    run_profile_invariants(&cfg, &policies);
     let mut failed = false;
     for (path, ratio) in runs {
         if ratio > 3.0 {
@@ -209,5 +217,76 @@ fn run_invariants() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Frame-graph profile sweep: for every built-in profile, the streamed
+/// generator must emit exactly the materialized render, the `.gtrace`
+/// export must import back bit-identically, and frame-0 replay stats must
+/// agree across mono/boxed dispatch and every probe kernel the host
+/// supports.
+fn run_profile_invariants(cfg: &ExperimentConfig, policies: &[String]) {
+    use grbench::simulate_graph_cell;
+    use grsynth::{GraphRenderer, GraphStream, GRAPH_PROFILES};
+    use grtrace::AccessSource;
+
+    for profile in GRAPH_PROFILES {
+        let graph = profile.graph();
+        let trace = GraphRenderer::new(&graph, 0, cfg.scale).render();
+
+        let mut streamed = Vec::with_capacity(trace.len());
+        let mut source = GraphStream::new(&graph, 0, cfg.scale);
+        while source.advance().expect("synthesized source cannot fail") {
+            streamed.extend_from_slice(source.chunk().accesses);
+        }
+        assert_eq!(
+            streamed,
+            trace.accesses(),
+            "{}: streamed generator diverged from materialized render",
+            profile.name
+        );
+
+        let mut bytes = Vec::new();
+        grtrace::io::write(&mut bytes, &trace).expect("in-memory export cannot fail");
+        let imported = grtrace::import(&bytes[..])
+            .unwrap_or_else(|e| panic!("{}: exported trace failed validation: {e}", profile.name));
+        assert_eq!(
+            imported.accesses(),
+            trace.accesses(),
+            "{}: .gtrace round trip changed the accesses",
+            profile.name
+        );
+
+        let base = |boxed: bool, probe: Option<ProbeKind>| RunOptions {
+            boxed,
+            probe,
+            streamed: false,
+            ..RunOptions::misses(&[])
+        };
+        for name in policies {
+            let reference =
+                simulate_graph_cell(name, &graph, 0, &base(false, Some(ProbeKind::Scalar)), cfg);
+            for kind in ProbeKind::all_available() {
+                for boxed in [false, true] {
+                    if !boxed && kind == ProbeKind::Scalar {
+                        continue; // the reference itself
+                    }
+                    let r = simulate_graph_cell(name, &graph, 0, &base(boxed, Some(kind)), cfg);
+                    assert_eq!(
+                        reference.stats, r.stats,
+                        "{}/{name}: {kind:?} probe (boxed={boxed}) diverged from scalar/mono",
+                        profile.name
+                    );
+                }
+            }
+        }
+        println!(
+            "invariants[profile/{}]: stream == render ({} accesses), round trip identical, \
+             {} policies x {} kernels x mono/boxed identical",
+            profile.name,
+            trace.len(),
+            policies.len(),
+            ProbeKind::all_available().len()
+        );
     }
 }

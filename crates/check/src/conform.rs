@@ -20,12 +20,14 @@
 //!   loudly.
 //!
 //! The panel, the ceilings, and the goldens all live in the registry
-//! metadata ([`gspc::registry::Conformance`]); this module carries no
-//! policy names of its own.
+//! metadata ([`gspc::registry::Conformance`]); the only policy names this
+//! module spells itself are the pinned DRRIP/GSPC fixtures in the
+//! frame-graph profile golden table ([`run_profiles`]).
 
 use grbench::{framecache, ExperimentConfig};
 use grcache::{Llc, LlcConfig, LlcStats};
-use grsynth::{AppProfile, Scale};
+use grsynth::{AppProfile, GraphRenderer, Scale, GRAPH_PROFILES};
+use grtrace::StreamId;
 use gspc::registry::{self, PolicyEntry};
 
 use crate::optcheck::opt_misses;
@@ -161,6 +163,143 @@ pub fn run(cfg: &ExperimentConfig, apps: usize, paper_mb: u64) -> ConformanceRep
     report
 }
 
+/// Golden numbers for one built-in frame-graph profile at the pinned
+/// configuration (`Scale::Tiny`, frame 0, default coherence): exact
+/// per-stream access counts out of the generator, and overall DRRIP/GSPC
+/// hit rates on an 8 MB-class LLC within [`GOLDEN_TOLERANCE`].
+struct ProfileGolden {
+    /// Registry name in [`GRAPH_PROFILES`].
+    profile: &'static str,
+    /// Exact access count per stream; streams not listed must be absent.
+    accesses: &'static [(StreamId, u64)],
+    /// Overall DRRIP hit rate at the pinned configuration.
+    drrip_hit_rate: f64,
+    /// Overall GSPC hit rate at the pinned configuration.
+    gspc_hit_rate: f64,
+}
+
+/// Regenerate with
+/// `cargo run --release -p grcheck --example profile_goldens_gen`.
+const PROFILE_GOLDENS: &[ProfileGolden] = &[
+    ProfileGolden {
+        profile: "deferred",
+        accesses: &[
+            (StreamId::Vertex, 87),
+            (StreamId::VertexIndex, 11),
+            (StreamId::HiZ, 960),
+            (StreamId::Z, 960),
+            (StreamId::RenderTarget, 11040),
+            (StreamId::Texture, 6001),
+            (StreamId::Display, 920),
+            (StreamId::Other, 971),
+        ],
+        drrip_hit_rate: 0.3212,
+        gspc_hit_rate: 0.3483,
+    },
+    ProfileGolden {
+        profile: "shadowed",
+        accesses: &[
+            (StreamId::Vertex, 75),
+            (StreamId::VertexIndex, 9),
+            (StreamId::HiZ, 960),
+            (StreamId::Z, 1720),
+            (StreamId::RenderTarget, 1840),
+            (StreamId::Texture, 1705),
+            (StreamId::Display, 920),
+            (StreamId::Other, 1160),
+        ],
+        drrip_hit_rate: 0.2059,
+        gspc_hit_rate: 0.2025,
+    },
+    ProfileGolden {
+        profile: "postfx",
+        accesses: &[
+            (StreamId::Vertex, 50),
+            (StreamId::VertexIndex, 6),
+            (StreamId::HiZ, 960),
+            (StreamId::Z, 960),
+            (StreamId::RenderTarget, 6480),
+            (StreamId::Texture, 3869),
+            (StreamId::Display, 920),
+            (StreamId::Other, 481),
+        ],
+        drrip_hit_rate: 0.4682,
+        gspc_hit_rate: 0.3750,
+    },
+    ProfileGolden {
+        profile: "indirect",
+        accesses: &[
+            (StreamId::Vertex, 11575),
+            (StreamId::VertexIndex, 8373),
+            (StreamId::HiZ, 960),
+            (StreamId::Z, 960),
+            (StreamId::RenderTarget, 5520),
+            (StreamId::Texture, 3360),
+            (StreamId::Display, 920),
+            (StreamId::Other, 1345),
+        ],
+        drrip_hit_rate: 0.6058,
+        gspc_hit_rate: 0.5939,
+    },
+    ProfileGolden {
+        profile: "cpu-like",
+        accesses: &[(StreamId::Other, 23359)],
+        drrip_hit_rate: 0.2281,
+        gspc_hit_rate: 0.2230,
+    },
+];
+
+/// Runs the frame-graph profile golden suite: per-stream access counts
+/// must match exactly (the generator is deterministic, so any drift is a
+/// real behavior change), and the pinned DRRIP/GSPC hit rates must stay
+/// within tolerance. Always evaluated at the pinned `Scale::Tiny`
+/// configuration regardless of `GR_SCALE`.
+pub fn run_profiles(paper_mb: u64) -> ConformanceReport {
+    let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(1) };
+    let llc_cfg = cfg.llc(paper_mb);
+    let mut report = ConformanceReport::default();
+    report.check(
+        PROFILE_GOLDENS.len() == GRAPH_PROFILES.len()
+            && GRAPH_PROFILES.iter().all(|p| PROFILE_GOLDENS.iter().any(|g| g.profile == p.name)),
+        || "profile golden table out of sync with GRAPH_PROFILES".to_string(),
+    );
+
+    for golden in PROFILE_GOLDENS {
+        let Some(profile) = grsynth::graph_profile(golden.profile) else {
+            continue; // already flagged by the sync check above
+        };
+        let trace = GraphRenderer::new(&profile.graph(), 0, Scale::Tiny).render();
+
+        for stream in StreamId::ALL {
+            let got = trace.accesses().iter().filter(|a| a.stream == stream).count() as u64;
+            let expected =
+                golden.accesses.iter().find(|(s, _)| *s == stream).map_or(0, |(_, n)| *n);
+            report.check(got == expected, || {
+                format!(
+                    "{}: {} access count {got} != golden {expected}",
+                    golden.profile,
+                    stream.label()
+                )
+            });
+        }
+
+        for (name, expected) in [("DRRIP", golden.drrip_hit_rate), ("GSPC", golden.gspc_hit_rate)] {
+            let mut llc =
+                Llc::new(llc_cfg, registry::create(name, &llc_cfg).expect("golden policy"));
+            llc.run_source(&mut trace.source()).expect("in-memory replay cannot fail");
+            let stats = llc.stats();
+            let got = stats.total_hits() as f64 / stats.total_accesses() as f64;
+            report.check((got - expected).abs() <= GOLDEN_TOLERANCE, || {
+                format!(
+                    "{}/{name}: hit rate {got:.4} drifted from golden {expected:.4}",
+                    golden.profile
+                )
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +312,17 @@ mod tests {
         let report = run(&cfg, 1, 8);
         assert!(report.checks > 10, "suite ran only {} checks", report.checks);
         assert!(report.is_pass(), "conformance failures:\n{}", report.failures.join("\n"));
+    }
+
+    /// Every built-in frame-graph profile has a golden row, and the whole
+    /// profile suite is green: exact stream counts plus pinned DRRIP/GSPC
+    /// hit rates.
+    #[test]
+    fn profile_goldens_are_green() {
+        let report = run_profiles(8);
+        let expected = 1 + GRAPH_PROFILES.len() as u64 * (StreamId::ALL.len() as u64 + 2);
+        assert_eq!(report.checks, expected, "profile suite skipped checks");
+        assert!(report.is_pass(), "profile golden failures:\n{}", report.failures.join("\n"));
     }
 
     /// The panel comes from registry metadata and keeps its paper

@@ -57,6 +57,11 @@ pub fn alt_llc() -> LlcConfig {
 
 /// Synthesizes the access stream for one fuzz case. Deterministic in
 /// `(seed, case, len)`: the same triple always yields the same trace.
+///
+/// Two generators share the case space: cases `≡ 2 (mod 3)` draw from a
+/// built-in frame-graph profile ([`grsynth::GRAPH_PROFILES`]) at a sampled
+/// coherence level, so the fuzzer exercises the renderer's real pass
+/// structure; the rest use the synthetic multi-stream plan below.
 pub fn synth_trace(seed: u64, case: u32, len: usize) -> Vec<Access> {
     struct Plan {
         stream: StreamId,
@@ -69,6 +74,9 @@ pub fn synth_trace(seed: u64, case: u32, len: usize) -> Vec<Access> {
 
     let mut rng =
         FrameRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(case.into()));
+    if case % 3 == 2 {
+        return graph_trace(&mut rng, len);
+    }
     let nstreams = 2 + (rng.next_u64() % 4) as usize;
     let mut plans: Vec<Plan> = (0..nstreams)
         .map(|i| {
@@ -121,6 +129,22 @@ pub fn synth_trace(seed: u64, case: u32, len: usize) -> Vec<Access> {
         out.push(if write { Access::store(addr, p.stream) } else { Access::load(addr, p.stream) });
     }
     out
+}
+
+/// Draws one fuzz trace from a built-in frame-graph profile: the profile,
+/// its coherence override, and the rendered frame all come off the case's
+/// RNG stream, so profile-backed cases stay as deterministic as the
+/// plan-backed ones. The tiny-scale render is cycled or truncated to honor
+/// the `len` contract.
+fn graph_trace(rng: &mut FrameRng, len: usize) -> Vec<Access> {
+    let profiles = grsynth::GRAPH_PROFILES;
+    let profile = &profiles[(rng.next_u64() % profiles.len() as u64) as usize];
+    let coherence = [0.0, 0.25, 0.5, 0.75, 1.0][(rng.next_u64() % 5) as usize];
+    let frame = (rng.next_u64() % 4) as u32;
+    let graph = profile.graph_with_coherence(coherence);
+    let trace = grsynth::GraphRenderer::new(&graph, frame, grsynth::Scale::Tiny).render();
+    let rendered = trace.accesses();
+    (0..len).map(|i| rendered[i % rendered.len()]).collect()
 }
 
 /// Replays `accesses` through the fast path, a [`RefLlc`] driving a fresh
@@ -424,7 +448,9 @@ mod tests {
     #[test]
     fn gopt_differential_replay_and_shrink() {
         let cfg = fuzz_llc();
-        let mut accesses = synth_trace(9, 2, 3000);
+        // A plan-backed case (≢ 2 mod 3): its locality knob makes the first
+        // block recur quickly, so the injected desync is observable.
+        let mut accesses = synth_trace(9, 3, 3000);
         differential_replay(&cfg, "GOPT", &accesses, Fault::None)
             .unwrap_or_else(|d| panic!("GOPT diverged from its oracle: {} @{}", d.detail, d.index));
         differential_replay(&alt_llc(), "GOPT", &accesses, Fault::None)
@@ -438,6 +464,42 @@ mod tests {
         let repro = shrink(&cfg, "GOPT", &accesses, Fault::MirrorDesyncAfterFirst);
         assert!(repro.len() <= 100, "GOPT reproducer did not shrink: {} left", repro.len());
         assert!(differential_replay(&cfg, "GOPT", &repro, Fault::MirrorDesyncAfterFirst).is_err());
+    }
+
+    /// Cases `≡ 2 (mod 3)` come from the frame-graph registry: they keep
+    /// the `(seed, case, len)` determinism contract, honor the requested
+    /// length, and carry the renderer's multi-stream structure.
+    #[test]
+    fn profile_cases_sample_the_graph_registry() {
+        let a = synth_trace(7, 2, 2500);
+        let b = synth_trace(7, 2, 2500);
+        assert_eq!(a, b, "profile-backed case must be deterministic");
+        assert_eq!(a.len(), 2500, "profile-backed case must honor len");
+        let c = synth_trace(8, 2, 2500);
+        assert_ne!(a, c, "different seeds sample different profile traces");
+        let streams: std::collections::HashSet<StreamId> = a.iter().map(|x| x.stream).collect();
+        assert!(!streams.is_empty());
+    }
+
+    /// Satellite lockdown: a trace drawn from a frame-graph profile case
+    /// still supports the full catch-and-shrink loop — clean replay
+    /// agrees, an injected mirror desync is caught, and ddmin reduces the
+    /// profile trace to a minimal reproducer that still diverges.
+    #[test]
+    fn profile_trace_mutation_is_caught_and_shrinks() {
+        let cfg = fuzz_llc();
+        let mut accesses = synth_trace(13, 2, 3000);
+        differential_replay(&cfg, "GSPC", &accesses, Fault::None)
+            .unwrap_or_else(|d| panic!("clean profile trace diverged: {} @{}", d.detail, d.index));
+
+        let first = accesses[0];
+        accesses.push(Access::load(first.addr, first.stream));
+        let d = differential_replay(&cfg, "GSPC", &accesses, Fault::MirrorDesyncAfterFirst)
+            .expect_err("mirror desync must diverge on a profile trace");
+        assert!(d.index > 0);
+        let repro = shrink(&cfg, "GSPC", &accesses, Fault::MirrorDesyncAfterFirst);
+        assert!(repro.len() <= 100, "profile reproducer did not shrink: {} left", repro.len());
+        assert!(differential_replay(&cfg, "GSPC", &repro, Fault::MirrorDesyncAfterFirst).is_err());
     }
 
     #[test]

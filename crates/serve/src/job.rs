@@ -8,7 +8,7 @@
 //! fields** — every byte is a pure function of the spec, which is what
 //! makes content-addressed caching sound.
 
-use grbench::{simulate_cell, RunOptions};
+use grbench::{simulate_cell, simulate_graph_cell, simulate_trace_cell, CellResult, RunOptions};
 use grcache::{CharReport, LlcStats};
 use grjson::Json;
 use grsynth::AppProfile;
@@ -45,14 +45,44 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
     let mut accesses = 0u64;
     let mut replay_seconds = 0.0f64;
     let mut per_policy = Json::obj();
-    for policy in &spec.policies {
-        let mut apps_obj = Json::obj();
-        for abbrev in &spec.apps {
-            let app = AppProfile::by_abbrev(abbrev).expect("spec apps were validated");
+    if let Some(trace_ref) = &spec.trace {
+        // Imported `.gtrace` workload: one frame, replayed per policy.
+        // The canonical id covers the *content digest*, so re-verify it —
+        // serving results for bytes that changed since submission would
+        // poison the content-addressed cache.
+        let bytes = std::fs::read(&trace_ref.path).expect("trace file readable at execute time");
+        assert_eq!(
+            crate::hash::sha256_hex(&bytes),
+            trace_ref.digest,
+            "trace file {} changed between submit and execute",
+            trace_ref.path
+        );
+        let trace = grtrace::import(&bytes[..]).expect("trace was validated at parse time");
+        for policy in &spec.policies {
+            let cell = simulate_trace_cell(policy, &trace, &opts, &cfg);
+            accesses += cell.accesses;
+            replay_seconds += cell.replay_seconds;
+            let mut stats = LlcStats::new();
+            stats.merge(&cell.stats);
+            let mut chars = CharReport::default();
+            if let Some(c) = &cell.chars {
+                chars.merge(c);
+            }
+            let mut workload_obj = Json::obj();
+            workload_obj.set(trace_ref.app.clone(), stats_entry(&stats, &chars, spec.characterize));
+            per_policy.set(policy.clone(), workload_obj);
+        }
+    } else if let Some(name) = &spec.profile {
+        // Frame-graph profile workload: same per-frame aggregation shape
+        // as the app grid, keyed by the profile name.
+        let profile = grsynth::graph_profile(name).expect("spec profile was validated");
+        let coherence = spec.coherence_milli.unwrap_or(1000) as f64 / 1000.0;
+        let graph = profile.graph_with_coherence(coherence);
+        for policy in &spec.policies {
             let mut stats = LlcStats::new();
             let mut chars = CharReport::default();
-            for frame in 0..cfg.frames_for(app.frames) {
-                let cell = simulate_cell(policy, &app, frame, &opts, &cfg);
+            for frame in 0..cfg.frames_for(profile.frames) {
+                let cell: CellResult = simulate_graph_cell(policy, &graph, frame, &opts, &cfg);
                 stats.merge(&cell.stats);
                 if let Some(c) = &cell.chars {
                     chars.merge(c);
@@ -60,28 +90,54 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
                 accesses += cell.accesses;
                 replay_seconds += cell.replay_seconds;
             }
-
-            let mut entry = Json::obj();
-            entry
-                .set("accesses", stats.total_accesses())
-                .set("hits", stats.total_hits())
-                .set("misses", stats.total_misses())
-                .set("writebacks", stats.writebacks)
-                .set("tex_hit_rate", stats.class_hit_rate(PolicyClass::Tex))
-                .set("rt_hit_rate", stats.hit_rate(StreamId::RenderTarget))
-                .set("z_hit_rate", stats.hit_rate(StreamId::Z));
-            if spec.characterize {
-                entry.set("rt_consumption", chars.rt_consumption_rate());
-            }
-            apps_obj.set(abbrev.clone(), entry);
+            let mut workload_obj = Json::obj();
+            workload_obj.set(name.clone(), stats_entry(&stats, &chars, spec.characterize));
+            per_policy.set(policy.clone(), workload_obj);
         }
-        per_policy.set(policy.clone(), apps_obj);
+    } else {
+        for policy in &spec.policies {
+            let mut apps_obj = Json::obj();
+            for abbrev in &spec.apps {
+                let app = AppProfile::by_abbrev(abbrev).expect("spec apps were validated");
+                let mut stats = LlcStats::new();
+                let mut chars = CharReport::default();
+                for frame in 0..cfg.frames_for(app.frames) {
+                    let cell = simulate_cell(policy, &app, frame, &opts, &cfg);
+                    stats.merge(&cell.stats);
+                    if let Some(c) = &cell.chars {
+                        chars.merge(c);
+                    }
+                    accesses += cell.accesses;
+                    replay_seconds += cell.replay_seconds;
+                }
+                apps_obj.set(abbrev.clone(), stats_entry(&stats, &chars, spec.characterize));
+            }
+            per_policy.set(policy.clone(), apps_obj);
+        }
     }
 
     let mut doc = Json::obj();
     doc.set("id", spec.id()).set("spec", spec.canonical_json()).set("results", per_policy);
 
     JobOutput { payload: doc.to_string_pretty(), accesses, replay_seconds }
+}
+
+/// The per-workload result entry every workload kind shares, so payload
+/// consumers see one shape regardless of where the accesses came from.
+fn stats_entry(stats: &LlcStats, chars: &CharReport, characterize: bool) -> Json {
+    let mut entry = Json::obj();
+    entry
+        .set("accesses", stats.total_accesses())
+        .set("hits", stats.total_hits())
+        .set("misses", stats.total_misses())
+        .set("writebacks", stats.writebacks)
+        .set("tex_hit_rate", stats.class_hit_rate(PolicyClass::Tex))
+        .set("rt_hit_rate", stats.hit_rate(StreamId::RenderTarget))
+        .set("z_hit_rate", stats.hit_rate(StreamId::Z));
+    if characterize {
+        entry.set("rt_consumption", chars.rt_consumption_rate());
+    }
+    entry
 }
 
 #[cfg(test)]
@@ -131,6 +187,65 @@ mod tests {
         assert_eq!(
             entry.get("rt_consumption").and_then(Json::as_f64),
             Some(agg.chars.rt_consumption_rate())
+        );
+    }
+
+    /// A profile job's payload must agree cell for cell with the direct
+    /// `simulate_graph_cell` replay of the same graph.
+    #[test]
+    fn profile_payload_matches_direct_graph_replay() {
+        let s = spec(r#"{"policies": ["DRRIP"], "profile": "postfx", "frames": 2}"#);
+        let out = execute(&s, &RunOptions::from_env(&[]));
+
+        let graph = grsynth::graph_profile("postfx").unwrap().graph_with_coherence(0.8);
+        let opts = RunOptions::from_env(&[]);
+        let mut stats = LlcStats::new();
+        for frame in 0..2 {
+            stats.merge(&simulate_graph_cell("DRRIP", &graph, frame, &opts, &s.config()).stats);
+        }
+
+        let doc = Json::parse(&out.payload).unwrap();
+        let entry = doc
+            .get("results")
+            .and_then(|p| p.get("DRRIP"))
+            .and_then(|p| p.get("postfx"))
+            .expect("payload entry keyed by profile name");
+        assert_eq!(entry.get("misses").and_then(Json::as_f64), Some(stats.total_misses() as f64));
+        assert_eq!(entry.get("hits").and_then(Json::as_f64), Some(stats.total_hits() as f64));
+    }
+
+    /// A trace job replays the imported bytes and keys the result by the
+    /// app name recorded in the trace header; two executions are
+    /// byte-identical.
+    #[test]
+    fn trace_payload_is_deterministic_and_matches_direct_replay() {
+        let dir = std::env::temp_dir().join("grserve-job-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("job.gtrace");
+        let graph = grsynth::graph_profile("cpu-like").unwrap().graph();
+        let trace = grsynth::GraphRenderer::new(&graph, 0, grsynth::Scale::Tiny).render();
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut writer = std::io::BufWriter::new(file);
+        grtrace::io::write(&mut writer, &trace).expect("write trace");
+        std::io::Write::flush(&mut writer).expect("flush trace");
+
+        let s =
+            spec(&format!(r#"{{"policies": ["DRRIP"], "trace": {:?}}}"#, path.to_str().unwrap()));
+        let base = RunOptions::from_env(&[]);
+        let a = execute(&s, &base);
+        let b = execute(&s, &base);
+        assert_eq!(a.payload, b.payload, "trace payloads must be deterministic");
+
+        let cell = simulate_trace_cell("DRRIP", &trace, &base, &s.config());
+        let doc = Json::parse(&a.payload).unwrap();
+        let entry = doc
+            .get("results")
+            .and_then(|p| p.get("DRRIP"))
+            .and_then(|p| p.get("cpu-like"))
+            .expect("payload entry keyed by trace app");
+        assert_eq!(
+            entry.get("misses").and_then(Json::as_f64),
+            Some(cell.stats.total_misses() as f64)
         );
     }
 

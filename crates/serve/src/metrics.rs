@@ -27,6 +27,8 @@ pub enum Endpoint {
     Policies,
     /// `GET /v1/apps`
     Apps,
+    /// `GET /v1/profiles`
+    Profiles,
     /// `GET /metrics`
     Metrics,
     /// `POST /v1/shutdown`
@@ -36,12 +38,13 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 9] = [
         Endpoint::SubmitJob,
         Endpoint::GetJob,
         Endpoint::CachePeek,
         Endpoint::Policies,
         Endpoint::Apps,
+        Endpoint::Profiles,
         Endpoint::Metrics,
         Endpoint::Shutdown,
         Endpoint::Other,
@@ -54,9 +57,10 @@ impl Endpoint {
             Endpoint::CachePeek => 2,
             Endpoint::Policies => 3,
             Endpoint::Apps => 4,
-            Endpoint::Metrics => 5,
-            Endpoint::Shutdown => 6,
-            Endpoint::Other => 7,
+            Endpoint::Profiles => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Shutdown => 7,
+            Endpoint::Other => 8,
         }
     }
 
@@ -68,6 +72,7 @@ impl Endpoint {
             Endpoint::CachePeek => "cache_get",
             Endpoint::Policies => "policies",
             Endpoint::Apps => "apps",
+            Endpoint::Profiles => "profiles",
             Endpoint::Metrics => "metrics",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
@@ -109,7 +114,7 @@ pub struct ServerSnapshot {
 /// shared by every connection and worker thread.
 #[derive(Default)]
 pub struct Metrics {
-    endpoints: [EndpointStats; 8],
+    endpoints: [EndpointStats; 9],
     /// Jobs accepted into the queue.
     pub jobs_submitted: AtomicU64,
     /// Submissions that joined an already queued/running job.

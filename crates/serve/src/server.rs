@@ -396,6 +396,10 @@ fn route(request: &Request, inner: &Arc<Inner>) -> (Endpoint, Response) {
             "GET" => (Endpoint::Apps, apps_response()),
             _ => (Endpoint::Apps, method_not_allowed("GET")),
         },
+        "/v1/profiles" => match method {
+            "GET" => (Endpoint::Profiles, profiles_response()),
+            _ => (Endpoint::Profiles, method_not_allowed("GET")),
+        },
         "/metrics" => match method {
             "GET" => (Endpoint::Metrics, metrics_response(inner)),
             _ => (Endpoint::Metrics, method_not_allowed("GET")),
@@ -570,6 +574,22 @@ pub(crate) fn policies_response() -> Response {
     }
     let mut doc = Json::obj();
     doc.set("policies", Json::Arr(list)).set("parameterized", Json::Arr(families));
+    Response::json(doc.to_string_pretty())
+}
+
+pub(crate) fn profiles_response() -> Response {
+    let mut list = Vec::new();
+    for profile in grsynth::GRAPH_PROFILES {
+        let mut item = Json::obj();
+        item.set("name", profile.name)
+            .set("description", profile.description)
+            .set("frames", u64::from(profile.frames))
+            .set("default_coherence_milli", (profile.default_coherence * 1000.0).round() as u64)
+            .set("passes", profile.graph().passes().len() as u64);
+        list.push(item);
+    }
+    let mut doc = Json::obj();
+    doc.set("profiles", Json::Arr(list));
     Response::json(doc.to_string_pretty())
 }
 

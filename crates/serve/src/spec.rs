@@ -21,11 +21,45 @@ use crate::hash;
 /// payload change invalidates old cache entries instead of serving them.
 const SPEC_VERSION: u64 = 1;
 
+/// A validated reference to an external `.gtrace` file workload.
+///
+/// The *path* is daemon-local and deliberately excluded from the canonical
+/// encoding; identity is the content digest plus the header metadata, so
+/// two daemons holding the same bytes at different paths coalesce to one
+/// job id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Daemon-local filesystem path the trace is (re)read from.
+    pub path: String,
+    /// SHA-256 over the file bytes, lowercase hex.
+    pub digest: String,
+    /// Application name recorded in the trace header.
+    pub app: String,
+    /// Frame number recorded in the trace header.
+    pub frame: u32,
+    /// Access count recorded in the trace header.
+    pub count: u64,
+}
+
 /// A validated, canonicalized job specification.
+///
+/// A spec names exactly one workload kind: the app grid (`apps`
+/// non-empty), a built-in frame-graph profile (`profile` set), or an
+/// imported trace (`trace` set).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
-    /// Application abbreviations, deduplicated, in Table 1 order.
+    /// Application abbreviations, deduplicated, in Table 1 order. Empty
+    /// for profile and trace workloads.
     pub apps: Vec<String>,
+    /// Built-in frame-graph profile name (see
+    /// [`grsynth::GRAPH_PROFILES`]), canonical lowercase.
+    pub profile: Option<String>,
+    /// Inter-frame coherence in per-mille (0..=1000), present iff
+    /// `profile` is — defaulted from the profile when the request omits
+    /// it, so equal work always hashes equal.
+    pub coherence_milli: Option<u64>,
+    /// External `.gtrace` workload, validated at parse time.
+    pub trace: Option<TraceRef>,
     /// Frames per application (each app clamped to its captured count).
     pub frames: u32,
     /// Policy registry names, deduplicated, in request order.
@@ -65,10 +99,34 @@ impl JobSpec {
         for (key, _) in entries {
             if !matches!(
                 key.as_str(),
-                "apps" | "frames" | "policies" | "llc_mb" | "scale" | "characterize"
+                "apps"
+                    | "frames"
+                    | "policies"
+                    | "llc_mb"
+                    | "scale"
+                    | "characterize"
+                    | "profile"
+                    | "coherence"
+                    | "trace"
             ) {
                 return Err(format!("unknown field {key:?}"));
             }
+        }
+
+        // Exactly one workload kind per spec: the app grid (default), a
+        // frame-graph profile, or an imported trace.
+        if doc.get("profile").is_some() && doc.get("apps").is_some() {
+            return Err("profile and apps are mutually exclusive".into());
+        }
+        if doc.get("trace").is_some() {
+            for conflicting in ["apps", "profile", "coherence", "frames"] {
+                if doc.get(conflicting).is_some() {
+                    return Err(format!("trace and {conflicting} are mutually exclusive"));
+                }
+            }
+        }
+        if doc.get("coherence").is_some() && doc.get("profile").is_none() {
+            return Err("coherence requires a profile".into());
         }
 
         let policies = match doc.get("policies") {
@@ -92,30 +150,77 @@ impl JobSpec {
             None => return Err("missing required field \"policies\"".into()),
         };
 
-        let all_apps = AppProfile::all();
-        let apps = match doc.get("apps") {
-            None => all_apps.iter().map(|a| a.abbrev.to_string()).collect(),
-            Some(Json::Arr(items)) if items.is_empty() => {
-                all_apps.iter().map(|a| a.abbrev.to_string()).collect()
-            }
-            Some(Json::Arr(items)) => {
-                let mut requested = Vec::new();
-                for item in items {
-                    let name = item.as_str().ok_or("apps entries must be strings")?;
-                    if AppProfile::by_abbrev(name).is_none() {
-                        return Err(format!("unknown app {name:?}; see GET /v1/apps"));
-                    }
-                    requested.push(name);
+        let profile = match doc.get("profile") {
+            None => None,
+            Some(Json::Str(s)) => Some(
+                grsynth::graph_profile(s)
+                    .ok_or_else(|| format!("unknown profile {s:?}; see GET /v1/profiles"))?,
+            ),
+            Some(_) => return Err("profile must be a string".into()),
+        };
+
+        let coherence_milli = match (&profile, doc.get("coherence")) {
+            (None, _) => None,
+            // Defaulting from the profile (rather than leaving the field
+            // absent) keeps the id a pure function of the work: an
+            // explicit request at the default coherence and an implicit
+            // one hash identically.
+            (Some(p), None) => Some((p.default_coherence.clamp(0.0, 1.0) * 1000.0).round() as u64),
+            (Some(_), Some(j)) => {
+                let c = j.as_f64().ok_or("coherence must be a number in 0..=1")?;
+                if !(0.0..=1.0).contains(&c) {
+                    return Err("coherence must be a number in 0..=1".into());
                 }
-                // Canonical order is Table 1 order, regardless of request
-                // order — reordered requests hash identically.
-                all_apps
-                    .iter()
-                    .filter(|a| requested.contains(&a.abbrev))
-                    .map(|a| a.abbrev.to_string())
-                    .collect()
+                Some((c * 1000.0).round() as u64)
             }
-            Some(_) => return Err("apps must be an array of abbreviations".into()),
+        };
+
+        let trace = match doc.get("trace") {
+            None => None,
+            Some(Json::Str(path)) => {
+                let bytes =
+                    std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+                let t = grtrace::import(&bytes[..])
+                    .map_err(|e| format!("cannot import trace {path:?}: {e}"))?;
+                Some(TraceRef {
+                    path: path.clone(),
+                    digest: hash::sha256_hex(&bytes),
+                    app: t.app().to_string(),
+                    frame: t.frame(),
+                    count: t.len() as u64,
+                })
+            }
+            Some(_) => return Err("trace must be a string path".into()),
+        };
+
+        let all_apps = AppProfile::all();
+        let apps = if profile.is_some() || trace.is_some() {
+            Vec::new()
+        } else {
+            match doc.get("apps") {
+                None => all_apps.iter().map(|a| a.abbrev.to_string()).collect(),
+                Some(Json::Arr(items)) if items.is_empty() => {
+                    all_apps.iter().map(|a| a.abbrev.to_string()).collect()
+                }
+                Some(Json::Arr(items)) => {
+                    let mut requested = Vec::new();
+                    for item in items {
+                        let name = item.as_str().ok_or("apps entries must be strings")?;
+                        if AppProfile::by_abbrev(name).is_none() {
+                            return Err(format!("unknown app {name:?}; see GET /v1/apps"));
+                        }
+                        requested.push(name);
+                    }
+                    // Canonical order is Table 1 order, regardless of request
+                    // order — reordered requests hash identically.
+                    all_apps
+                        .iter()
+                        .filter(|a| requested.contains(&a.abbrev))
+                        .map(|a| a.abbrev.to_string())
+                        .collect()
+                }
+                Some(_) => return Err("apps must be an array of abbreviations".into()),
+            }
         };
 
         let frames = match doc.get("frames") {
@@ -143,7 +248,17 @@ impl JobSpec {
             Some(_) => return Err("characterize must be a boolean".into()),
         };
 
-        Ok(JobSpec { apps, frames, policies, llc_mb, scale, characterize })
+        Ok(JobSpec {
+            apps,
+            profile: profile.map(|p| p.name.to_string()),
+            coherence_milli,
+            trace,
+            frames,
+            policies,
+            llc_mb,
+            scale,
+            characterize,
+        })
     }
 
     /// The experiment configuration this spec runs under.
@@ -176,6 +291,24 @@ impl JobSpec {
             .set("llc_mb", self.llc_mb)
             .set("characterize", self.characterize)
             .set("geometry", geometry);
+        // Workload-kind keys are only present when the kind is — app-grid
+        // specs keep the exact canonical bytes (and therefore ids) they
+        // had before profiles and trace imports existed.
+        if let Some(profile) = &self.profile {
+            doc.set("profile", profile.as_str());
+            // Per-mille integer, not a float: `grjson` prints `Num(0.85)`
+            // and `Num(0.850)` inputs identically but other writers may
+            // not, and an integer canonicalization can never drift.
+            doc.set("coherence_milli", self.coherence_milli.unwrap_or(1000));
+        }
+        if let Some(trace) = &self.trace {
+            let mut tr = Json::obj();
+            tr.set("digest", trace.digest.as_str())
+                .set("app", trace.app.as_str())
+                .set("frame", u64::from(trace.frame))
+                .set("count", trace.count);
+            doc.set("trace", tr);
+        }
         doc
     }
 
@@ -264,6 +397,122 @@ mod tests {
             let err = JobSpec::parse(body, Scale::Tiny).expect_err(body);
             assert!(err.contains(fragment), "{body}: error {err:?} missing {fragment:?}");
         }
+    }
+
+    fn dump_profile_trace(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("grserve-spec-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join(format!("{name}.gtrace"));
+        let graph = grsynth::graph_profile("cpu-like").expect("builtin").graph();
+        let trace = grsynth::GraphRenderer::new(&graph, 0, Scale::Tiny).render();
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut writer = std::io::BufWriter::new(file);
+        grtrace::io::write(&mut writer, &trace).expect("write trace");
+        std::io::Write::flush(&mut writer).expect("flush trace");
+        path
+    }
+
+    #[test]
+    fn profile_spec_canonicalizes_coherence() {
+        let implicit =
+            JobSpec::parse(r#"{"policies": ["NRU"], "profile": "deferred"}"#, Scale::Tiny).unwrap();
+        assert_eq!(implicit.profile.as_deref(), Some("deferred"));
+        assert_eq!(implicit.coherence_milli, Some(850), "default coherence is canonicalized");
+        assert!(implicit.apps.is_empty());
+
+        // Case-insensitive lookup resolves to the canonical spelling, and
+        // an explicit request at the default coherence hashes identically.
+        let explicit = JobSpec::parse(
+            r#"{"policies": ["NRU"], "profile": "Deferred", "coherence": 0.85}"#,
+            Scale::Tiny,
+        )
+        .unwrap();
+        assert_eq!(implicit, explicit);
+        assert_eq!(implicit.id(), explicit.id());
+
+        // A different coherence is different work.
+        let drifted = JobSpec::parse(
+            r#"{"policies": ["NRU"], "profile": "deferred", "coherence": 0.25}"#,
+            Scale::Tiny,
+        )
+        .unwrap();
+        assert_eq!(drifted.coherence_milli, Some(250));
+        assert_ne!(drifted.id(), implicit.id());
+
+        let doc = implicit.canonical_json();
+        assert_eq!(doc.get("coherence_milli").and_then(Json::as_f64), Some(850.0));
+        assert!(doc.get("trace").is_none());
+    }
+
+    #[test]
+    fn trace_spec_is_addressed_by_content_not_path() {
+        let a = dump_profile_trace("content-a");
+        let b = dump_profile_trace("content-b");
+        let spec_for = |path: &std::path::Path| {
+            JobSpec::parse(
+                &format!(r#"{{"policies": ["NRU"], "trace": {:?}}}"#, path.to_str().unwrap()),
+                Scale::Tiny,
+            )
+            .unwrap()
+        };
+        let sa = spec_for(&a);
+        let sb = spec_for(&b);
+        let ta = sa.trace.as_ref().expect("trace ref");
+        assert_eq!(ta.app, "cpu-like");
+        assert_eq!(ta.frame, 0);
+        assert!(ta.count > 0);
+        // Same bytes at two paths: one job id.
+        assert_eq!(sa.id(), sb.id());
+        let doc = sa.canonical_json();
+        let tr = doc.get("trace").expect("trace object");
+        assert_eq!(tr.get("digest").and_then(Json::as_str), Some(ta.digest.as_str()));
+        assert!(doc.to_string_pretty().find(a.to_str().unwrap()).is_none(), "path must not leak");
+    }
+
+    #[test]
+    fn workload_kinds_are_mutually_exclusive() {
+        let trace = dump_profile_trace("exclusive");
+        let trace = trace.to_str().unwrap();
+        let cases = [
+            (
+                r#"{"policies": ["NRU"], "profile": "deferred", "apps": ["HAWX"]}"#.to_string(),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"policies": ["NRU"], "trace": {trace:?}, "apps": ["HAWX"]}}"#),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"policies": ["NRU"], "trace": {trace:?}, "profile": "deferred"}}"#),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"policies": ["NRU"], "trace": {trace:?}, "frames": 2}}"#),
+                "mutually exclusive",
+            ),
+            (r#"{"policies": ["NRU"], "coherence": 0.5}"#.to_string(), "requires a profile"),
+            (r#"{"policies": ["NRU"], "profile": "nope"}"#.to_string(), "unknown profile"),
+            (
+                r#"{"policies": ["NRU"], "profile": "deferred", "coherence": 1.5}"#.to_string(),
+                "0..=1",
+            ),
+            (r#"{"policies": ["NRU"], "trace": 7}"#.to_string(), "string path"),
+            (
+                r#"{"policies": ["NRU"], "trace": "/no/such/file.gtrace"}"#.to_string(),
+                "cannot read trace",
+            ),
+        ];
+        for (body, fragment) in cases {
+            let err = JobSpec::parse(&body, Scale::Tiny).expect_err(&body);
+            assert!(err.contains(fragment), "{body}: error {err:?} missing {fragment:?}");
+        }
+        // A malformed file is a parse-time 400, not a worker panic.
+        let dir = std::env::temp_dir().join("grserve-spec-tests");
+        let bad = dir.join("bad.gtrace");
+        std::fs::write(&bad, b"XXXX").expect("write bad file");
+        let body = format!(r#"{{"policies": ["NRU"], "trace": {:?}}}"#, bad.to_str().unwrap());
+        let err = JobSpec::parse(&body, Scale::Tiny).expect_err("bad magic");
+        assert!(err.contains("cannot import trace"), "error {err:?}");
     }
 
     #[test]

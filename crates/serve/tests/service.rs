@@ -159,6 +159,76 @@ fn served_payload_is_bit_identical_to_offline_execution() {
     server.shutdown_and_join();
 }
 
+/// A frame-graph profile job served over HTTP equals its offline
+/// execution bit for bit, and the canonical `profile` field shapes the id.
+#[test]
+fn served_profile_job_is_bit_identical_to_offline_execution() {
+    let server = tiny_server();
+    let addr = server.addr().to_string();
+
+    let body = r#"{"policies": ["DRRIP"], "profile": "postfx", "coherence": 0.5, "scale": "tiny"}"#;
+    let (status, doc) = post_job(&addr, body);
+    assert_eq!(status, 202, "{doc:?}");
+    let id = doc.get("id").and_then(Json::as_str).expect("id").to_string();
+    await_done(&addr, &id);
+
+    let (status, _, served) = http(&addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(status, 200);
+    let spec = JobSpec::parse(body, Scale::Tiny).expect("spec");
+    assert_eq!(spec.id(), id);
+    assert_eq!(spec.coherence_milli, Some(500));
+    let offline = grserve::execute(&spec, &RunOptions::from_env(&[]));
+    assert_eq!(served, offline.payload, "served profile bytes differ from offline execution");
+
+    server.shutdown_and_join();
+}
+
+/// An imported `.gtrace` job served over HTTP equals its offline
+/// execution bit for bit; a malformed trace file is rejected at submit
+/// time with a 400, never reaching a worker.
+#[test]
+fn served_trace_job_is_bit_identical_to_offline_execution() {
+    let dir = temp_dir("trace-job");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("import.gtrace");
+    let graph = grsynth::graph_profile("cpu-like").expect("builtin").graph();
+    let trace = grsynth::GraphRenderer::new(&graph, 0, Scale::Tiny).render();
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let mut writer = std::io::BufWriter::new(file);
+    grtrace::io::write(&mut writer, &trace).expect("write trace");
+    Write::flush(&mut writer).expect("flush trace");
+
+    let server = tiny_server();
+    let addr = server.addr().to_string();
+
+    let body = format!(
+        r#"{{"policies": ["DRRIP", "GSPC"], "trace": {:?}, "scale": "tiny"}}"#,
+        path.to_str().expect("utf8 path")
+    );
+    let (status, doc) = post_job(&addr, &body);
+    assert_eq!(status, 202, "{doc:?}");
+    let id = doc.get("id").and_then(Json::as_str).expect("id").to_string();
+    await_done(&addr, &id);
+
+    let (status, _, served) = http(&addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(status, 200);
+    let spec = JobSpec::parse(&body, Scale::Tiny).expect("spec");
+    assert_eq!(spec.id(), id);
+    let offline = grserve::execute(&spec, &RunOptions::from_env(&[]));
+    assert_eq!(served, offline.payload, "served trace bytes differ from offline execution");
+
+    // Malformed file: typed import error surfaces as a 400 at submit.
+    let bad = dir.join("bad.gtrace");
+    std::fs::write(&bad, b"XXXXgarbage").expect("write bad file");
+    let body = format!(r#"{{"policies": ["NRU"], "trace": {:?}}}"#, bad.to_str().unwrap());
+    let (status, doc) = post_job(&addr, &body);
+    assert_eq!(status, 400, "{doc:?}");
+    let err = doc.get("error").and_then(Json::as_str).expect("error body");
+    assert!(err.contains("cannot import trace"), "error {err:?}");
+
+    server.shutdown_and_join();
+}
+
 /// A completed job resubmitted is answered from the result cache: no new
 /// execution, cache-hit counter up, `cached: true`.
 #[test]
@@ -389,6 +459,39 @@ fn validation_and_routing_statuses() {
     // HTTP shutdown is disabled unless opted into.
     let (status, _, _) = http(&addr, "POST", "/v1/shutdown", Some(""));
     assert_eq!(status, 404);
+
+    server.shutdown_and_join();
+}
+
+/// `GET /v1/profiles` serves the frame-graph profile table, and every
+/// served name validates back through the job-spec parser.
+#[test]
+fn profiles_endpoint_reflects_the_profile_table() {
+    let gate = Gate::new();
+    gate.release();
+    let server = gated_server(1, 4, &gate);
+    let addr = server.addr().to_string();
+
+    let (status, _, body) = http(&addr, "GET", "/v1/profiles", None);
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("profiles JSON");
+    let Some(Json::Arr(profiles)) = doc.get("profiles") else {
+        panic!("missing profiles array: {body}")
+    };
+    assert_eq!(profiles.len(), grsynth::GRAPH_PROFILES.len());
+    for entry in grsynth::GRAPH_PROFILES {
+        let served = profiles
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(entry.name))
+            .unwrap_or_else(|| panic!("{} not served by /v1/profiles", entry.name));
+        assert_eq!(served.get("description").and_then(Json::as_str), Some(entry.description));
+        let spec = JobSpec::parse(
+            &format!(r#"{{"policies": ["NRU"], "profile": {:?}}}"#, entry.name),
+            Scale::Tiny,
+        )
+        .unwrap_or_else(|e| panic!("served profile {} fails spec parse: {e}", entry.name));
+        assert_eq!(spec.profile.as_deref(), Some(entry.name));
+    }
 
     server.shutdown_and_join();
 }

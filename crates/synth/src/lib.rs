@@ -34,14 +34,18 @@
 
 mod frame;
 mod generator;
+mod graph;
 mod profile;
+mod profiles;
 pub mod rng;
 mod stream;
 mod surface;
 
 pub use frame::{FrameRenderer, FrameWork};
 pub use generator::{generate_frame, workload_frames, FrameJob};
+pub use graph::{collect_graph_stream, FrameGraph, GraphRenderer, GraphStream, PassKind};
 pub use profile::{AppProfile, Scale};
+pub use profiles::{graph_profile, GraphProfile, GRAPH_PROFILES};
 pub use stream::{collect_stream, FrameStream};
 pub use surface::{Surface, SurfaceAllocator, SurfaceKind};
 

@@ -31,12 +31,12 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 
 use crate::{Access, AccessSource, Chunk, StreamId, Trace};
 
-const MAGIC: &[u8; 4] = b"GRTR";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"GRTR";
+pub(crate) const VERSION: u32 = 1;
 const NU_MAGIC: &[u8; 4] = b"GRNU";
 const NU_VERSION: u32 = 1;
 /// Bytes of one serialized access record.
-const RECORD_BYTES: usize = 10;
+pub(crate) const RECORD_BYTES: usize = 10;
 
 /// Default [`ChunkedReader`] chunk capacity, in accesses (64 Ki accesses
 /// ≈ 1 MiB resident once decoded).
@@ -46,7 +46,7 @@ fn stream_code(s: StreamId) -> u8 {
     s.index() as u8
 }
 
-fn stream_from_code(code: u8) -> Option<StreamId> {
+pub(crate) fn stream_from_code(code: u8) -> Option<StreamId> {
     StreamId::ALL.get(usize::from(code)).copied()
 }
 

@@ -27,6 +27,7 @@
 
 mod access;
 mod addr;
+pub mod import;
 pub mod io;
 mod source;
 mod stats;
@@ -35,6 +36,7 @@ mod trace;
 
 pub use access::Access;
 pub use addr::{block_addr, BLOCK_BYTES, BLOCK_SHIFT};
+pub use import::{import, import_file, ImportError, MAX_IMPORT_ADDR};
 pub use source::{AccessSource, ChainSource, Chunk, SliceSource};
 pub use stats::StreamStats;
 pub use stream::{PolicyClass, StreamId};
