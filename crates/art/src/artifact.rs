@@ -1,0 +1,99 @@
+//! Artifact documents: deterministic JSON plus rendered markdown.
+//!
+//! Artifact JSON never carries a raw float: every derived number is
+//! formatted to a fixed precision and stored as a **string** (counts
+//! stay integers). `grjson` prints `f64`s in shortest form, which is
+//! deterministic for one binary but makes tolerance-based diffing
+//! ambiguous and byte-stability hostage to float printing; a
+//! fixed-precision string is the same bytes everywhere, and
+//! [`crate::diff`] parses it back when it needs the value.
+
+use std::io;
+use std::path::Path;
+
+use grjson::Json;
+
+/// One table or figure: a JSON document and its markdown rendering.
+pub struct Artifact {
+    /// File stem under the output directory (`table1`, `fig12`, ...).
+    pub name: String,
+    /// The JSON document (written as `NAME.json`).
+    pub doc: Json,
+    /// The rendered markdown (written as `NAME.md`).
+    pub markdown: String,
+}
+
+/// Formats a derived number at fixed precision for artifact JSON.
+pub fn fixed(value: f64, places: usize) -> String {
+    format!("{value:.places$}")
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(title: &str, head: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("# {title}\n\n");
+    out.push_str(&format!("| {} |\n", head.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(head.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Writes every artifact (JSON + markdown) plus a `manifest.json` of
+/// SHA-256 digests into `dir`, creating it as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all(dir: &Path, artifacts: &[Artifact]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut digests = Json::obj();
+    for artifact in artifacts {
+        let json = artifact.doc.to_string_pretty();
+        std::fs::write(dir.join(format!("{}.json", artifact.name)), &json)?;
+        std::fs::write(dir.join(format!("{}.md", artifact.name)), &artifact.markdown)?;
+        digests.set(artifact.name.clone(), grserve::hash::sha256_hex(json.as_bytes()));
+    }
+    let mut manifest = Json::obj();
+    manifest.set("artifacts", digests);
+    std::fs::write(dir.join("manifest.json"), manifest.to_string_pretty())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_precision_is_stable() {
+        assert_eq!(fixed(0.96341, 4), "0.9634");
+        assert_eq!(fixed(2.0, 4), "2.0000");
+        assert_eq!(fixed(123.456, 1), "123.5");
+    }
+
+    #[test]
+    fn markdown_table_renders() {
+        let md = markdown_table("T", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(md.contains("# T"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn write_all_emits_manifest_digests() {
+        let dir = std::env::temp_dir().join(format!("grart-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut doc = Json::obj();
+        doc.set("x", 1u64);
+        let artifacts = vec![Artifact { name: "t".into(), doc, markdown: "# t\n".into() }];
+        write_all(&dir, &artifacts).expect("write artifacts");
+        let json = std::fs::read_to_string(dir.join("t.json")).expect("json written");
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+        let parsed = Json::parse(&manifest).expect("manifest parses");
+        assert_eq!(
+            parsed.get("artifacts").and_then(|a| a.get("t")).and_then(Json::as_str),
+            Some(grserve::hash::sha256_hex(json.as_bytes()).as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

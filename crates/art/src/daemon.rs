@@ -1,0 +1,127 @@
+//! Supervision of pipeline-spawned `grserved` daemons.
+//!
+//! `grart --serve spawn` boots a private daemon as a child process
+//! (the `grart serve-daemon` subcommand — a thin wrapper over
+//! [`grserve::start`]) and must never orphan it. Two layers guarantee
+//! that:
+//!
+//! * [`DaemonGuard`]'s `Drop` requests a graceful HTTP shutdown and
+//!   waits for the child, killing it only as a last resort — covers
+//!   every normal exit *and* pipeline panics (unwinding runs `Drop`).
+//! * The daemon is spawned with a **piped stdin** and watches it for
+//!   EOF; when the pipeline dies in a way that skips destructors
+//!   (`SIGKILL`, `abort`), the pipe closes and the daemon drains
+//!   itself. The spawned-process integration test kills a pipeline
+//!   mid-sweep and asserts the daemon exits.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long to wait for the spawned daemon to publish its port.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How long `Drop` waits for a graceful exit before killing.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Distinguishes port files when one process spawns several daemons.
+static SPAWN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A running pipeline-owned daemon; dropping it drains the daemon.
+pub struct DaemonGuard {
+    child: Child,
+    addr: String,
+    port_file: PathBuf,
+}
+
+impl DaemonGuard {
+    /// Spawns `binary serve-daemon` (normally the current `grart`
+    /// executable; integration tests pass `env!("CARGO_BIN_EXE_grart")`)
+    /// and waits until it publishes its ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures; times out when the daemon never
+    /// publishes a port (the child is killed first).
+    pub fn spawn(binary: &Path) -> io::Result<DaemonGuard> {
+        let port_file = std::env::temp_dir().join(format!(
+            "grart-daemon-{}-{}.port",
+            std::process::id(),
+            SPAWN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&port_file);
+
+        let mut child = Command::new(binary)
+            .arg("serve-daemon")
+            .arg("--port-file")
+            .arg(&port_file)
+            // The pipe is the orphan guard: our death closes it, the
+            // daemon's stdin watcher sees EOF and drains.
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+
+        let deadline = Instant::now() + SPAWN_DEADLINE;
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                let addr = addr.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            if let Some(status) = child.try_wait()? {
+                let _ = std::fs::remove_file(&port_file);
+                return Err(io::Error::other(format!("daemon exited during startup: {status}")));
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = std::fs::remove_file(&port_file);
+                return Err(io::Error::other("daemon did not publish a port in time"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Ok(DaemonGuard { child, addr, port_file })
+    }
+
+    /// The daemon's `HOST:PORT`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The daemon's process id (the orphan test polls it).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        // Prefer the graceful drain; the daemon enables HTTP shutdown
+        // because only its spawner knows the address.
+        let _ =
+            grserve::http::fetch(&self.addr, "POST", "/v1/shutdown", b"", Duration::from_secs(5));
+        // Closing our handle to the write end of stdin is the second
+        // drain signal (EOF on the daemon's watcher).
+        drop(self.child.stdin.take());
+
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    break;
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&self.port_file);
+    }
+}

@@ -1,0 +1,149 @@
+//! Where the pipeline's job specs execute.
+//!
+//! Every artifact is computed from `grserved` job payloads; the only
+//! question is who runs them. [`JobSource::InProcess`] calls
+//! [`grserve::execute`] directly — the same function the daemon's
+//! workers call — while [`JobSource::Served`] submits over HTTP and
+//! polls. Because the daemon snapshots the same environment the
+//! in-process path reads, and payloads are a pure function of the spec,
+//! both routes return byte-identical payload strings; the integration
+//! tests assert exactly that.
+
+use std::time::Duration;
+
+use grbench::RunOptions;
+use grjson::Json;
+use grserve::JobSpec;
+use grsynth::Scale;
+
+/// Poll cadence while a served job is queued or running.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-request socket timeout for served submissions.
+const FETCH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a single job may stay queued/running before the pipeline
+/// gives up. Full-tier jobs replay dozens of frames; be generous.
+const JOB_DEADLINE: Duration = Duration::from_secs(3600);
+
+/// An executor for canonical job-spec bodies.
+pub enum JobSource {
+    /// Execute in this process through [`grserve::execute`].
+    InProcess {
+        /// Environment-derived execution knobs, snapshotted once
+        /// (boxed: `RunOptions` dwarfs the served variant).
+        base: Box<RunOptions>,
+    },
+    /// Submit to a running `grserved` daemon and poll for the result.
+    Served {
+        /// `HOST:PORT` of the daemon.
+        addr: String,
+    },
+}
+
+impl JobSource {
+    /// The in-process source with environment-snapshotted options —
+    /// exactly what `grserved` does at startup.
+    pub fn in_process() -> JobSource {
+        JobSource::InProcess { base: Box::new(RunOptions::from_env(&[])) }
+    }
+
+    /// A served source targeting `addr` (`HOST:PORT`).
+    pub fn served(addr: impl Into<String>) -> JobSource {
+        JobSource::Served { addr: addr.into() }
+    }
+
+    /// Human-readable description for progress lines.
+    pub fn describe(&self) -> String {
+        match self {
+            JobSource::InProcess { .. } => "in-process".into(),
+            JobSource::Served { addr } => format!("daemon at http://{addr}"),
+        }
+    }
+
+    /// Executes the canonical job body and returns the payload string.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message: spec validation problems in-process;
+    /// transport, server, or job failures when served.
+    pub fn payload(&self, body: &str) -> Result<String, String> {
+        match self {
+            JobSource::InProcess { base } => {
+                // Pipeline bodies always carry an explicit scale, so the
+                // default only matters for malformed callers.
+                let spec = JobSpec::parse(body, Scale::Tiny)?;
+                Ok(grserve::execute(&spec, base).payload)
+            }
+            JobSource::Served { addr } => serve_payload(addr, body),
+        }
+    }
+}
+
+/// Submits `body` to the daemon and drives it to completion.
+fn serve_payload(addr: &str, body: &str) -> Result<String, String> {
+    let (status, _, submit_body) =
+        grserve::http::fetch(addr, "POST", "/v1/jobs", body.as_bytes(), FETCH_TIMEOUT)
+            .map_err(|e| format!("submit to {addr} failed: {e}"))?;
+    let submitted = String::from_utf8_lossy(&submit_body);
+    if status != 200 && status != 202 {
+        return Err(format!("submit to {addr} rejected ({status}): {submitted}"));
+    }
+    let doc = Json::parse(&submitted).map_err(|e| format!("bad submit response: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("submit response missing id: {submitted}"))?
+        .to_string();
+
+    let deadline = std::time::Instant::now() + JOB_DEADLINE;
+    loop {
+        let (status, _, poll_body) =
+            grserve::http::fetch(addr, "GET", &format!("/v1/jobs/{id}"), b"", FETCH_TIMEOUT)
+                .map_err(|e| format!("poll of job {id} failed: {e}"))?;
+        let polled = String::from_utf8_lossy(&poll_body);
+        if status != 200 {
+            return Err(format!("poll of job {id} returned {status}: {polled}"));
+        }
+        let doc = Json::parse(&polled).map_err(|e| format!("bad poll response: {e}"))?;
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") => {
+                let detail = doc.get("error").and_then(Json::as_str).unwrap_or("unknown");
+                return Err(format!("job {id} failed: {detail}"));
+            }
+            Some("queued" | "running") => {}
+            state => return Err(format!("job {id} in unexpected state {state:?}")),
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("job {id} did not finish within {JOB_DEADLINE:?}"));
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+
+    // The raw result endpoint is the bit-for-bit payload surface.
+    let (status, _, result) =
+        grserve::http::fetch(addr, "GET", &format!("/v1/jobs/{id}/result"), b"", FETCH_TIMEOUT)
+            .map_err(|e| format!("result fetch for {id} failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("result fetch for {id} returned {status}"));
+    }
+    String::from_utf8(result).map_err(|_| format!("job {id} payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_payload_round_trips() {
+        let source = JobSource::in_process();
+        let payload = source
+            .payload(r#"{"policies": ["NRU"], "apps": ["HAWX"], "scale": "tiny"}"#)
+            .expect("valid body executes");
+        let doc = Json::parse(&payload).expect("payload is JSON");
+        assert!(doc.get("results").is_some());
+        let err = source.payload(r#"{"policies": []}"#).expect_err("invalid body fails");
+        assert!(err.contains("non-empty"));
+    }
+}

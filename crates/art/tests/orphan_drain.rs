@@ -1,0 +1,60 @@
+//! A spawned daemon must never outlive its pipeline: even when the
+//! `grart` process is killed with `SIGKILL` mid-sweep (no destructors,
+//! no shutdown request), the daemon's stdin pipe closes and it drains
+//! itself.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn process_alive(pid: u32) -> bool {
+    unsafe { kill(pid as i32, 0) == 0 }
+}
+
+#[test]
+fn killed_pipeline_leaves_no_daemon_behind() {
+    let out = std::env::temp_dir().join(format!("grart-orphan-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+
+    let mut pipeline = Command::new(env!("CARGO_BIN_EXE_grart"))
+        .args(["kick-tires", "--serve", "spawn", "--out"])
+        .arg(&out)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("pipeline spawns");
+
+    // The pipeline announces its daemon before submitting any job:
+    //   grart: spawned daemon pid NNN at http://HOST:PORT
+    let stdout = pipeline.stdout.take().expect("piped stdout");
+    let mut daemon_pid: Option<u32> = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read pipeline stdout");
+        if let Some(rest) = line.strip_prefix("grart: spawned daemon pid ") {
+            let pid = rest.split_whitespace().next().expect("pid field");
+            daemon_pid = Some(pid.parse().expect("numeric pid"));
+            break;
+        }
+    }
+    let daemon_pid = daemon_pid.expect("pipeline announced its daemon");
+    assert!(process_alive(daemon_pid), "daemon must be running before the kill");
+
+    // SIGKILL the pipeline mid-sweep: Drop never runs, no shutdown
+    // request is sent. Only the stdin-EOF guard can reach the daemon.
+    pipeline.kill().expect("kill pipeline");
+    pipeline.wait().expect("reap pipeline");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while process_alive(daemon_pid) {
+        assert!(Instant::now() < deadline, "daemon pid {daemon_pid} survived its pipeline");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let _ = std::fs::remove_dir_all(&out);
+}

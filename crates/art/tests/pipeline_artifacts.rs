@@ -1,0 +1,107 @@
+//! End-to-end pipeline properties: determinism, golden diffing, and
+//! served/in-process byte identity.
+
+use std::path::{Path, PathBuf};
+
+use grart::daemon::DaemonGuard;
+use grart::source::JobSource;
+use grart::{artifact, diff, pipeline};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grart-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_kick_tires(source: &JobSource, dir: &Path) -> pipeline::PipelineOutput {
+    let output = pipeline::run(&pipeline::kick_tires(), source).expect("pipeline runs");
+    artifact::write_all(dir, &output.artifacts).expect("artifacts write");
+    output
+}
+
+fn tree_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read artifact dir")
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().into_string().expect("utf-8 name");
+            (name, std::fs::read(entry.path()).expect("read artifact"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Two in-process runs write byte-identical trees, the self-diff
+/// passes, and a perturbed artifact is caught with a nonzero drift.
+#[test]
+fn kick_tires_is_deterministic_and_diffable() {
+    let a = temp_dir("det-a");
+    let b = temp_dir("det-b");
+    let out = run_kick_tires(&JobSource::in_process(), &a);
+    assert!(out.conformance_pass, "conformance must pass at the pinned configuration");
+    assert_eq!(
+        out.artifacts.iter().map(|x| x.name.as_str()).collect::<Vec<_>>(),
+        ["table1", "fig12", "fig15", "conformance"],
+        "kick-tires artifact set is pinned"
+    );
+    run_kick_tires(&JobSource::in_process(), &b);
+    assert_eq!(tree_bytes(&a), tree_bytes(&b), "artifact trees must be byte-identical");
+
+    assert!(diff::diff_dirs(&a, &b).expect("diff runs").is_empty(), "self-diff is clean");
+
+    // Perturb one normalized cell beyond tolerance: diff must flag it.
+    let fig12 = b.join("fig12.json");
+    let text = std::fs::read_to_string(&fig12).expect("read fig12");
+    let perturbed = text.replacen("\"1.0", "\"9.0", 1);
+    assert_ne!(text, perturbed, "fixture assumes a cell starting 1.0...");
+    std::fs::write(&fig12, perturbed).expect("write perturbed");
+    let drift = diff::diff_dirs(&a, &b).expect("diff runs");
+    assert_eq!(drift.len(), 1, "exactly the perturbed cell drifts: {drift:?}");
+    assert!(drift[0].contains("fig12"), "{drift:?}");
+
+    // A missing artifact is drift too.
+    std::fs::remove_file(b.join("fig15.json")).expect("remove artifact");
+    let drift = diff::diff_dirs(&a, &b).expect("diff runs");
+    assert!(drift.iter().any(|d| d.contains("missing")), "{drift:?}");
+
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+/// The same pipeline through a spawned daemon produces byte-identical
+/// artifacts, and the guard drains the daemon on drop.
+#[test]
+fn served_artifacts_match_in_process() {
+    let local = temp_dir("served-local");
+    let served = temp_dir("served-daemon");
+    run_kick_tires(&JobSource::in_process(), &local);
+
+    let daemon = DaemonGuard::spawn(Path::new(env!("CARGO_BIN_EXE_grart"))).expect("daemon spawns");
+    let pid = daemon.pid();
+    run_kick_tires(&JobSource::served(daemon.addr()), &served);
+    drop(daemon);
+
+    assert_eq!(
+        tree_bytes(&local),
+        tree_bytes(&served),
+        "served and in-process artifacts must be byte-identical"
+    );
+    assert!(!process_alive(pid), "daemon must exit once its guard drops");
+
+    let _ = std::fs::remove_dir_all(&local);
+    let _ = std::fs::remove_dir_all(&served);
+}
+
+#[cfg(unix)]
+fn process_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe { kill(pid as i32, 0) == 0 }
+}
+
+#[cfg(not(unix))]
+fn process_alive(_pid: u32) -> bool {
+    false
+}

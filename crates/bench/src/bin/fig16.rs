@@ -1,5 +1,5 @@
 //! Reproduces Figure 16 of the paper. See the grbench crate docs for scaling.
 fn main() {
     let cfg = grbench::ExperimentConfig::from_env();
-    grbench::experiments::fig16(&cfg);
+    grbench::figures::print_panel(&cfg, &grbench::figures::fig16());
 }

@@ -1,5 +1,6 @@
 //! Reproduces Figure 17 of the paper. See the grbench crate docs for scaling.
 fn main() {
     let cfg = grbench::ExperimentConfig::from_env();
-    grbench::experiments::fig17(&cfg);
+    grbench::figures::print_panel(&cfg, &grbench::figures::fig17_upper());
+    grbench::figures::print_panel(&cfg, &grbench::figures::fig17_lower());
 }

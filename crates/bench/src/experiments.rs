@@ -2,8 +2,6 @@
 //! paper reports. `all_experiments` runs everything.
 
 use grcache::LlcConfig;
-use grdram::TimingParams;
-use grgpu::GpuConfig;
 use grsynth::AppProfile;
 use grtrace::{PolicyClass, StreamId, StreamStats};
 use gspc::registry::{self, ALL_POLICIES};
@@ -252,67 +250,24 @@ pub fn fig14(cfg: &ExperimentConfig) {
     print_normalized(&r, &["LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC"], "DRRIP");
 }
 
-fn perf_table(cfg: &ExperimentConfig, gpu: GpuConfig, dram: TimingParams, llc_mb: u64) {
-    // Per Section 5.2, the perf studies use the +UCD variants throughout.
-    let opts = RunOptions {
-        timing: Some((gpu, dram)),
-        llc_paper_mb: llc_mb,
-        ..RunOptions::misses(&["NRU+UCD", "GS-DRRIP+UCD", "GSPC+UCD", "DRRIP+UCD"])
-    };
-    let r = run_workload(&opts, cfg);
-    let mut rows = Vec::new();
-    for app in &r.apps {
-        let base = r.fps("DRRIP+UCD", app);
-        rows.push(vec![
-            app.clone(),
-            ratio(r.fps("NRU+UCD", app) / base),
-            ratio(r.fps("GS-DRRIP+UCD", app) / base),
-            ratio(r.fps("GSPC+UCD", app) / base),
-        ]);
-    }
-    let base = r.overall_fps("DRRIP+UCD");
-    rows.push(vec![
-        "ALL".into(),
-        ratio(r.overall_fps("NRU+UCD") / base),
-        ratio(r.overall_fps("GS-DRRIP+UCD") / base),
-        ratio(r.overall_fps("GSPC+UCD") / base),
-    ]);
-    rows.push(vec![
-        "avg FPS (GSPC)".into(),
-        "-".into(),
-        "-".into(),
-        format!("{:.1}", r.overall_fps("GSPC+UCD")),
-    ]);
-    print(&["app", "NRU", "GS-DRRIP", "GSPC"], &rows);
-    println!();
-    crate::table::bar_chart(
-        &[
-            ("NRU", r.overall_fps("NRU+UCD") / base),
-            ("GS-DRRIP", r.overall_fps("GS-DRRIP+UCD") / base),
-            ("GSPC", r.overall_fps("GSPC+UCD") / base),
-        ],
-        "workload-average speedup vs DRRIP",
-    );
-}
-
 /// Figure 15: performance on the 8 MB LLC, normalized to DRRIP.
+///
+/// The machine/memory/LLC specs and the +UCD policy panel live in
+/// [`crate::figures`]; this (like `fig16`/`fig17`) is a thin delegate so
+/// `all` keeps its one-call-per-figure shape.
 pub fn fig15(cfg: &ExperimentConfig) {
-    header("Figure 15: performance (FPS) normalized to DRRIP, 8 MB LLC");
-    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1600(), 8);
+    crate::figures::print_panel(cfg, &crate::figures::fig15());
 }
 
 /// Figure 16: performance on a 16 MB LLC.
 pub fn fig16(cfg: &ExperimentConfig) {
-    header("Figure 16: performance (FPS) normalized to DRRIP, 16 MB LLC");
-    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1600(), 16);
+    crate::figures::print_panel(cfg, &crate::figures::fig16());
 }
 
 /// Figure 17: sensitivity to a faster DRAM and a narrower GPU.
 pub fn fig17(cfg: &ExperimentConfig) {
-    header("Figure 17 (upper): DDR3-1867 10-10-10, 8 MB LLC");
-    perf_table(cfg, GpuConfig::baseline(), TimingParams::ddr3_1867(), 8);
-    header("Figure 17 (lower): 512-thread GPU, eight samplers, 8 MB LLC");
-    perf_table(cfg, GpuConfig::less_aggressive(), TimingParams::ddr3_1600(), 8);
+    crate::figures::print_panel(cfg, &crate::figures::fig17_upper());
+    crate::figures::print_panel(cfg, &crate::figures::fig17_lower());
 }
 
 /// Table 6: the evaluated policies.

@@ -32,6 +32,7 @@
 pub mod cli;
 pub mod config;
 pub mod experiments;
+pub mod figures;
 pub mod framecache;
 pub mod json;
 pub mod perfbench;

@@ -112,15 +112,19 @@ fn run_conformance(args: &[String]) {
     let mb: u64 = parse_flag(args, "--mb").unwrap_or(8);
     let report = conform::run(&cfg, apps, mb);
     let profiles = conform::run_profiles(mb);
+    let ordering = conform::run_figure_ordering();
     println!(
-        "conformance: {} checks, {} failure(s); profiles: {} checks, {} failure(s)",
+        "conformance: {} checks, {} failure(s); profiles: {} checks, {} failure(s); \
+         figure ordering: {} checks, {} failure(s)",
         report.checks,
         report.failures.len(),
         profiles.checks,
-        profiles.failures.len()
+        profiles.failures.len(),
+        ordering.checks,
+        ordering.failures.len()
     );
-    if !report.is_pass() || !profiles.is_pass() {
-        for f in report.failures.iter().chain(&profiles.failures) {
+    if !report.is_pass() || !profiles.is_pass() || !ordering.is_pass() {
+        for f in report.failures.iter().chain(&profiles.failures).chain(&ordering.failures) {
             eprintln!("FAIL {f}");
         }
         std::process::exit(1);

@@ -24,7 +24,8 @@
 //! module spells itself are the pinned DRRIP/GSPC fixtures in the
 //! frame-graph profile golden table ([`run_profiles`]).
 
-use grbench::{framecache, ExperimentConfig};
+use grbench::figures::{self, CountedCell};
+use grbench::{framecache, simulate_cell, ExperimentConfig, RunOptions};
 use grcache::{Llc, LlcConfig, LlcStats};
 use grsynth::{AppProfile, GraphRenderer, Scale, GRAPH_PROFILES};
 use grtrace::StreamId;
@@ -300,6 +301,55 @@ pub fn run_profiles(paper_mb: u64) -> ConformanceReport {
     report
 }
 
+/// Relative slack on the Figure 15 FPS ordering: an adjacent pair of the
+/// panel may invert by at most this fraction before the check fails.
+const ORDERING_TOLERANCE: f64 = 0.02;
+
+/// Pins the paper's qualitative Figure 15 claim at the kick-tires scale:
+/// sweeping the +UCD performance panel over every app, the count-driven
+/// FPS ([`figures::fps_from_counts`] on the [`figures::fig15`] machine)
+/// must respect [`figures::PERF_FPS_ORDER`] — GSPC ≥ GS-DRRIP ≥ DRRIP ≥
+/// NRU — within [`ORDERING_TOLERANCE`]. Always evaluated at the pinned
+/// `Scale::Tiny` configuration regardless of `GR_SCALE`, like
+/// [`run_profiles`], so the golden stays one exact workload.
+pub fn run_figure_ordering() -> ConformanceReport {
+    let cfg = ExperimentConfig { scale: Scale::Tiny, frames_per_app: Some(1) };
+    let panel = figures::fig15();
+    let opts = RunOptions { llc_paper_mb: panel.llc_mb, ..RunOptions::misses(&[]) };
+
+    let mut fps = Vec::new();
+    for name in figures::PERF_FPS_ORDER {
+        let mut cell = CountedCell::default();
+        for app in &AppProfile::all() {
+            let r = simulate_cell(name, app, 0, &opts, &cfg);
+            cell.merge(&CountedCell {
+                frames: 1,
+                accesses: r.stats.total_accesses(),
+                misses: r.stats.total_misses(),
+                writebacks: r.stats.writebacks,
+                shaded_pixels: r.work.shaded_pixels,
+                texel_samples: r.work.texel_samples,
+                vertices: r.work.vertices,
+            });
+        }
+        fps.push((name, figures::fps_from_counts(&panel, &cell)));
+    }
+
+    let mut report = ConformanceReport::default();
+    for pair in fps.windows(2) {
+        let (worse, a) = pair[0];
+        let (better, b) = pair[1];
+        report.check(b >= a * (1.0 - ORDERING_TOLERANCE), || {
+            format!(
+                "figure-15 ordering inverted: {better} {b:.2} FPS < {worse} {a:.2} FPS \
+                 (tolerance {ORDERING_TOLERANCE:.0}%)",
+                ORDERING_TOLERANCE = ORDERING_TOLERANCE * 100.0
+            )
+        });
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +373,15 @@ mod tests {
         let expected = 1 + GRAPH_PROFILES.len() as u64 * (StreamId::ALL.len() as u64 + 2);
         assert_eq!(report.checks, expected, "profile suite skipped checks");
         assert!(report.is_pass(), "profile golden failures:\n{}", report.failures.join("\n"));
+    }
+
+    /// The pinned Figure 15 FPS ordering holds at the kick-tires scale:
+    /// three adjacent-pair checks, all green.
+    #[test]
+    fn figure_ordering_is_green() {
+        let report = run_figure_ordering();
+        assert_eq!(report.checks, figures::PERF_FPS_ORDER.len() as u64 - 1);
+        assert!(report.is_pass(), "ordering failures:\n{}", report.failures.join("\n"));
     }
 
     /// The panel comes from registry metadata and keeps its paper

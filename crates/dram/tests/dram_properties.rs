@@ -98,6 +98,67 @@ fn deterministic() {
     }
 }
 
+/// Three crafted 64-read streams on one channel pin the access-cost
+/// hierarchy: open-row hits are cheaper than bank-parallel row misses
+/// (activates overlap across banks, the data bus is the bottleneck),
+/// which are cheaper than same-bank row conflicts (every access
+/// serializes behind the previous precharge + activate).
+#[test]
+fn row_hits_beat_parallel_misses_beat_conflicts() {
+    let burst = |blocks: Vec<u64>| {
+        let reqs: Vec<Request> =
+            blocks.iter().map(|&b| Request { block: b, write: false, arrival_ns: 0.0 }).collect();
+        DramSim::new(TimingParams::ddr3_1600()).run(&reqs)
+    };
+    // Channel 0 throughout. A row holds 128 blocks; banks interleave
+    // every 128 blocks (after the channel bit), rows every 1024.
+    let hits = burst((0..64).map(|c| 2 * c).collect()); // one row
+    let misses = burst((0..64).map(|i| 256 * i).collect()); // new row, rotating banks
+    let conflicts = burst((0..64).map(|i| 2048 * i).collect()); // new row, one bank
+
+    assert_eq!(hits.row_hits, 63, "one open-row stream: all but the first access hit");
+    assert_eq!(misses.row_hits, 0);
+    assert_eq!(conflicts.row_hits, 0);
+    assert!(
+        hits.avg_latency_ns < misses.avg_latency_ns,
+        "row hits ({}) must be cheaper than bank-parallel misses ({})",
+        hits.avg_latency_ns,
+        misses.avg_latency_ns
+    );
+    assert!(
+        misses.avg_latency_ns < conflicts.avg_latency_ns,
+        "bank-parallel misses ({}) must be cheaper than same-bank conflicts ({})",
+        misses.avg_latency_ns,
+        conflicts.avg_latency_ns
+    );
+    assert!(hits.makespan_ns < conflicts.makespan_ns);
+}
+
+/// The DDR3-1867 10-10-10 part of the Figure 17 study is faster on
+/// every axis the request stream can exercise — on seeded random
+/// streams it never loses to DDR3-1600 on latency or makespan.
+#[test]
+fn ddr3_1867_never_loses_to_1600() {
+    let mut rng = Rng(35);
+    for _ in 0..64 {
+        let reqs = random_requests(&mut rng, 400);
+        let slow = DramSim::new(TimingParams::ddr3_1600()).run(&reqs);
+        let fast = DramSim::new(TimingParams::ddr3_1867()).run(&reqs);
+        assert!(
+            fast.avg_latency_ns <= slow.avg_latency_ns + 1e-6,
+            "DDR3-1867 avg latency {} exceeded DDR3-1600's {}",
+            fast.avg_latency_ns,
+            slow.avg_latency_ns
+        );
+        assert!(
+            fast.makespan_ns <= slow.makespan_ns + 1e-6,
+            "DDR3-1867 makespan {} exceeded DDR3-1600's {}",
+            fast.makespan_ns,
+            slow.makespan_ns
+        );
+    }
+}
+
 #[test]
 fn long_idle_workload_pays_refreshes() {
     // Requests spread over a millisecond must see ~128 refreshes.

@@ -62,6 +62,50 @@ fn exposure_shrinks_with_more_threads() {
     assert!(b.exposure_ns < a.exposure_ns, "more thread contexts must hide more latency");
 }
 
+/// Growing a prefix-stable miss stream (each volume extends the last,
+/// reads and writebacks alike) can only lower FPS, never raise it —
+/// the property the Figure 15 comparisons lean on.
+#[test]
+fn more_misses_never_raise_fps() {
+    let cfg = GpuConfig::baseline();
+    let dram = TimingParams::ddr3_1600();
+    let mut last_fps = f64::INFINITY;
+    for step in 1..=16u64 {
+        let t = time_frame(&cfg, dram, &balanced_work(), &requests(step * 25_000));
+        let fps = t.fps();
+        assert!(
+            fps <= last_fps,
+            "fps rose from {last_fps} to {fps} when misses grew to {}",
+            step * 25_000
+        );
+        last_fps = fps;
+    }
+}
+
+/// The 512-context GPU of Figure 17 (lower panel) is more
+/// compute-bound, so the same miss savings buy a smaller FPS delta —
+/// damped, never amplified, relative to the 768-context baseline.
+#[test]
+fn small_gpu_damps_fps_deltas() {
+    let small = GpuConfig::less_aggressive();
+    assert_eq!(small.thread_contexts(), 512);
+    let dram = TimingParams::ddr3_1600();
+    for (base_misses, improved_misses) in [(100_000u64, 50_000u64), (150_000, 100_000)] {
+        let gain = |cfg: &GpuConfig| {
+            let base = time_frame(cfg, dram, &balanced_work(), &requests(base_misses));
+            let improved = time_frame(cfg, dram, &balanced_work(), &requests(improved_misses));
+            improved.fps() / base.fps()
+        };
+        let wide = gain(&GpuConfig::baseline());
+        let narrow = gain(&small);
+        assert!(narrow >= 1.0 - 1e-9, "saving misses must not hurt: {narrow}");
+        assert!(
+            narrow <= wide * 1.001,
+            "512-context GPU amplified the FPS delta: {narrow} > {wide} ({base_misses} -> {improved_misses} misses)"
+        );
+    }
+}
+
 #[test]
 fn timing_is_deterministic() {
     let cfg = GpuConfig::baseline();

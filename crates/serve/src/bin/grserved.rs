@@ -11,6 +11,12 @@
 //!          [--port-file PATH] [--linger-ms N] [--allow-http-shutdown]
 //! ```
 //!
+//! `--exit-on-parent-close` ties the daemon's lifetime to whoever spawned
+//! it: a watcher thread reads stdin to EOF and then begins the same
+//! graceful drain a SIGTERM would. A supervisor that spawns the daemon
+//! with a piped stdin therefore can never orphan it — even `SIGKILL` of
+//! the parent closes the pipe and drains the daemon.
+//!
 //! Binds (port 0 = ephemeral), prints `grserved listening on http://ADDR`,
 //! and serves until SIGTERM or ctrl-C, then drains: queued and running
 //! jobs complete, new submissions get 503, and the process exits 0.
@@ -37,7 +43,7 @@ use grserve::{FrontConfig, ServerConfig};
 const USAGE: &str = "grserved [front --backends A,B,...] [--addr HOST:PORT] [--workers N] \
 [--queue-cap N] [--result-cache DIR] [--result-cache-max BYTES] [--peer HOST:PORT]... \
 [--forwarders N] [--port-file PATH] [--linger-ms N] [--read-deadline-ms N] \
-[--idle-timeout-ms N] [--max-conns N] [--allow-http-shutdown]";
+[--idle-timeout-ms N] [--max-conns N] [--allow-http-shutdown] [--exit-on-parent-close]";
 
 /// Set from the signal handler; polled by the main thread.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -62,6 +68,19 @@ fn install_signal_handlers() {
 
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
+
+/// Watches stdin for EOF and requests the same drain a signal would. The
+/// read blocks in a detached thread; when the spawning process exits (or
+/// is killed), the pipe closes, the read returns, and the daemon drains.
+fn drain_on_parent_close() {
+    std::thread::spawn(|| {
+        use std::io::Read;
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin().lock();
+        while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    });
+}
 
 /// Unifies the two daemon roles behind one supervision loop.
 enum Role {
@@ -109,6 +128,7 @@ fn main() {
     let mut cfg = ServerConfig::default();
     let mut front = FrontConfig::default();
     let mut port_file: Option<PathBuf> = None;
+    let mut exit_on_parent_close = false;
 
     let mut argv = args.into_iter();
     while let Some(arg) = argv.next() {
@@ -179,11 +199,15 @@ fn main() {
                 cfg.allow_http_shutdown = true;
                 front.allow_http_shutdown = true;
             }
+            "--exit-on-parent-close" => exit_on_parent_close = true,
             _ => cli::usage_error(USAGE),
         }
     }
 
     install_signal_handlers();
+    if exit_on_parent_close {
+        drain_on_parent_close();
+    }
     // Keep-alive fleets hold many fds open; the default soft limit (often
     // 1024) would cap the daemon far below its design point.
     let nofile_target = (cfg.max_conns.max(front.max_conns) as u64) + 512;

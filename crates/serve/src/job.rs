@@ -11,7 +11,7 @@
 use grbench::{simulate_cell, simulate_graph_cell, simulate_trace_cell, CellResult, RunOptions};
 use grcache::{CharReport, LlcStats};
 use grjson::Json;
-use grsynth::AppProfile;
+use grsynth::{AppProfile, FrameWork};
 use grtrace::{PolicyClass, StreamId};
 
 use crate::spec::JobSpec;
@@ -69,7 +69,8 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
                 chars.merge(c);
             }
             let mut workload_obj = Json::obj();
-            workload_obj.set(trace_ref.app.clone(), stats_entry(&stats, &chars, spec.characterize));
+            let entry = stats_entry(&stats, &chars, 1, &cell.work, spec.characterize);
+            workload_obj.set(trace_ref.app.clone(), entry);
             per_policy.set(policy.clone(), workload_obj);
         }
     } else if let Some(name) = &spec.profile {
@@ -81,17 +82,22 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
         for policy in &spec.policies {
             let mut stats = LlcStats::new();
             let mut chars = CharReport::default();
+            let mut work = FrameWork::default();
+            let mut frames = 0u64;
             for frame in 0..cfg.frames_for(profile.frames) {
                 let cell: CellResult = simulate_graph_cell(policy, &graph, frame, &opts, &cfg);
                 stats.merge(&cell.stats);
                 if let Some(c) = &cell.chars {
                     chars.merge(c);
                 }
+                merge_work(&mut work, &cell.work);
+                frames += 1;
                 accesses += cell.accesses;
                 replay_seconds += cell.replay_seconds;
             }
             let mut workload_obj = Json::obj();
-            workload_obj.set(name.clone(), stats_entry(&stats, &chars, spec.characterize));
+            let entry = stats_entry(&stats, &chars, frames, &work, spec.characterize);
+            workload_obj.set(name.clone(), entry);
             per_policy.set(policy.clone(), workload_obj);
         }
     } else {
@@ -101,16 +107,21 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
                 let app = AppProfile::by_abbrev(abbrev).expect("spec apps were validated");
                 let mut stats = LlcStats::new();
                 let mut chars = CharReport::default();
+                let mut work = FrameWork::default();
+                let mut frames = 0u64;
                 for frame in 0..cfg.frames_for(app.frames) {
                     let cell = simulate_cell(policy, &app, frame, &opts, &cfg);
                     stats.merge(&cell.stats);
                     if let Some(c) = &cell.chars {
                         chars.merge(c);
                     }
+                    merge_work(&mut work, &cell.work);
+                    frames += 1;
                     accesses += cell.accesses;
                     replay_seconds += cell.replay_seconds;
                 }
-                apps_obj.set(abbrev.clone(), stats_entry(&stats, &chars, spec.characterize));
+                let entry = stats_entry(&stats, &chars, frames, &work, spec.characterize);
+                apps_obj.set(abbrev.clone(), entry);
             }
             per_policy.set(policy.clone(), apps_obj);
         }
@@ -122,18 +133,42 @@ pub fn execute(spec: &JobSpec, base: &RunOptions) -> JobOutput {
     JobOutput { payload: doc.to_string_pretty(), accesses, replay_seconds }
 }
 
+/// Sums per-frame work counters (payload v2 carries the aggregate).
+fn merge_work(into: &mut FrameWork, cell: &FrameWork) {
+    into.shaded_pixels += cell.shaded_pixels;
+    into.texel_samples += cell.texel_samples;
+    into.vertices += cell.vertices;
+    into.raw_accesses += cell.raw_accesses;
+}
+
 /// The per-workload result entry every workload kind shares, so payload
 /// consumers see one shape regardless of where the accesses came from.
-fn stats_entry(stats: &LlcStats, chars: &CharReport, characterize: bool) -> Json {
+/// `frames` and the `work` counters (summed over those frames) let a
+/// consumer drive the GPU interval timing model from the payload alone —
+/// this is what the `grart` pipeline turns into Figure 15-17 FPS points.
+fn stats_entry(
+    stats: &LlcStats,
+    chars: &CharReport,
+    frames: u64,
+    work: &FrameWork,
+    characterize: bool,
+) -> Json {
+    let mut work_obj = Json::obj();
+    work_obj
+        .set("shaded_pixels", work.shaded_pixels)
+        .set("texel_samples", work.texel_samples)
+        .set("vertices", work.vertices);
     let mut entry = Json::obj();
     entry
+        .set("frames", frames)
         .set("accesses", stats.total_accesses())
         .set("hits", stats.total_hits())
         .set("misses", stats.total_misses())
         .set("writebacks", stats.writebacks)
         .set("tex_hit_rate", stats.class_hit_rate(PolicyClass::Tex))
         .set("rt_hit_rate", stats.hit_rate(StreamId::RenderTarget))
-        .set("z_hit_rate", stats.hit_rate(StreamId::Z));
+        .set("z_hit_rate", stats.hit_rate(StreamId::Z))
+        .set("work", work_obj);
     if characterize {
         entry.set("rt_consumption", chars.rt_consumption_rate());
     }

@@ -19,7 +19,11 @@ use crate::hash;
 
 /// Spec format version, embedded in the canonical encoding so a future
 /// payload change invalidates old cache entries instead of serving them.
-const SPEC_VERSION: u64 = 1;
+///
+/// v2: result entries gained `frames` and the `work` counter object
+/// (pixels/texels/vertices), so timing-model consumers can derive FPS
+/// from a payload alone.
+const SPEC_VERSION: u64 = 2;
 
 /// A validated reference to an external `.gtrace` file workload.
 ///
